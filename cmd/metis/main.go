@@ -1,0 +1,85 @@
+// Command metis schedules a scenario: it reads a scenario JSON (see
+// cmd/wangen to generate one), runs the Metis framework, and writes the
+// acceptance + scheduling decisions as JSON.
+//
+// Usage:
+//
+//	wangen -network B4 -k 200 -seed 7 > scenario.json
+//	metis -in scenario.json -out decision.json
+//	metis -in scenario.json -theta 12 -maa-rounds 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"metis"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "metis:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("metis", flag.ContinueOnError)
+	var (
+		inPath    = fs.String("in", "-", "scenario JSON path (\"-\" = stdin)")
+		outPath   = fs.String("out", "-", "decision JSON path (\"-\" = stdout)")
+		theta     = fs.Int("theta", 0, "alternation rounds θ (0 = default)")
+		tauStep   = fs.Int("tau-step", 0, "BW-limiter shrink units (0 = default)")
+		maaRounds = fs.Int("maa-rounds", 0, "randomized roundings per MAA call (0 = default)")
+		seed      = fs.Int64("seed", 1, "randomized-rounding seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := io.Reader(os.Stdin)
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	sc, err := metis.ReadScenario(in)
+	if err != nil {
+		return err
+	}
+	inst, err := sc.Instance()
+	if err != nil {
+		return err
+	}
+
+	res, err := metis.Solve(inst, metis.Config{
+		Theta:     *theta,
+		TauStep:   *tauStep,
+		MAARounds: *maaRounds,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := metis.WriteDecision(out, metis.NewDecision(res)); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "metis: profit=%.3f revenue=%.3f cost=%.3f accepted=%d/%d in %v\n",
+		res.Profit, res.Revenue, res.Cost, res.Schedule.NumAccepted(), inst.NumRequests(), res.Elapsed)
+	return nil
+}

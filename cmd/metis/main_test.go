@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"metis"
+)
+
+func writeScenario(t *testing.T, dir string) string {
+	t.Helper()
+	net := metis.SubB4()
+	reqs, err := metis.GenerateWorkload(net, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &metis.Scenario{Network: "SUB-B4", Requests: reqs}
+	path := filepath.Join(dir, "scenario.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := metis.WriteScenario(f, sc); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := writeScenario(t, dir)
+	out := filepath.Join(dir, "decision.json")
+
+	if err := run([]string{"-in", in, "-out", out, "-theta", "3", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d metis.Decision
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("decision not valid JSON: %v", err)
+	}
+	if len(d.Accepted)+len(d.Declined) != 20 {
+		t.Fatalf("decision covers %d+%d requests, want 20", len(d.Accepted), len(d.Declined))
+	}
+	if len(d.ChargedBandwidth) != metis.SubB4().NumLinks() {
+		t.Fatalf("charged bandwidth has %d links", len(d.ChargedBandwidth))
+	}
+}
+
+func TestRunMissingInput(t *testing.T) {
+	if err := run([]string{"-in", "/nonexistent/path.json"}); err == nil {
+		t.Fatal("want error for missing input")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("want error for unknown flag")
+	}
+}

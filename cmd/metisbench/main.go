@@ -1,0 +1,82 @@
+// Command metisbench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	metisbench -fig fig3            # one experiment (fig3, fig4a, ...)
+//	metisbench -fig all             # the whole evaluation
+//	metisbench -fig fig5 -quick     # scaled-down scales
+//	metisbench -fig fig4a -csv      # machine-readable output
+//	metisbench -list                # known experiment ids
+//	metisbench -fig fig3 -seed 7 -opt-limit 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"metis/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "metisbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("metisbench", flag.ContinueOnError)
+	var (
+		figID    = fs.String("fig", "all", "experiment id (see -list) or \"all\"")
+		quick    = fs.Bool("quick", false, "use scaled-down quick configuration")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		chart    = fs.Bool("chart", false, "emit text bar charts instead of tables")
+		list     = fs.Bool("list", false, "list known experiment ids and exit")
+		seed     = fs.Int64("seed", 0, "override workload seed (0 = config default)")
+		optLimit = fs.Duration("opt-limit", 0, "override exact-solver time limit (0 = config default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println(strings.Join(append(exp.IDs(), "all"), "\n"))
+		return nil
+	}
+
+	cfg := exp.DefaultConfig()
+	if *quick {
+		cfg = exp.QuickConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *optLimit != 0 {
+		cfg.OptTimeLimit = *optLimit
+	}
+
+	start := time.Now()
+	figs, err := exp.Run(*figID, cfg)
+	if err != nil {
+		return err
+	}
+	for _, fig := range figs {
+		var werr error
+		switch {
+		case *csv:
+			werr = fig.Table().WriteCSV(os.Stdout)
+		case *chart:
+			werr = fig.Chart().WriteText(os.Stdout)
+		default:
+			werr = fig.Table().WriteText(os.Stdout)
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Println()
+	}
+	fmt.Fprintf(os.Stderr, "metisbench: %d figure(s) in %v\n", len(figs), time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunQuickFigure(t *testing.T) {
+	if err := run([]string{"-fig", "fig4a", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run([]string{"-fig", "ablation-rounding", "-quick", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "fig99"}); err == nil {
+		t.Fatal("want error for unknown figure")
+	}
+}
+
+func TestRunSeedOverride(t *testing.T) {
+	if err := run([]string{"-fig", "fig4a", "-quick", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+}

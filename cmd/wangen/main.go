@@ -1,0 +1,63 @@
+// Command wangen generates reproducible synthetic workload scenarios
+// for cmd/metis.
+//
+// Usage:
+//
+//	wangen -network B4 -k 200 -seed 7 > scenario.json
+//	wangen -network SUB-B4 -k 50 -rate-hi 0.8 -markup-hi 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"metis"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wangen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wangen", flag.ContinueOnError)
+	var (
+		network  = fs.String("network", "B4", "topology: B4 or SUB-B4")
+		k        = fs.Int("k", 100, "number of requests")
+		seed     = fs.Int64("seed", 1, "workload seed")
+		slots    = fs.Int("slots", metis.DefaultSlots, "billing-cycle slots")
+		rateLo   = fs.Float64("rate-lo", 0.01, "min rate in 10 Gbps units")
+		rateHi   = fs.Float64("rate-hi", 0.5, "max rate in 10 Gbps units")
+		markupLo = fs.Float64("markup-lo", 0.5, "min value markup")
+		markupHi = fs.Float64("markup-hi", 6, "max value markup")
+		dot      = fs.Bool("dot", false, "emit the topology as Graphviz DOT instead of a scenario")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc := &metis.Scenario{Network: *network, Slots: *slots}
+	net, err := sc.BuildNetwork()
+	if err != nil {
+		return err
+	}
+	if *dot {
+		return net.WriteDOT(os.Stdout)
+	}
+	reqs, err := metis.GenerateWorkloadConfig(net, *k, metis.GeneratorConfig{
+		Slots:    *slots,
+		RateLo:   *rateLo,
+		RateHi:   *rateHi,
+		MarkupLo: *markupLo,
+		MarkupHi: *markupHi,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+	sc.Requests = reqs
+	return metis.WriteScenario(os.Stdout, sc)
+}

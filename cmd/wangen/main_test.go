@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"metis"
+)
+
+// captureStdout redirects os.Stdout during fn.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errCh := make(chan error, 1)
+	go func() { errCh <- fn() }()
+	runErr := <-errCh
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func TestGenerateScenario(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-network", "SUB-B4", "-k", "15", "-seed", "4"})
+	})
+	sc, err := metis.ReadScenario(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("output is not a valid scenario: %v", err)
+	}
+	if len(sc.Requests) != 15 {
+		t.Fatalf("generated %d requests, want 15", len(sc.Requests))
+	}
+	inst, err := sc.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumRequests() != 15 {
+		t.Fatal("scenario does not materialize")
+	}
+}
+
+func TestGenerateRejectsBadNetwork(t *testing.T) {
+	if err := run([]string{"-network", "nope", "-k", "3"}); err == nil {
+		t.Fatal("want error for unknown network")
+	}
+}
+
+func TestGenerateRejectsBadBounds(t *testing.T) {
+	if err := run([]string{"-k", "3", "-rate-lo", "0.5", "-rate-hi", "0.1"}); err == nil {
+		t.Fatal("want error for inverted rate bounds")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-network", "B4", "-dot"})
+	})
+	if !strings.Contains(out, "graph \"B4\"") {
+		t.Fatalf("not DOT output: %q", out[:40])
+	}
+}

@@ -1,0 +1,86 @@
+// Capacity planning with MAA (the RL-SPM solver): a provider has
+// already signed contracts for a set of reservations and must decide
+// how much bandwidth to lease on each Inter-DC link for the coming
+// billing cycle. MAA's LP-relaxation + randomized rounding finds a
+// routing whose peak loads — and therefore the integer bandwidth
+// purchase — are near the fractional optimum, and the example compares
+// it against the naive min-price-path plan.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"metis"
+)
+
+func main() {
+	net := metis.B4()
+	reqs, err := metis.GenerateWorkload(net, 400, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := metis.NewInstance(net, metis.DefaultSlots, reqs, metis.DefaultPathsPerRequest)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Naive plan: every reservation on its cheapest path.
+	naive, err := metis.MinCost(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// MAA plan: LP relaxation, randomized rounding (best of 10),
+	// per-link ceiling.
+	plan, err := metis.SolveMAA(inst, 10, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("reservations:        %d (all must be served)\n", len(reqs))
+	fmt.Printf("min-price-path plan: cost %.2f\n", naive.Cost())
+	fmt.Printf("MAA plan:            cost %.2f (LP lower bound %.2f)\n", plan.Cost, plan.Relaxed.Cost)
+	fmt.Printf("savings:             %.1f%%\n", 100*(naive.Cost()-plan.Cost)/naive.Cost())
+
+	var naiveUnits, planUnits int
+	for _, u := range naive.ChargedBandwidth() {
+		naiveUnits += u
+	}
+	for _, u := range plan.Charged {
+		planUnits += u
+	}
+	fmt.Printf("units to lease:      %d (naive %d)\n", planUnits, naiveUnits)
+
+	// Where the plans differ most (top 5 by unit delta).
+	fmt.Println("\nbiggest per-link differences (units):")
+	type diff struct {
+		link  int
+		delta int
+	}
+	var diffs []diff
+	naiveCharged := naive.ChargedBandwidth()
+	for e := range plan.Charged {
+		if d := naiveCharged[e] - plan.Charged[e]; d != 0 {
+			diffs = append(diffs, diff{link: e, delta: d})
+		}
+	}
+	for i := 0; i < len(diffs) && i < 5; i++ {
+		best := i
+		for j := i + 1; j < len(diffs); j++ {
+			if abs(diffs[j].delta) > abs(diffs[best].delta) {
+				best = j
+			}
+		}
+		diffs[i], diffs[best] = diffs[best], diffs[i]
+		l := net.Link(diffs[i].link)
+		fmt.Printf("  %s -> %s: %+d\n", net.DC(l.From).Name, net.DC(l.To).Name, -diffs[i].delta)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,77 @@
+// Online admission: the future-work setting where requests are NOT
+// known for the whole billing cycle up front — each arrives at its
+// start slot and must be accepted or declined on the spot. The example
+// compares buy-as-you-go greedy admission against provisioned policies
+// (capacity planned with MAA on a *forecast* workload) and against the
+// hindsight Metis schedule that sees the whole cycle.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"metis"
+)
+
+func main() {
+	net := metis.SubB4()
+	reqs, err := metis.GenerateWorkload(net, 250, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := metis.NewInstance(net, metis.DefaultSlots, reqs, metis.DefaultPathsPerRequest)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The provider plans capacity on last cycle's workload (different
+	// seed), not on the actual future.
+	forecastReqs, err := metis.GenerateWorkload(net, 250, 22)
+	if err != nil {
+		log.Fatal(err)
+	}
+	forecast, err := metis.NewInstance(net, metis.DefaultSlots, forecastReqs, metis.DefaultPathsPerRequest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	planRes, err := metis.SolveMAA(forecast, 3, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := planRes.Charged
+
+	fmt.Printf("workload: %d requests arriving over %d slots on %s\n\n",
+		len(reqs), metis.DefaultSlots, net.Name())
+	fmt.Printf("%-22s %10s %10s %10s\n", "policy", "profit", "revenue", "accepted")
+
+	policies := []metis.OnlinePolicy{
+		metis.OnlineGreedy(),
+		metis.OnlineProvisionedFirstFit(plan),
+		metis.OnlineProvisionedTAA(plan),
+	}
+	for _, p := range policies {
+		res, err := metis.SimulateOnline(inst, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %10.2f %10.2f %10d\n",
+			p.Name(), res.Profit, res.Revenue, res.Schedule.NumAccepted())
+	}
+
+	offline, err := metis.Solve(inst, metis.Config{Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %10.2f %10.2f %10d   (hindsight reference)\n",
+		"offline-metis", offline.Profit, offline.Revenue, offline.Schedule.NumAccepted())
+
+	// Arrival trace of the greedy policy.
+	res, err := metis.SimulateOnline(inst, metis.OnlineGreedy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ngreedy arrival trace (slot: accepted/arrived):")
+	for _, s := range res.PerSlot {
+		fmt.Printf("  %2d: %3d/%3d\n", s.Slot, s.Accepted, s.Arrived)
+	}
+}

@@ -1,0 +1,62 @@
+// Profit/runtime trade-off sweep: the paper advertises Metis as
+// "easy-to-control" — providers tune θ (alternation rounds) and the
+// BW-limiter rule τ against their computation budget. This example
+// sweeps both knobs on one workload and prints the frontier.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"metis"
+)
+
+func main() {
+	net := metis.SubB4()
+	reqs, err := metis.GenerateWorkload(net, 400, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := metis.NewInstance(net, metis.DefaultSlots, reqs, metis.DefaultPathsPerRequest)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %d requests on %s\n\n", len(reqs), net.Name())
+	fmt.Printf("%-22s %10s %10s %12s\n", "config", "profit", "accepted", "time")
+
+	type knob struct {
+		name string
+		cfg  metis.Config
+	}
+	knobs := []knob{
+		{name: "theta=1", cfg: metis.Config{Theta: 1}},
+		{name: "theta=2", cfg: metis.Config{Theta: 2}},
+		{name: "theta=4", cfg: metis.Config{Theta: 4}},
+		{name: "theta=8", cfg: metis.Config{Theta: 8}},
+		{name: "theta=8 tau-step=2", cfg: metis.Config{Theta: 8, TauStep: 2}},
+		{name: "theta=8 tau-frac=0.25", cfg: metis.Config{Theta: 8, TauFrac: 0.25}},
+		{name: "theta=8 maa-rounds=5", cfg: metis.Config{Theta: 8, MAARounds: 5}},
+	}
+	for _, k := range knobs {
+		k.cfg.Seed = 5
+		start := time.Now()
+		res, err := metis.Solve(inst, k.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %10.2f %10d %12v\n",
+			k.name, res.Profit, res.Schedule.NumAccepted(), time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Println("\nper-round convergence at theta=8:")
+	res, err := metis.Solve(inst, metis.Config{Theta: 8, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res.Rounds {
+		fmt.Printf("  round %d: %d requests in, MAA profit %.2f, TAA profit %.2f, %d kept (%v)\n",
+			r.Round, r.Accepted, r.MAAProfit, r.TAAProfit, r.TAAAccepted, r.Elapsed.Round(time.Millisecond))
+	}
+}

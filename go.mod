@@ -1,0 +1,3 @@
+module metis
+
+go 1.22

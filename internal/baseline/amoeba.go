@@ -1,0 +1,59 @@
+package baseline
+
+import (
+	"fmt"
+
+	"metis/internal/sched"
+)
+
+// Amoeba performs online admission under fixed link capacities: it
+// handles requests one by one in arrival (index) order and accepts a
+// request on the first candidate path whose residual bandwidth covers
+// the request's rate on every active slot; otherwise the request is
+// rejected. No future requests are considered and no accepted request
+// is ever rescheduled — the behaviour of the Amoeba adaptation the
+// paper compares against (Section V.B.2).
+func Amoeba(inst *sched.Instance, caps []int) (*sched.Schedule, error) {
+	if len(caps) != inst.Network().NumLinks() {
+		return nil, fmt.Errorf("baseline: capacity vector has %d entries, want %d", len(caps), inst.Network().NumLinks())
+	}
+	s := sched.NewSchedule(inst)
+	residual := make([][]float64, inst.Network().NumLinks())
+	for e := range residual {
+		residual[e] = make([]float64, inst.Slots())
+		for t := range residual[e] {
+			residual[e][t] = float64(caps[e])
+		}
+	}
+
+	const eps = 1e-9
+	for i := 0; i < inst.NumRequests(); i++ {
+		r := inst.Request(i)
+		for j := 0; j < inst.NumPaths(i); j++ {
+			fits := true
+			for _, e := range inst.Path(i, j).Links {
+				for t := r.Start; t <= r.End && fits; t++ {
+					if residual[e][t] < r.Rate-eps {
+						fits = false
+					}
+				}
+				if !fits {
+					break
+				}
+			}
+			if !fits {
+				continue
+			}
+			for _, e := range inst.Path(i, j).Links {
+				for t := r.Start; t <= r.End; t++ {
+					residual[e][t] -= r.Rate
+				}
+			}
+			if err := s.Assign(i, j); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	return s, nil
+}

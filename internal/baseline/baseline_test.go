@@ -1,0 +1,234 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"metis/internal/demand"
+	"metis/internal/maa"
+	"metis/internal/sched"
+	"metis/internal/stats"
+	"metis/internal/wan"
+)
+
+func instance(t *testing.T, net *wan.Network, k int, seed int64) *sched.Instance {
+	t.Helper()
+	g, err := demand.NewGenerator(net, demand.DefaultGeneratorConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := g.GenerateN(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sched.NewInstance(net, demand.DefaultSlots, reqs, sched.DefaultPathsPerRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestMinCostServesAllOnCheapestPath(t *testing.T) {
+	inst := instance(t, wan.B4(), 50, 1)
+	s, err := MinCost(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NumAccepted(); got != 50 {
+		t.Fatalf("served %d of 50", got)
+	}
+	for i := 0; i < inst.NumRequests(); i++ {
+		if s.Choice(i) != 0 {
+			t.Fatalf("request %d not on min-cost path", i)
+		}
+	}
+}
+
+func TestMinCostAtLeastMAA(t *testing.T) {
+	// The paper's Fig. 4a: MAA needs no more bandwidth budget than the
+	// fixed min-cost rule. Randomized rounding adds noise, so compare
+	// with best-of-several roundings.
+	inst := instance(t, wan.B4(), 150, 2)
+	mc, err := MinCost(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := maa.Solve(inst, maa.Options{RNG: stats.NewRNG(2), Rounds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > mc.Cost()*1.05 {
+		t.Fatalf("MAA cost %v not competitive with MinCost %v", res.Cost, mc.Cost())
+	}
+}
+
+func TestMinCostEmpty(t *testing.T) {
+	inst, err := sched.NewInstance(wan.SubB4(), 12, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MinCost(inst); !errors.Is(err, ErrNoRequests) {
+		t.Fatalf("err = %v, want ErrNoRequests", err)
+	}
+}
+
+func TestAmoebaRespectsCapacity(t *testing.T) {
+	inst := instance(t, wan.B4(), 200, 3)
+	caps := inst.UniformCaps(2)
+	s, err := Amoeba(inst, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FeasibleUnder(caps); err != nil {
+		t.Fatalf("Amoeba violates capacity: %v", err)
+	}
+	if s.NumAccepted() == 0 {
+		t.Fatal("Amoeba accepted nothing under positive capacity")
+	}
+}
+
+func TestAmoebaZeroCapacity(t *testing.T) {
+	inst := instance(t, wan.SubB4(), 20, 4)
+	s, err := Amoeba(inst, inst.UniformCaps(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumAccepted() != 0 {
+		t.Fatalf("accepted %d with zero capacity", s.NumAccepted())
+	}
+}
+
+func TestAmoebaOnlineOrderMatters(t *testing.T) {
+	// A big early request can crowd out later ones: Amoeba accepts the
+	// first-arriving request even when a later one is more valuable.
+	net := wan.SubB4()
+	reqs := []demand.Request{
+		{ID: 0, Src: 0, Dst: 1, Start: 0, End: 11, Rate: 0.8, Value: 1},
+		{ID: 1, Src: 0, Dst: 1, Start: 0, End: 11, Rate: 0.8, Value: 100},
+	}
+	inst, err := sched.NewInstance(net, 12, reqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Amoeba(inst, inst.UniformCaps(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Choice(0) == sched.Declined || s.Choice(1) != sched.Declined {
+		t.Fatalf("expected first-come-first-served: choices %d, %d", s.Choice(0), s.Choice(1))
+	}
+}
+
+func TestAmoebaCapsValidated(t *testing.T) {
+	inst := instance(t, wan.SubB4(), 5, 5)
+	if _, err := Amoeba(inst, []int{1}); err == nil {
+		t.Fatal("want error for wrong caps length")
+	}
+}
+
+func TestEcoFlowProfitNonNegative(t *testing.T) {
+	// SUB-B4 concentrates demand on few DC pairs, so the greedy can
+	// bootstrap its first bandwidth purchases.
+	inst := instance(t, wan.SubB4(), 150, 6)
+	res, err := EcoFlow(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EcoFlow only accepts requests whose value exceeds the marginal
+	// cost at acceptance time, so total profit cannot be negative.
+	if res.Profit < -1e-9 {
+		t.Fatalf("EcoFlow profit %v negative", res.Profit)
+	}
+	if math.Abs(res.Profit-(res.Revenue-res.Cost)) > 1e-9 {
+		t.Fatalf("profit %v != revenue %v − cost %v", res.Profit, res.Revenue, res.Cost)
+	}
+	if res.NumAccepted == 0 {
+		t.Fatal("EcoFlow accepted nothing")
+	}
+}
+
+func TestEcoFlowAcceptsProfitable(t *testing.T) {
+	net := wan.SubB4()
+	cheap, err := net.CheapestPathPrice(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []demand.Request{
+		// Worth 3× the full dedicated cost of a unit: must be accepted.
+		{ID: 0, Src: 0, Dst: 1, Start: 0, End: 11, Rate: 0.5, Value: 3 * cheap},
+		// Worth a fraction of the marginal cost and does not fit the
+		// already-purchased unit: must be declined.
+		{ID: 1, Src: 0, Dst: 1, Start: 0, End: 11, Rate: 0.9, Value: 0.01 * cheap},
+	}
+	inst, err := sched.NewInstance(net, 12, reqs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EcoFlow(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted[0] {
+		t.Fatal("profitable request declined")
+	}
+	if res.Accepted[1] {
+		t.Fatal("unprofitable request accepted")
+	}
+}
+
+func TestEcoFlowReusesPurchasedBandwidth(t *testing.T) {
+	net := wan.SubB4()
+	cheap, err := net.CheapestPathPrice(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two half-unit requests in the same window share one purchased
+	// unit; the second rides for free.
+	reqs := []demand.Request{
+		{ID: 0, Src: 0, Dst: 1, Start: 0, End: 11, Rate: 0.5, Value: 2 * cheap},
+		{ID: 1, Src: 0, Dst: 1, Start: 0, End: 11, Rate: 0.5, Value: 0.05 * cheap},
+	}
+	inst, err := sched.NewInstance(net, 12, reqs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EcoFlow(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted[0] || !res.Accepted[1] {
+		t.Fatalf("both requests should be accepted: %v", res.Accepted)
+	}
+	wantCost := cheap // exactly one unit on the cheapest 0→1 path
+	if math.Abs(res.Cost-wantCost) > 1e-9 {
+		t.Fatalf("cost %v, want %v (one shared unit)", res.Cost, wantCost)
+	}
+}
+
+func TestEcoFlowEmpty(t *testing.T) {
+	inst, err := sched.NewInstance(wan.SubB4(), 12, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EcoFlow(inst); !errors.Is(err, ErrNoRequests) {
+		t.Fatalf("err = %v, want ErrNoRequests", err)
+	}
+}
+
+func TestEcoFlowUtilizationBounds(t *testing.T) {
+	inst := instance(t, wan.B4(), 80, 7)
+	res, err := EcoFlow(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumAccepted == 0 {
+		t.Skip("nothing accepted")
+	}
+	if res.Utilization.Avg < 0 || res.Utilization.Avg > 1+1e-9 {
+		t.Fatalf("avg utilization %v outside [0, 1]", res.Utilization.Avg)
+	}
+	if res.Utilization.Max > 1+1e-9 {
+		t.Fatalf("max utilization %v exceeds 1", res.Utilization.Max)
+	}
+}

@@ -1,0 +1,207 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"metis/internal/sched"
+)
+
+// EcoFlowResult summarizes an EcoFlow run. EcoFlow splits a request's
+// rate across several paths, which does not fit the one-path-per-request
+// sched.Schedule, so it carries its own accounting.
+type EcoFlowResult struct {
+	// Accepted marks served requests (indexed like the instance).
+	Accepted []bool
+	// NumAccepted is the number of served requests.
+	NumAccepted int
+	// Revenue, Cost and Profit summarize the run.
+	Revenue, Cost, Profit float64
+	// Charged is the purchased integer bandwidth per link.
+	Charged []int
+	// Utilization is measured against Charged.
+	Utilization sched.UtilizationStats
+}
+
+// EcoFlow processes requests one by one in descending value order ("it
+// accepts the user requests that generate higher service profits").
+// For each request it first fills the free headroom of
+// already-purchased bandwidth along its candidate paths (cheapest
+// first, splitting the rate); any remainder is priced at the marginal
+// cost of the extra integer units the cheapest path would need. The
+// request is accepted iff its value exceeds that marginal cost — the
+// greedy higher-profit-only acceptance the paper evaluates (Section
+// V.B.3).
+func EcoFlow(inst *sched.Instance) (*EcoFlowResult, error) {
+	if inst.NumRequests() == 0 {
+		return nil, ErrNoRequests
+	}
+	nLinks := inst.Network().NumLinks()
+	slots := inst.Slots()
+
+	loads := make([][]float64, nLinks)
+	for e := range loads {
+		loads[e] = make([]float64, slots)
+	}
+	charged := make([]int, nLinks)
+
+	res := &EcoFlowResult{
+		Accepted: make([]bool, inst.NumRequests()),
+		Charged:  charged,
+	}
+
+	order := make([]int, inst.NumRequests())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return inst.Request(order[a]).Value > inst.Request(order[b]).Value
+	})
+
+	for _, i := range order {
+		r := inst.Request(i)
+
+		// Plan the split: how much of the rate each path carries for
+		// free (within purchased headroom), cheapest paths first; any
+		// remainder rides the cheapest path and may force new units.
+		plan := make([]float64, inst.NumPaths(i))
+		remaining := r.Rate
+		for j := 0; j < inst.NumPaths(i) && remaining > 1e-12; j++ {
+			head := pathHeadroom(inst, loads, charged, i, j)
+			carry := math.Min(head, remaining)
+			if carry <= 1e-12 {
+				continue
+			}
+			plan[j] = carry
+			remaining -= carry
+		}
+		plan[0] += remaining
+
+		// Price the whole plan: extra integer units needed on any link
+		// once all planned amounts (free fills and remainder) land.
+		marginal := marginalPurchase(inst, loads, charged, i, plan)
+		if r.Value <= marginal {
+			continue // declining yields higher profit than serving
+		}
+
+		// Commit: apply the split and buy the extra units.
+		res.Accepted[i] = true
+		res.NumAccepted++
+		res.Revenue += r.Value
+		for j, carry := range plan {
+			if carry > 1e-12 {
+				addLoad(inst, loads, i, j, carry)
+			}
+		}
+		for e := range charged {
+			peak := 0.0
+			for _, v := range loads[e] {
+				if v > peak {
+					peak = v
+				}
+			}
+			if c := sched.CeilUnits(peak); c > charged[e] {
+				charged[e] = c
+			}
+		}
+	}
+
+	for e, c := range charged {
+		res.Cost += inst.Network().Link(e).Price * float64(c)
+	}
+	res.Profit = res.Revenue - res.Cost
+	res.Utilization = utilization(loads, charged, slots)
+	return res, nil
+}
+
+// pathHeadroom returns the bandwidth request i could push through its
+// candidate path j using only already-purchased capacity: the minimum,
+// over the path's links and the request's active slots, of
+// charged − load.
+func pathHeadroom(inst *sched.Instance, loads [][]float64, charged []int, i, j int) float64 {
+	r := inst.Request(i)
+	head := math.Inf(1)
+	for _, e := range inst.Path(i, j).Links {
+		for t := r.Start; t <= r.End; t++ {
+			h := float64(charged[e]) - loads[e][t]
+			if h < head {
+				head = h
+			}
+		}
+	}
+	if head < 0 {
+		return 0
+	}
+	return head
+}
+
+// marginalPurchase prices the extra integer units the plan forces:
+// plan[j] is the bandwidth request i would push through its candidate
+// path j. Links shared by several planned paths accumulate.
+func marginalPurchase(inst *sched.Instance, loads [][]float64, charged []int, i int, plan []float64) float64 {
+	r := inst.Request(i)
+	extra := make(map[int]float64) // link → planned additional load
+	for j, amount := range plan {
+		if amount <= 1e-12 {
+			continue
+		}
+		for _, e := range inst.Path(i, j).Links {
+			extra[e] += amount
+		}
+	}
+	var cost float64
+	for e, amount := range extra {
+		peak := 0.0
+		for t := r.Start; t <= r.End; t++ {
+			if v := loads[e][t] + amount; v > peak {
+				peak = v
+			}
+		}
+		if c := sched.CeilUnits(peak); c > charged[e] {
+			cost += inst.Network().Link(e).Price * float64(c-charged[e])
+		}
+	}
+	return cost
+}
+
+func addLoad(inst *sched.Instance, loads [][]float64, i, j int, amount float64) {
+	r := inst.Request(i)
+	for _, e := range inst.Path(i, j).Links {
+		for t := r.Start; t <= r.End; t++ {
+			loads[e][t] += amount
+		}
+	}
+}
+
+func utilization(loads [][]float64, charged []int, slots int) sched.UtilizationStats {
+	var (
+		utils []float64
+		sum   float64
+	)
+	for e := range loads {
+		if charged[e] <= 0 {
+			continue
+		}
+		var total float64
+		for _, v := range loads[e] {
+			total += v
+		}
+		u := total / float64(slots) / float64(charged[e])
+		utils = append(utils, u)
+		sum += u
+	}
+	if len(utils) == 0 {
+		return sched.UtilizationStats{}
+	}
+	st := sched.UtilizationStats{Max: math.Inf(-1), Min: math.Inf(1)}
+	for _, u := range utils {
+		if u > st.Max {
+			st.Max = u
+		}
+		if u < st.Min {
+			st.Min = u
+		}
+	}
+	st.Avg = sum / float64(len(utils))
+	return st
+}

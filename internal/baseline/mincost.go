@@ -1,0 +1,39 @@
+// Package baseline implements the comparison schedulers of the paper's
+// evaluation (Section V.A):
+//
+//   - MinCost: reserve exclusive bandwidth for every request on its
+//     min-price path (fixed-rule scheduling).
+//   - Amoeba: online admission under fixed link bandwidth — requests are
+//     handled one by one in arrival order and accepted iff the residual
+//     bandwidth can accommodate them, without considering future
+//     requests (the adaptation the paper evaluates).
+//   - EcoFlow: an economical greedy scheduler that processes requests
+//     one by one, splits flows over multiple paths to reuse purchased
+//     bandwidth, and accepts only requests whose value exceeds their
+//     marginal bandwidth cost.
+package baseline
+
+import (
+	"errors"
+
+	"metis/internal/sched"
+)
+
+// ErrNoRequests is returned for an empty instance.
+var ErrNoRequests = errors.New("baseline: instance has no requests")
+
+// MinCost serves every request on its cheapest candidate path and
+// purchases the resulting peak bandwidth. Candidate paths are ordered
+// by ascending price, so path 0 is the min-cost path.
+func MinCost(inst *sched.Instance) (*sched.Schedule, error) {
+	if inst.NumRequests() == 0 {
+		return nil, ErrNoRequests
+	}
+	s := sched.NewSchedule(inst)
+	for i := 0; i < inst.NumRequests(); i++ {
+		if err := s.Assign(i, 0); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,102 @@
+// Package chernoff implements the Chernoff-Hoeffding machinery behind
+// the paper's Tree-based Approximation Algorithm (TAA): the tail bound
+// B(m, δ), its inverse D(m, x), the scaling-factor µ selection of
+// inequality (6), and the pessimistic estimator u_root used to walk the
+// decision tree by the method of conditional probabilities.
+package chernoff
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LogB returns ln B(m, δ) where
+//
+//	B(m, δ) = [ e^δ / (1+δ)^(1+δ) ]^m,
+//
+// the Chernoff-Hoeffding bound on Pr[X > (1+δ)m] for a sum of
+// independent [0,1] variables with mean m (Theorem 5).
+func LogB(m, delta float64) float64 {
+	if m <= 0 || delta <= 0 {
+		return 0 // B = 1: the bound is vacuous
+	}
+	return m * (delta - (1+delta)*math.Log1p(delta))
+}
+
+// B returns B(m, δ). Prefer LogB for compositions: B underflows to 0
+// for large m·δ.
+func B(m, delta float64) float64 {
+	return math.Exp(LogB(m, delta))
+}
+
+// D returns δ such that B(m, D(m, x)) = x, for x in (0, 1) and m > 0
+// (the paper's D(m, x)). It solves LogB(m, δ) = ln x by bisection;
+// LogB is strictly decreasing in δ.
+func D(m, x float64) (float64, error) {
+	if m <= 0 {
+		return 0, fmt.Errorf("chernoff: D requires m > 0, got %v", m)
+	}
+	if x <= 0 || x >= 1 {
+		return 0, fmt.Errorf("chernoff: D requires x in (0, 1), got %v", x)
+	}
+	target := math.Log(x)
+
+	// Bracket: expand hi until LogB(m, hi) <= target.
+	lo, hi := 0.0, 1.0
+	for LogB(m, hi) > target {
+		hi *= 2
+		if hi > 1e18 {
+			return 0, fmt.Errorf("chernoff: D(m=%v, x=%v) out of range", m, x)
+		}
+	}
+	for iter := 0; iter < 200 && hi-lo > 1e-12*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		if LogB(m, mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// SelectMu returns the largest scaling factor µ in (0, 1) satisfying
+// inequality (6) of the paper:
+//
+//	B(µc, (1−µ)/µ) < 1 / (T·(N+1))
+//
+// where c is the minimum positive (normalized) link capacity, T the
+// number of time slots and N the number of links. Substituting
+// δ = (1−µ)/µ gives ln B = c·((1−µ) + ln µ), which is increasing in µ,
+// so the threshold is found by bisection.
+func SelectMu(c float64, slots, links int) (float64, error) {
+	if c <= 0 {
+		return 0, fmt.Errorf("chernoff: SelectMu requires positive capacity, got %v", c)
+	}
+	if slots <= 0 || links <= 0 {
+		return 0, fmt.Errorf("chernoff: SelectMu requires positive slots (%d) and links (%d)", slots, links)
+	}
+	target := -math.Log(float64(slots) * float64(links+1))
+	g := func(mu float64) float64 { return c * ((1 - mu) + math.Log(mu)) }
+
+	// g(µ) → −∞ as µ→0⁺ and g(1) = 0 > target, so a crossing exists.
+	lo, hi := 1e-12, 1.0
+	if g(lo) >= target {
+		return 0, errors.New("chernoff: no feasible scaling factor")
+	}
+	for iter := 0; iter < 200 && hi-lo > 1e-14; iter++ {
+		mid := (lo + hi) / 2
+		if g(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	// Stay strictly inside the feasible region.
+	mu := lo
+	if mu >= 1 {
+		mu = 1 - 1e-12
+	}
+	return mu, nil
+}

@@ -1,0 +1,155 @@
+package chernoff
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"metis/internal/stats"
+)
+
+func TestLogBProperties(t *testing.T) {
+	// B(m, 0) = 1 (vacuous), B decreasing in δ and in m.
+	if got := LogB(5, 0); got != 0 {
+		t.Errorf("LogB(5, 0) = %v, want 0", got)
+	}
+	if got := LogB(0, 3); got != 0 {
+		t.Errorf("LogB(0, 3) = %v, want 0", got)
+	}
+	prev := 0.0
+	for _, delta := range []float64{0.1, 0.5, 1, 2, 5} {
+		cur := LogB(4, delta)
+		if cur >= prev {
+			t.Fatalf("LogB not decreasing in δ: LogB(4, %v) = %v >= %v", delta, cur, prev)
+		}
+		prev = cur
+	}
+	if LogB(8, 1) >= LogB(2, 1) {
+		t.Error("LogB not decreasing in m")
+	}
+}
+
+func TestBKnownValue(t *testing.T) {
+	// B(1, 1) = e/4.
+	want := math.E / 4
+	if got := B(1, 1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("B(1, 1) = %v, want %v", got, want)
+	}
+}
+
+func TestDRoundTrips(t *testing.T) {
+	tests := []struct {
+		m, x float64
+	}{
+		{1, 0.5},
+		{10, 0.01},
+		{0.5, 0.9},
+		{100, 1e-6},
+		{0.01, 0.3},
+	}
+	for _, tt := range tests {
+		delta, err := D(tt.m, tt.x)
+		if err != nil {
+			t.Fatalf("D(%v, %v): %v", tt.m, tt.x, err)
+		}
+		if delta <= 0 {
+			t.Fatalf("D(%v, %v) = %v, want positive", tt.m, tt.x, delta)
+		}
+		if got := B(tt.m, delta); math.Abs(got-tt.x) > 1e-6*(1+tt.x) {
+			t.Fatalf("B(%v, D) = %v, want %v", tt.m, got, tt.x)
+		}
+	}
+}
+
+func TestDRoundTripProperty(t *testing.T) {
+	rng := stats.NewRNG(17)
+	f := func() bool {
+		m := rng.Uniform(0.01, 50)
+		x := rng.Uniform(1e-8, 0.999)
+		delta, err := D(m, x)
+		if err != nil {
+			return false
+		}
+		return math.Abs(LogB(m, delta)-math.Log(x)) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 200, Values: nil}
+	if err := quick.Check(func(struct{}) bool { return f() }, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDInvalidInputs(t *testing.T) {
+	if _, err := D(0, 0.5); err == nil {
+		t.Error("want error for m = 0")
+	}
+	if _, err := D(1, 0); err == nil {
+		t.Error("want error for x = 0")
+	}
+	if _, err := D(1, 1); err == nil {
+		t.Error("want error for x = 1")
+	}
+}
+
+func TestSelectMuSatisfiesInequality(t *testing.T) {
+	tests := []struct {
+		name  string
+		c     float64
+		slots int
+		links int
+	}{
+		{name: "paper-scale B4", c: 20, slots: 12, links: 38},
+		{name: "small net", c: 2, slots: 12, links: 14},
+		{name: "tight capacity", c: 1, slots: 4, links: 4},
+		{name: "large capacity", c: 200, slots: 12, links: 38},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			mu, err := SelectMu(tt.c, tt.slots, tt.links)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mu <= 0 || mu >= 1 {
+				t.Fatalf("µ = %v outside (0, 1)", mu)
+			}
+			// Inequality (6): B(µc, (1−µ)/µ) < 1/(T(N+1)).
+			lhs := LogB(mu*tt.c, (1-mu)/mu)
+			rhs := -math.Log(float64(tt.slots) * float64(tt.links+1))
+			if lhs >= rhs {
+				t.Fatalf("µ = %v violates (6): %v >= %v", mu, lhs, rhs)
+			}
+			// Maximality: µ+1% must violate (unless already ≈1).
+			bigger := mu * 1.01
+			if bigger < 1 {
+				if LogB(bigger*tt.c, (1-bigger)/bigger) < rhs {
+					t.Fatalf("µ = %v not maximal: %v also satisfies (6)", mu, bigger)
+				}
+			}
+		})
+	}
+}
+
+func TestSelectMuGrowsWithCapacity(t *testing.T) {
+	mu1, err := SelectMu(1, 12, 38)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu2, err := SelectMu(50, 12, 38)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu2 <= mu1 {
+		t.Fatalf("µ should grow with capacity: µ(1) = %v, µ(50) = %v", mu1, mu2)
+	}
+}
+
+func TestSelectMuInvalid(t *testing.T) {
+	if _, err := SelectMu(0, 12, 38); err == nil {
+		t.Error("want error for zero capacity")
+	}
+	if _, err := SelectMu(5, 0, 38); err == nil {
+		t.Error("want error for zero slots")
+	}
+	if _, err := SelectMu(5, 12, 0); err == nil {
+		t.Error("want error for zero links")
+	}
+}

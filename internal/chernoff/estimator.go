@@ -1,0 +1,305 @@
+package chernoff
+
+import (
+	"fmt"
+	"math"
+
+	"metis/internal/sched"
+)
+
+// Decline is the estimator option index for declining a request (the
+// paper's virtual path P_{i, L_i+1}).
+const Decline = -1
+
+// Estimator is the pessimistic estimator u_root of the paper's Section
+// IV: a sum of one Chernoff lower-tail term for the service revenue and
+// one upper-tail term per (link, slot) capacity constraint. Walking the
+// decision tree while keeping u_root minimal implements the method of
+// conditional probabilities.
+//
+// All rates, values and capacities are normalized to [0, 1] internally
+// (dividing by the max rate / max value), matching the paper's setup.
+type Estimator struct {
+	inst *sched.Instance
+
+	mu     float64
+	t0     float64 // revenue tilt: ln(1 + D(I_S, 1/(N+1)))
+	lambda float64 // capacity tilt: ln(1/µ) = ln(1 + (1−µ)/µ)
+
+	vmax, rmax float64
+	is         float64 // I_S = µ·(normalized relaxed revenue)
+	ib         float64 // I_B = I_S·(1 − D(I_S, 1/(N+1)))
+
+	// u[0] is the revenue term (or 0 when disabled); u[1:] are the
+	// capacity terms, one per (link, slot) pair with potential load.
+	u          []float64
+	hasRevenue bool
+
+	// Per-request sparse incidence: touched[i] lists the estimator
+	// indices whose factor for request i differs from 1 while i is
+	// undecided; undec[i] holds those factors.
+	touched [][]int
+	undec   [][]float64
+
+	// estLink/estSlot identify capacity estimators (index ≥ 1).
+	estLink, estSlot []int
+
+	// expRate[i] = e^{λ·r'_i}; expVal[i] = e^{−t0·v'_i}.
+	expRate, expVal []float64
+
+	// accept[i] = µ·Σ_j x̂[i][j], the total acceptance probability.
+	accept [][]float64 // accept[i][j] = µ·x̂[i][j]
+}
+
+// NewEstimator builds the pessimistic estimator for inst under the
+// given capacities (caps[e][t], possibly time-varying) and the relaxed
+// BL-SPM routing x̂ (rows may sum to less than 1), scaled by µ.
+func NewEstimator(inst *sched.Instance, caps [][]float64, xhat [][]float64, mu float64) (*Estimator, error) {
+	if len(caps) != inst.Network().NumLinks() {
+		return nil, fmt.Errorf("chernoff: capacity matrix has %d links, want %d", len(caps), inst.Network().NumLinks())
+	}
+	for e := range caps {
+		if len(caps[e]) != inst.Slots() {
+			return nil, fmt.Errorf("chernoff: capacity matrix link %d has %d slots, want %d", e, len(caps[e]), inst.Slots())
+		}
+	}
+	if len(xhat) != inst.NumRequests() {
+		return nil, fmt.Errorf("chernoff: x̂ covers %d requests, instance has %d", len(xhat), inst.NumRequests())
+	}
+	if mu <= 0 || mu >= 1 {
+		return nil, fmt.Errorf("chernoff: µ = %v outside (0, 1)", mu)
+	}
+
+	e := &Estimator{inst: inst, mu: mu, lambda: math.Log(1 / mu)}
+	n := inst.NumRequests()
+
+	for i := 0; i < n; i++ {
+		r := inst.Request(i)
+		if r.Rate > e.rmax {
+			e.rmax = r.Rate
+		}
+		if r.Value > e.vmax {
+			e.vmax = r.Value
+		}
+	}
+	if e.rmax <= 0 {
+		return nil, fmt.Errorf("chernoff: no positive request rate")
+	}
+
+	// Scaled acceptance probabilities and the scaled expected revenue.
+	e.accept = make([][]float64, n)
+	var isNorm float64
+	for i := 0; i < n; i++ {
+		if len(xhat[i]) != inst.NumPaths(i) {
+			return nil, fmt.Errorf("chernoff: x̂[%d] has %d entries, want %d", i, len(xhat[i]), inst.NumPaths(i))
+		}
+		e.accept[i] = make([]float64, len(xhat[i]))
+		var rowSum float64
+		for j, v := range xhat[i] {
+			if v < 0 {
+				v = 0
+			}
+			e.accept[i][j] = mu * v
+			rowSum += v
+		}
+		if rowSum > 1+1e-6 {
+			return nil, fmt.Errorf("chernoff: x̂[%d] sums to %v > 1", i, rowSum)
+		}
+		if e.vmax > 0 {
+			isNorm += mu * rowSum * inst.Request(i).Value / e.vmax
+		}
+	}
+	e.is = isNorm
+
+	// Revenue tilt. Skipped when the scaled expected revenue vanishes —
+	// there is nothing to guarantee.
+	if e.is > 1e-12 {
+		delta, err := D(e.is, 1/float64(inst.Network().NumLinks()+1))
+		if err != nil {
+			return nil, err
+		}
+		e.t0 = math.Log1p(delta)
+		// I_B below zero is a vacuous target (any schedule clears it);
+		// clamping keeps the estimator a valid, finite upper bound.
+		e.ib = math.Max(0, e.is*(1-delta))
+		e.hasRevenue = true
+	}
+
+	e.expRate = make([]float64, n)
+	e.expVal = make([]float64, n)
+	for i := 0; i < n; i++ {
+		r := inst.Request(i)
+		e.expRate[i] = math.Exp(e.lambda * r.Rate / e.rmax)
+		if e.vmax > 0 {
+			e.expVal[i] = math.Exp(-e.t0 * r.Value / e.vmax)
+		} else {
+			e.expVal[i] = 1
+		}
+	}
+
+	e.build(caps)
+	return e, nil
+}
+
+// build enumerates capacity estimators and the per-request incidence,
+// then initializes every u term with all requests undecided.
+func (e *Estimator) build(caps [][]float64) {
+	inst := e.inst
+	n := inst.NumRequests()
+	slots := inst.Slots()
+	links := inst.Network().NumLinks()
+
+	// usage[e][t] = per-request scaled probability of loading (e, t).
+	type usage struct {
+		req  []int
+		prob []float64 // µ·Σ_{j uses link} x̂[i][j]
+	}
+	idx := make([]int, links*slots) // (link, slot) → estimator index, 0 = none
+	var est []usage
+	e.estLink = []int{-1} // index 0 is the revenue term
+	e.estSlot = []int{-1}
+
+	for i := 0; i < n; i++ {
+		r := inst.Request(i)
+		// Per link, the scaled probability that i's chosen path uses it.
+		perLink := make(map[int]float64)
+		for j := 0; j < inst.NumPaths(i); j++ {
+			p := e.accept[i][j]
+			if p == 0 {
+				continue
+			}
+			for _, l := range inst.Path(i, j).Links {
+				perLink[l] += p
+			}
+		}
+		for l, prob := range perLink {
+			for t := r.Start; t <= r.End; t++ {
+				key := l*slots + t
+				id := idx[key]
+				if id == 0 {
+					est = append(est, usage{})
+					id = len(est) // estimator index = 1 + position
+					idx[key] = id
+					e.estLink = append(e.estLink, l)
+					e.estSlot = append(e.estSlot, t)
+				}
+				u := &est[id-1]
+				u.req = append(u.req, i)
+				u.prob = append(u.prob, prob)
+			}
+		}
+	}
+
+	// Initialize u values and the per-request incidence lists.
+	e.u = make([]float64, 1+len(est))
+	e.touched = make([][]int, n)
+	e.undec = make([][]float64, n)
+
+	if e.hasRevenue {
+		u := math.Exp(e.t0 * e.ib)
+		for i := 0; i < n; i++ {
+			f := e.revUndecided(i)
+			u *= f
+			if f != 1 {
+				e.touched[i] = append(e.touched[i], 0)
+				e.undec[i] = append(e.undec[i], f)
+			}
+		}
+		e.u[0] = u
+	}
+
+	for k, ug := range est {
+		l, t := e.estLink[k+1], e.estSlot[k+1]
+		cNorm := caps[l][t] / e.rmax
+		u := math.Exp(-e.lambda * cNorm)
+		for pos, i := range ug.req {
+			// Undecided factor: 1 + p·(e^{λr'} − 1).
+			f := 1 + ug.prob[pos]*(e.expRate[i]-1)
+			u *= f
+			e.touched[i] = append(e.touched[i], k+1)
+			e.undec[i] = append(e.undec[i], f)
+		}
+		e.u[k+1] = u
+	}
+}
+
+// revUndecided returns request i's undecided factor in the revenue
+// term: E[e^{−t0·v'_i·X_i}] = A_i·e^{−t0·v'_i} + (1 − A_i).
+func (e *Estimator) revUndecided(i int) float64 {
+	var a float64
+	for _, p := range e.accept[i] {
+		a += p
+	}
+	return a*e.expVal[i] + (1 - a)
+}
+
+// URoot returns the current value of the pessimistic estimator.
+func (e *Estimator) URoot() float64 {
+	var s float64
+	for _, v := range e.u {
+		s += v
+	}
+	return s
+}
+
+// IS returns the scaled normalized expected revenue I_S = µ·Î'.
+func (e *Estimator) IS() float64 { return e.is }
+
+// IB returns the revenue target I_B = I_S·(1 − D(I_S, 1/(N+1))) in
+// normalized units.
+func (e *Estimator) IB() float64 { return e.ib }
+
+// IBValue returns I_B converted back to un-normalized revenue units.
+func (e *Estimator) IBValue() float64 { return e.ib * e.vmax }
+
+// Mu returns the scaling factor µ.
+func (e *Estimator) Mu() float64 { return e.mu }
+
+// CandidateU returns the value u_root would take if request i were
+// fixed to the given option (a path index, or Decline) — the
+// conditional expectation one level down the decision tree.
+func (e *Estimator) CandidateU(i, option int) float64 {
+	u := e.URoot()
+	for pos, m := range e.touched[i] {
+		ratio := e.decidedFactor(i, option, m) / e.undec[i][pos]
+		u += e.u[m] * (ratio - 1)
+	}
+	return u
+}
+
+// Decide permanently fixes request i to the given option and updates
+// every affected estimator term.
+func (e *Estimator) Decide(i, option int) {
+	for pos, m := range e.touched[i] {
+		e.u[m] *= e.decidedFactor(i, option, m) / e.undec[i][pos]
+	}
+	// Once decided, the request's factors are burned into u; clear the
+	// incidence so a second Decide cannot double-apply.
+	e.touched[i] = nil
+	e.undec[i] = nil
+}
+
+// decidedFactor returns request i's factor in estimator m when fixed to
+// option (path index or Decline).
+func (e *Estimator) decidedFactor(i, option, m int) float64 {
+	if m == 0 {
+		if option == Decline {
+			return 1
+		}
+		return e.expVal[i]
+	}
+	if option == Decline {
+		return 1
+	}
+	l, t := e.estLink[m], e.estSlot[m]
+	r := e.inst.Request(i)
+	if !r.ActiveAt(t) {
+		return 1
+	}
+	for _, pl := range e.inst.Path(i, option).Links {
+		if pl == l {
+			return e.expRate[i]
+		}
+	}
+	return 1
+}

@@ -1,0 +1,421 @@
+// Package core implements Metis, the paper's framework for service
+// profit maximization in geo-distributed clouds. Metis alternates two
+// approximation algorithms for up to θ rounds:
+//
+//  1. MAA (RL-SPM Solver): given the currently accepted request set,
+//     find a routing that minimizes bandwidth cost.
+//  2. BW Limiter (rule τ): shrink the capacity of the link with the
+//     minimum average utilization in MAA's schedule.
+//  3. TAA (BL-SPM Solver): under the shrunk capacities, maximize
+//     revenue, possibly declining requests.
+//
+// An SP Updater records the most profitable schedule seen across all
+// rounds; the request set passed to the next round is TAA's accepted
+// set, so the loop converges in at most K rounds.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"metis/internal/lp"
+	"metis/internal/maa"
+	"metis/internal/sched"
+	"metis/internal/stats"
+	"metis/internal/taa"
+)
+
+// Default parameter values.
+const (
+	// DefaultTheta is the default number of alternation rounds θ.
+	DefaultTheta = 8
+	// DefaultTauStep is the default number of bandwidth units the BW
+	// Limiter removes from the least-utilized link per round.
+	DefaultTauStep = 1
+)
+
+// Config parameterizes a Metis run.
+type Config struct {
+	// Theta is the maximum number of MAA/TAA alternation rounds
+	// (default DefaultTheta). The loop also stops when TAA declines
+	// every request or a round leaves the accepted set unchanged with
+	// no capacity left to shrink.
+	Theta int
+	// TauStep is the τ rule's shrink amount in bandwidth units
+	// (default DefaultTauStep). When TauFrac is set, the shrink amount
+	// is max(TauStep, ceil(TauFrac·units)) of the target link.
+	TauStep int
+	// TauFrac optionally makes the τ rule proportional: the BW Limiter
+	// removes this fraction of the target link's current units per
+	// round (0 disables).
+	TauFrac float64
+	// MAARounds is the number of randomized roundings per MAA call
+	// (default 1; the best-of-R rounding is an extension knob).
+	MAARounds int
+	// LP configures all relaxation solves.
+	LP lp.Options
+	// Seed drives MAA's randomized rounding.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Theta <= 0 {
+		c.Theta = DefaultTheta
+	}
+	if c.TauStep <= 0 {
+		c.TauStep = DefaultTauStep
+	}
+	if c.MAARounds <= 0 {
+		c.MAARounds = 1
+	}
+	return c
+}
+
+// RoundStats records one alternation round for analysis and ablations.
+type RoundStats struct {
+	// Round is the 1-based round number.
+	Round int
+	// Accepted is the size of the request set entering the round.
+	Accepted int
+	// MAAProfit is the profit of the round's MAA (serve-everything)
+	// schedule.
+	MAAProfit float64
+	// TAAProfit is the profit of the round's TAA schedule.
+	TAAProfit float64
+	// TAAAccepted is the number of requests TAA kept.
+	TAAAccepted int
+	// Elapsed is the wall time the round took.
+	Elapsed time.Duration
+}
+
+// Result is the output of a Metis run.
+type Result struct {
+	// Schedule is the most profitable schedule found. It is defined on
+	// the original instance; declined requests carry sched.Declined.
+	Schedule *sched.Schedule
+	// Profit, Revenue and Cost summarize Schedule.
+	Profit, Revenue, Cost float64
+	// Charged is the integer bandwidth purchase backing Schedule.
+	Charged []int
+	// Rounds is the per-round history.
+	Rounds []RoundStats
+	// Elapsed is the total wall time.
+	Elapsed time.Duration
+}
+
+// ErrNoRequests is returned for an empty instance.
+var ErrNoRequests = errors.New("core: instance has no requests")
+
+// Solve runs Metis on inst.
+func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if inst.NumRequests() == 0 {
+		return nil, ErrNoRequests
+	}
+	start := time.Now()
+	rng := stats.NewRNG(cfg.Seed)
+
+	// SP Updater state: profit starts at zero (accept nothing, buy
+	// nothing); any schedule must beat it to be recorded. A cheap
+	// bottom-up greedy seeds the updater so that sparse workloads —
+	// where the accept-everything starting point is deeply unprofitable
+	// and θ rounds of alternation cannot reach the profitable core —
+	// still produce a sensible schedule.
+	best := sched.NewSchedule(inst)
+	bestProfit := 0.0
+	greedySeed := greedyProfitCandidate(inst)
+	if p := pruneUnprofitable(greedySeed); p > bestProfit {
+		best, bestProfit = greedySeed, p
+	}
+
+	// Indices (into inst) of the currently accepted request set.
+	accepted := make([]int, inst.NumRequests())
+	for i := range accepted {
+		accepted[i] = i
+	}
+
+	var rounds []RoundStats
+	stall := 0 // consecutive rounds in which TAA declined nothing
+	for round := 1; round <= cfg.Theta && len(accepted) > 0; round++ {
+		roundStart := time.Now()
+		sub, err := inst.Subset(accepted)
+		if err != nil {
+			return nil, fmt.Errorf("core: round %d: %w", round, err)
+		}
+
+		// RL-SPM Solver.
+		maaRes, err := maa.Solve(sub, maa.Options{LP: cfg.LP, Rounds: cfg.MAARounds, RNG: rng})
+		if err != nil {
+			return nil, fmt.Errorf("core: round %d: %w", round, err)
+		}
+		maaSched := liftSchedule(inst, accepted, maaRes.Schedule)
+		maaProfit := pruneUnprofitable(maaSched)
+		if maaProfit > bestProfit {
+			best, bestProfit = maaSched, maaProfit
+		}
+
+		// BW Limiter (rule τ): shrink the least-utilized charged link.
+		// While rounds stall (TAA declines nothing, so the next round
+		// would repeat), the shrink escalates exponentially — the
+		// alternation needs accumulated scarcity before BL-SPM starts
+		// trading requests for bandwidth.
+		caps := maaRes.Charged
+		step := cfg.TauStep << uint(min(stall, 20))
+		shrinkLeastUtilized(maaRes.Schedule, caps, step, cfg.TauFrac)
+
+		// BL-SPM Solver.
+		taaRes, err := taa.Solve(sub, caps, taa.Options{LP: cfg.LP})
+		if err != nil {
+			return nil, fmt.Errorf("core: round %d: %w", round, err)
+		}
+		taaSched := liftSchedule(inst, accepted, taaRes.Schedule)
+		taaProfit := pruneUnprofitable(taaSched)
+		if taaProfit > bestProfit {
+			best, bestProfit = taaSched, taaProfit
+		}
+
+		// The next round's request set is TAA's acceptance decision
+		// after pruning (taaSched lives on the original instance).
+		next := taaSched.Accepted()
+		rounds = append(rounds, RoundStats{
+			Round:       round,
+			Accepted:    len(accepted),
+			MAAProfit:   maaProfit,
+			TAAProfit:   taaProfit,
+			TAAAccepted: len(next),
+			Elapsed:     time.Since(roundStart),
+		})
+		if len(next) == len(accepted) {
+			stall++
+		} else {
+			stall = 0
+		}
+		accepted = next
+	}
+
+	return &Result{
+		Schedule: best,
+		Profit:   bestProfit,
+		Revenue:  best.Revenue(),
+		Cost:     best.Cost(),
+		Charged:  best.ChargedBandwidth(),
+		Rounds:   rounds,
+		Elapsed:  time.Since(start),
+	}, nil
+}
+
+// liftSchedule maps a schedule over a Subset instance back onto the
+// original instance: sub request k corresponds to inst request
+// mapping[k], and candidate path indices coincide by construction.
+func liftSchedule(inst *sched.Instance, mapping []int, sub *sched.Schedule) *sched.Schedule {
+	s := sched.NewSchedule(inst)
+	for k, orig := range mapping {
+		if c := sub.Choice(k); c != sched.Declined {
+			// Assign cannot fail: path sets are shared with the subset.
+			if err := s.Assign(orig, c); err != nil {
+				panic("core: lift schedule: " + err.Error())
+			}
+		}
+	}
+	return s
+}
+
+// greedyProfitCandidate builds a bottom-up schedule: requests are
+// accepted on the candidate path with the lowest marginal purchase
+// cost iff their value exceeds that marginal cost, sweeping repeatedly
+// so that headroom created by earlier acceptances admits later
+// requests. Two orderings are tried — descending value (big buyers
+// create reusable pools) and descending markup (most profitable
+// first) — and the better schedule wins.
+func greedyProfitCandidate(inst *sched.Instance) *sched.Schedule {
+	slots := inst.Slots()
+	byValue := make([]int, inst.NumRequests())
+	byMarkup := make([]int, inst.NumRequests())
+	markup := make([]float64, inst.NumRequests())
+	for i := range byValue {
+		byValue[i] = i
+		byMarkup[i] = i
+		r := inst.Request(i)
+		amortized := r.Rate * float64(r.Duration()) / float64(slots) * inst.Path(i, 0).Price
+		markup[i] = r.Value / amortized
+	}
+	sort.SliceStable(byValue, func(a, b int) bool {
+		return inst.Request(byValue[a]).Value > inst.Request(byValue[b]).Value
+	})
+	sort.SliceStable(byMarkup, func(a, b int) bool { return markup[byMarkup[a]] > markup[byMarkup[b]] })
+
+	best := greedySweep(inst, byValue)
+	if alt := greedySweep(inst, byMarkup); alt.Profit() > best.Profit() {
+		best = alt
+	}
+	return best
+}
+
+// greedySweep runs marginal-cost admission over the given order until a
+// fixpoint (bounded sweeps).
+func greedySweep(inst *sched.Instance, order []int) *sched.Schedule {
+	net := inst.Network()
+	slots := inst.Slots()
+	loads := make([][]float64, net.NumLinks())
+	for e := range loads {
+		loads[e] = make([]float64, slots)
+	}
+	charged := make([]int, net.NumLinks())
+	s := sched.NewSchedule(inst)
+
+	for pass := 0; pass < 4; pass++ {
+		added := false
+		for _, i := range order {
+			if s.Choice(i) != sched.Declined {
+				continue
+			}
+			r := inst.Request(i)
+			bestPath, bestCost := -1, math.Inf(1)
+			for j := 0; j < inst.NumPaths(i); j++ {
+				var cost float64
+				for _, e := range inst.Path(i, j).Links {
+					var peak float64
+					for t := r.Start; t <= r.End; t++ {
+						if v := loads[e][t] + r.Rate; v > peak {
+							peak = v
+						}
+					}
+					if c := sched.CeilUnits(peak); c > charged[e] {
+						cost += float64(c-charged[e]) * net.Link(e).Price
+					}
+				}
+				if cost < bestCost {
+					bestPath, bestCost = j, cost
+				}
+			}
+			if bestPath == -1 || r.Value <= bestCost {
+				continue
+			}
+			for _, e := range inst.Path(i, bestPath).Links {
+				var peak float64
+				for t := r.Start; t <= r.End; t++ {
+					loads[e][t] += r.Rate
+					if loads[e][t] > peak {
+						peak = loads[e][t]
+					}
+				}
+				if c := sched.CeilUnits(peak); c > charged[e] {
+					charged[e] = c
+				}
+			}
+			if err := s.Assign(i, bestPath); err != nil {
+				panic("core: greedy candidate assign: " + err.Error())
+			}
+			added = true
+		}
+		if !added {
+			break
+		}
+	}
+	return s
+}
+
+// pruneUnprofitable is the SP Updater's local-improvement step: it
+// repeatedly declines any served request whose value is below the
+// bandwidth cost its removal frees up (whole charged units only — the
+// integer billing granularity is exactly why single removals rarely
+// pay, and why candidates are retried until a fixpoint). Requests are
+// tried in ascending value order. It returns the schedule's profit
+// after pruning.
+func pruneUnprofitable(s *sched.Schedule) float64 {
+	inst := s.Instance()
+	net := inst.Network()
+	slots := inst.Slots()
+	loads := s.Loads()
+
+	order := s.Accepted()
+	sort.Slice(order, func(a, b int) bool {
+		return inst.Request(order[a]).Value < inst.Request(order[b]).Value
+	})
+
+	for pass := 0; pass < 16; pass++ {
+		improved := false
+		for _, i := range order {
+			c := s.Choice(i)
+			if c == sched.Declined {
+				continue
+			}
+			r := inst.Request(i)
+			// Cost saved by removing i: per path link, units between
+			// ceil(peak) and ceil(peak without i).
+			var saved float64
+			for _, e := range inst.Path(i, c).Links {
+				var peak, peakWithout float64
+				for t := 0; t < slots; t++ {
+					v := loads[e][t]
+					if v > peak {
+						peak = v
+					}
+					if r.ActiveAt(t) {
+						v -= r.Rate
+					}
+					if v > peakWithout {
+						peakWithout = v
+					}
+				}
+				units := sched.CeilUnits(peak) - sched.CeilUnits(peakWithout)
+				if units > 0 {
+					saved += float64(units) * net.Link(e).Price
+				}
+			}
+			if saved <= r.Value {
+				continue
+			}
+			s.Decline(i)
+			for _, e := range inst.Path(i, c).Links {
+				for t := r.Start; t <= r.End; t++ {
+					loads[e][t] -= r.Rate
+				}
+			}
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+	return s.Profit()
+}
+
+// shrinkLeastUtilized implements the τ rule: reduce the capacity of the
+// link with the minimum average utilization among links with positive
+// capacity, by max(step, ceil(frac·units)) units. Ties break toward the
+// lower link id.
+func shrinkLeastUtilized(s *sched.Schedule, caps []int, step int, frac float64) {
+	loads := s.Loads()
+	slots := s.Instance().Slots()
+	target := -1
+	bestUtil := math.Inf(1)
+	for e, c := range caps {
+		if c <= 0 {
+			continue
+		}
+		var total float64
+		for _, v := range loads[e] {
+			total += v
+		}
+		util := total / float64(slots) / float64(c)
+		if util < bestUtil {
+			bestUtil, target = util, e
+		}
+	}
+	if target < 0 {
+		return
+	}
+	if frac > 0 {
+		if byFrac := int(math.Ceil(frac * float64(caps[target]))); byFrac > step {
+			step = byFrac
+		}
+	}
+	caps[target] -= step
+	if caps[target] < 0 {
+		caps[target] = 0
+	}
+}

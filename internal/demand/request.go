@@ -1,0 +1,78 @@
+// Package demand models user bandwidth-reservation requests and the
+// synthetic workload generator used by the evaluation (Poisson arrivals,
+// uniform rates, random slots and endpoints, price-linked values).
+package demand
+
+import (
+	"fmt"
+
+	"metis/internal/wan"
+)
+
+// Request is the paper's six-tuple {s, d, ts, td, r, v}: reserve Rate
+// bandwidth units from DC Src to DC Dst on every slot in [Start, End]
+// (inclusive, 0-based) in exchange for Value if served.
+type Request struct {
+	ID    int     `json:"id"`
+	Src   int     `json:"src"`
+	Dst   int     `json:"dst"`
+	Start int     `json:"start"`
+	End   int     `json:"end"`
+	Rate  float64 `json:"rate"`  // bandwidth units (1 unit = 10 Gbps)
+	Value float64 `json:"value"` // revenue if the request is served
+}
+
+// ActiveAt reports whether the request occupies bandwidth at slot t.
+func (r Request) ActiveAt(t int) bool { return t >= r.Start && t <= r.End }
+
+// Duration returns the number of slots the request occupies.
+func (r Request) Duration() int { return r.End - r.Start + 1 }
+
+// Validate checks the request against a network and billing-cycle length.
+func (r Request) Validate(net *wan.Network, slots int) error {
+	switch {
+	case r.Src < 0 || r.Src >= net.NumDCs():
+		return fmt.Errorf("demand: request %d: src %d out of range", r.ID, r.Src)
+	case r.Dst < 0 || r.Dst >= net.NumDCs():
+		return fmt.Errorf("demand: request %d: dst %d out of range", r.ID, r.Dst)
+	case r.Src == r.Dst:
+		return fmt.Errorf("demand: request %d: src == dst == %d", r.ID, r.Src)
+	case r.Start < 0 || r.End >= slots || r.Start > r.End:
+		return fmt.Errorf("demand: request %d: slot window [%d, %d] invalid for %d slots", r.ID, r.Start, r.End, slots)
+	case r.Rate <= 0:
+		return fmt.Errorf("demand: request %d: non-positive rate %v", r.ID, r.Rate)
+	case r.Value < 0:
+		return fmt.Errorf("demand: request %d: negative value %v", r.ID, r.Value)
+	}
+	return nil
+}
+
+// ValidateAll validates every request in rs.
+func ValidateAll(rs []Request, net *wan.Network, slots int) error {
+	for _, r := range rs {
+		if err := r.Validate(net, slots); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalValue returns the sum of request values.
+func TotalValue(rs []Request) float64 {
+	var v float64
+	for _, r := range rs {
+		v += r.Value
+	}
+	return v
+}
+
+// MaxRate returns the largest rate among rs (0 for an empty slice).
+func MaxRate(rs []Request) float64 {
+	var m float64
+	for _, r := range rs {
+		if r.Rate > m {
+			m = r.Rate
+		}
+	}
+	return m
+}

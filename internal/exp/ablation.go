@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"strconv"
+
+	"metis/internal/core"
+	"metis/internal/maa"
+	"metis/internal/stats"
+	"metis/internal/wan"
+)
+
+// ablationK is the fixed workload size used by the ablation studies.
+// The θ and τ studies run on SUB-B4 at K=400, where the alternation
+// (not the SP Updater's greedy seed) determines the outcome; the
+// path-set and rounding studies run on B4 where routing diversity
+// matters.
+const ablationK = 200
+
+// ablationKSub is the SUB-B4 workload size for the θ/τ studies.
+const ablationKSub = 400
+
+// AblationTheta sweeps the number of alternation rounds θ: the paper's
+// easy-to-control knob trading profit for computation time.
+func AblationTheta(cfg Config) (*Figure, error) {
+	fig := &Figure{
+		ID: "ablation-theta", Title: "Metis profit and time vs θ (SUB-B4, K=400)", XLabel: "theta",
+		Series: []string{"profit", "accepted", "time_s"},
+	}
+	inst, err := buildInstance(cfg, wan.SubB4(), ablationKSub)
+	if err != nil {
+		return nil, err
+	}
+	for _, theta := range []int{1, 2, 4, 8, 16} {
+		res, err := core.Solve(inst, core.Config{
+			Theta: theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
+			LP: cfg.LP, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fig.AddRow(strconv.Itoa(theta), res.Profit, float64(res.Schedule.NumAccepted()), res.Elapsed.Seconds())
+	}
+	return fig, nil
+}
+
+// AblationTau sweeps the BW Limiter's shrink rule τ: absolute steps and
+// proportional fractions.
+func AblationTau(cfg Config) (*Figure, error) {
+	fig := &Figure{
+		ID: "ablation-tau", Title: "Metis profit vs τ shrink rule (SUB-B4, K=400)", XLabel: "tau",
+		Series: []string{"profit", "accepted"},
+	}
+	inst, err := buildInstance(cfg, wan.SubB4(), ablationKSub)
+	if err != nil {
+		return nil, err
+	}
+	type rule struct {
+		name string
+		step int
+		frac float64
+	}
+	rules := []rule{
+		{name: "step=1", step: 1},
+		{name: "step=2", step: 2},
+		{name: "frac=0.25", step: 1, frac: 0.25},
+		{name: "frac=0.5", step: 1, frac: 0.5},
+	}
+	for _, r := range rules {
+		res, err := core.Solve(inst, core.Config{
+			Theta: cfg.Theta, TauStep: r.step, TauFrac: r.frac, MAARounds: cfg.MAARounds,
+			LP: cfg.LP, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fig.AddRow(r.name, res.Profit, float64(res.Schedule.NumAccepted()))
+	}
+	return fig, nil
+}
+
+// AblationPaths sweeps the candidate path-set size k (Yen's k cheapest
+// paths): routing flexibility against LP size.
+func AblationPaths(cfg Config) (*Figure, error) {
+	fig := &Figure{
+		ID: "ablation-paths", Title: "Metis profit vs candidate paths per request (B4, K=200)", XLabel: "paths",
+		Series: []string{"profit", "cost", "time_s"},
+	}
+	for _, k := range []int{1, 2, 3, 5} {
+		sub := cfg
+		sub.PathsPerRequest = k
+		inst, err := buildInstance(sub, wan.B4(), ablationK)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Solve(inst, core.Config{
+			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
+			LP: cfg.LP, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fig.AddRow(strconv.Itoa(k), res.Profit, res.Cost, res.Elapsed.Seconds())
+	}
+	return fig, nil
+}
+
+// AblationRounding sweeps MAA's best-of-R randomized rounding: variance
+// reduction against rounding time.
+func AblationRounding(cfg Config) (*Figure, error) {
+	fig := &Figure{
+		ID: "ablation-rounding", Title: "MAA cost vs rounding repeats (B4, K=200)", XLabel: "rounds",
+		Series: []string{"cost", "cost/LP"},
+	}
+	inst, err := buildInstance(cfg, wan.B4(), ablationK)
+	if err != nil {
+		return nil, err
+	}
+	for _, rounds := range []int{1, 5, 20, 100} {
+		res, err := maa.Solve(inst, maa.Options{LP: cfg.LP, Rounds: rounds, RNG: stats.NewRNG(cfg.Seed)})
+		if err != nil {
+			return nil, err
+		}
+		fig.AddRow(strconv.Itoa(rounds), res.Cost, res.Cost/res.Relaxed.Cost)
+	}
+	return fig, nil
+}

@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"strconv"
+
+	"metis/internal/core"
+	"metis/internal/sched"
+	"metis/internal/sim"
+	"metis/internal/taa"
+	"metis/internal/wan"
+)
+
+// ExtensionMultiCycle regenerates the multi-cycle lifecycle experiment
+// (beyond the paper): six billing cycles of demand growing 15% per
+// cycle on SUB-B4, scheduled per cycle by each scheduler; series report
+// cumulative profit after each cycle.
+func ExtensionMultiCycle(cfg Config) (*Figure, error) {
+	fig := &Figure{
+		ID: "ext-multicycle", Title: "Cumulative profit across billing cycles (SUB-B4, +15%/cycle)", XLabel: "cycle",
+		Series: []string{"Metis", "EcoFlow", "Accept-all", "Forecast-online"},
+	}
+	simCfg := sim.Config{
+		Net:          wan.SubB4(),
+		Cycles:       6,
+		BaseRequests: 120,
+		Growth:       0.15,
+		Slots:        cfg.Slots,
+		Seed:         cfg.Seed,
+	}
+	schedulers := []sim.Scheduler{
+		sim.MetisScheduler{Cfg: core.Config{Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds, LP: cfg.LP}},
+		sim.EcoFlowScheduler{},
+		sim.AcceptAllScheduler{Rounds: cfg.MAARounds},
+		&sim.ForecastOnlineScheduler{},
+	}
+	results := make([]*sim.Result, len(schedulers))
+	for i, sch := range schedulers {
+		res, err := sim.Run(simCfg, sch)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+	}
+	cum := make([]float64, len(schedulers))
+	for c := 0; c < simCfg.Cycles; c++ {
+		for i, res := range results {
+			cum[i] += res.Cycles[c].Profit
+		}
+		fig.AddRow(strconv.Itoa(c), cum[0], cum[1], cum[2], cum[3])
+	}
+	return fig, nil
+}
+
+// ExtensionResilience regenerates the link-failure experiment (beyond
+// the paper): Metis schedules a cycle; then, for every link in turn,
+// the link fails, affected requests are re-admitted by TAA onto the
+// *already-purchased* spare capacity of surviving links (no new
+// purchase mid-cycle), and the profit retention is measured. Series
+// report the retention statistics over all single-link failures.
+func ExtensionResilience(cfg Config) (*Figure, error) {
+	fig := &Figure{
+		ID: "ext-resilience", Title: "Profit retention under single-link failure (SUB-B4)", XLabel: "K",
+		Series: []string{"avg retention", "min retention", "avg affected", "avg recovered"},
+	}
+	for _, k := range cfg.Fig3Ks {
+		inst, err := buildInstance(cfg, wan.SubB4(), k)
+		if err != nil {
+			return nil, err
+		}
+		metis, err := core.Solve(inst, core.Config{
+			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
+			LP: cfg.LP, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		base := metis.Profit
+		if base <= 0 {
+			fig.AddRow(strconv.Itoa(k), 1, 1, 0, 0)
+			continue
+		}
+
+		var (
+			sumRet, minRet         = 0.0, 1.0
+			sumAffected, sumRecovd = 0.0, 0.0
+			links                  = inst.Network().NumLinks()
+		)
+		for fail := 0; fail < links; fail++ {
+			ret, affected, recovered, err := failAndRecover(inst, metis, fail)
+			if err != nil {
+				return nil, err
+			}
+			sumRet += ret
+			if ret < minRet {
+				minRet = ret
+			}
+			sumAffected += float64(affected)
+			sumRecovd += float64(recovered)
+		}
+		n := float64(links)
+		fig.AddRow(strconv.Itoa(k), sumRet/n, minRet, sumAffected/n, sumRecovd/n)
+	}
+	return fig, nil
+}
+
+// failAndRecover fails one link of a solved schedule, re-admits the
+// affected requests via TAA on the surviving spare capacity, and
+// returns the profit retention plus affected/recovered counts. The
+// original bandwidth purchase is sunk cost.
+func failAndRecover(inst *sched.Instance, metis *core.Result, fail int) (retention float64, affected, recovered int, err error) {
+	s := metis.Schedule
+	slots := inst.Slots()
+
+	// Split accepted requests into unaffected and affected.
+	var affectedIdx []int
+	surviving := sched.NewSchedule(inst)
+	for _, i := range s.Accepted() {
+		uses := false
+		for _, e := range inst.Path(i, s.Choice(i)).Links {
+			if e == fail {
+				uses = true
+				break
+			}
+		}
+		if uses {
+			affectedIdx = append(affectedIdx, i)
+			continue
+		}
+		if err := surviving.Assign(i, s.Choice(i)); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	affected = len(affectedIdx)
+	if affected == 0 {
+		return 1, 0, 0, nil
+	}
+
+	// Residual capacity: purchased units minus surviving loads; the
+	// failed link has none.
+	residual := make([][]float64, inst.Network().NumLinks())
+	loads := surviving.Loads()
+	for e := range residual {
+		residual[e] = make([]float64, slots)
+		if e == fail {
+			continue
+		}
+		for t := 0; t < slots; t++ {
+			r := float64(metis.Charged[e]) - loads[e][t]
+			if r < 0 {
+				r = 0
+			}
+			residual[e][t] = r
+		}
+	}
+
+	sub, err := inst.Subset(affectedIdx)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	res, err := taa.SolveVar(sub, residual, taa.Options{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	recovered = res.Schedule.NumAccepted()
+
+	// Revenue after failure; the original purchase is sunk.
+	revenue := surviving.Revenue() + res.Revenue
+	profitAfter := revenue - metis.Cost
+	return profitAfter / metis.Profit, affected, recovered, nil
+}

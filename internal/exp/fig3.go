@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"strconv"
+
+	"metis/internal/core"
+	"metis/internal/opt"
+	"metis/internal/wan"
+)
+
+// Fig3 regenerates Fig. 3a–3c: Metis against OPT(SPM) and OPT(RL-SPM)
+// on SUB-B4. Returned figures:
+//
+//   - fig3a: service profit (plus solver wall times in seconds),
+//   - fig3b: number of accepted requests,
+//   - fig3c: link utilization (max/avg/min per solution, measured
+//     against each solution's own purchased bandwidth).
+//
+// OPT columns are anytime incumbents under cfg.OptTimeLimit; OPT(SPM)
+// is warm-started with the Metis schedule so the reference line
+// dominates Metis by construction (Gurobi-style warm start).
+func Fig3(cfg Config) ([]*Figure, error) {
+	profit := &Figure{
+		ID: "fig3a", Title: "Service profit vs request count (SUB-B4)", XLabel: "K",
+		Series: []string{"OPT(SPM)", "Metis", "OPT(RL-SPM)", "tOPT_s", "tMetis_s"},
+	}
+	accepted := &Figure{
+		ID: "fig3b", Title: "Accepted requests vs request count (SUB-B4)", XLabel: "K",
+		Series: []string{"OPT(SPM)", "Metis", "OPT(RL-SPM)"},
+	}
+	util := &Figure{
+		ID: "fig3c", Title: "Link utilization (SUB-B4)", XLabel: "K",
+		Series: []string{
+			"OPT(SPM)max", "OPT(SPM)avg", "OPT(SPM)min",
+			"Metis max", "Metis avg", "Metis min",
+			"OPT(RL)max", "OPT(RL)avg", "OPT(RL)min",
+		},
+	}
+
+	for _, k := range cfg.Fig3Ks {
+		inst, err := buildInstance(cfg, wan.SubB4(), k)
+		if err != nil {
+			return nil, err
+		}
+		metis, err := core.Solve(inst, core.Config{
+			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
+			LP: cfg.LP, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		optSPM, err := opt.SPMWithWarm(inst, cfg.OptTimeLimit, metis.Schedule)
+		if err != nil {
+			return nil, err
+		}
+		optRL, err := opt.RLSPM(inst, cfg.OptTimeLimit)
+		if err != nil {
+			return nil, err
+		}
+
+		x := strconv.Itoa(k)
+		profit.AddRow(x, optSPM.Profit, metis.Profit, optRL.Profit,
+			optSPM.Elapsed.Seconds()+optRL.Elapsed.Seconds(), metis.Elapsed.Seconds())
+		accepted.AddRow(x, float64(optSPM.Accepted), float64(metis.Schedule.NumAccepted()), float64(optRL.Accepted))
+
+		us := optSPM.Schedule.ChargedUtilization()
+		um := metis.Schedule.ChargedUtilization()
+		ur := optRL.Schedule.ChargedUtilization()
+		util.AddRow(x, us.Max, us.Avg, us.Min, um.Max, um.Avg, um.Min, ur.Max, ur.Avg, ur.Min)
+	}
+	return []*Figure{profit, accepted, util}, nil
+}

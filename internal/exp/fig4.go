@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"strconv"
+
+	"metis/internal/baseline"
+	"metis/internal/maa"
+	"metis/internal/opt"
+	"metis/internal/spm"
+	"metis/internal/stats"
+	"metis/internal/taa"
+	"metis/internal/wan"
+)
+
+// Fig4a regenerates the MAA-vs-MinCost service cost sweep on B4. Both
+// schedulers serve every request; lower is better.
+func Fig4a(cfg Config) (*Figure, error) {
+	fig := &Figure{
+		ID: "fig4a", Title: "Service cost vs request count (B4)", XLabel: "K",
+		Series: []string{"MAA", "MinCost", "LP bound", "MinCost/MAA"},
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	for _, k := range cfg.Fig4aKs {
+		inst, err := buildInstance(cfg, wan.B4(), k)
+		if err != nil {
+			return nil, err
+		}
+		res, err := maa.Solve(inst, maa.Options{LP: cfg.LP, Rounds: cfg.MAARounds, RNG: rng})
+		if err != nil {
+			return nil, err
+		}
+		mc, err := baseline.MinCost(inst)
+		if err != nil {
+			return nil, err
+		}
+		fig.AddRow(strconv.Itoa(k), res.Cost, mc.Cost(), res.Relaxed.Cost, mc.Cost()/res.Cost)
+	}
+	return fig, nil
+}
+
+// Fig4b regenerates the randomized-rounding cost-ratio experiment: on
+// each network, cfg.Fig4bRepeats independent roundings of the relaxed
+// RL-SPM optimum, each divided by the best-known integral optimum (the
+// anytime OPT(RL-SPM) incumbent under cfg.OptTimeLimit). The paper
+// reports this ratio always below 1.2.
+func Fig4b(cfg Config) (*Figure, error) {
+	fig := &Figure{
+		ID: "fig4b", Title: "Randomized-rounding cost ratio vs best integral cost", XLabel: "network",
+		Series: []string{"mean", "p95", "max"},
+	}
+	for _, net := range []*wan.Network{wan.SubB4(), wan.B4()} {
+		inst, err := buildInstance(cfg, net, cfg.Fig4bK)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := spm.SolveRLRelaxation(inst, cfg.LP)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := opt.RLSPM(inst, cfg.OptTimeLimit)
+		if err != nil {
+			return nil, err
+		}
+		rng := stats.NewRNG(cfg.Seed)
+		ratios := make([]float64, 0, cfg.Fig4bRepeats)
+		for r := 0; r < cfg.Fig4bRepeats; r++ {
+			s, err := maa.Round(inst, rel, rng)
+			if err != nil {
+				return nil, err
+			}
+			ratios = append(ratios, s.Cost()/ref.Cost)
+		}
+		sum := stats.Summarize(ratios)
+		fig.AddRow(net.Name(), sum.Mean, stats.Percentile(ratios, 95), sum.Max)
+	}
+	return fig, nil
+}
+
+// Fig4cd regenerates the TAA-vs-Amoeba sweep on B4 under a uniform
+// fixed bandwidth (cfg.UniformCapUnits per link): fig4c reports service
+// revenue, fig4d the number of accepted requests.
+func Fig4cd(cfg Config) ([]*Figure, error) {
+	revenue := &Figure{
+		ID: "fig4c", Title: "Service revenue vs request count (B4, fixed bandwidth)", XLabel: "K",
+		Series: []string{"TAA", "Amoeba", "LP bound"},
+	}
+	accepted := &Figure{
+		ID: "fig4d", Title: "Accepted requests vs request count (B4, fixed bandwidth)", XLabel: "K",
+		Series: []string{"TAA", "Amoeba"},
+	}
+	for _, k := range cfg.Fig4cKs {
+		inst, err := buildInstance(cfg, wan.B4(), k)
+		if err != nil {
+			return nil, err
+		}
+		caps := inst.UniformCaps(cfg.UniformCapUnits)
+		ta, err := taa.Solve(inst, caps, taa.Options{LP: cfg.LP})
+		if err != nil {
+			return nil, err
+		}
+		am, err := baseline.Amoeba(inst, caps)
+		if err != nil {
+			return nil, err
+		}
+		if err := am.FeasibleUnder(caps); err != nil {
+			return nil, err
+		}
+		x := strconv.Itoa(k)
+		revenue.AddRow(x, ta.Revenue, am.Revenue(), ta.Relaxed.Revenue)
+		accepted.AddRow(x, float64(ta.Schedule.NumAccepted()), float64(am.NumAccepted()))
+	}
+	return []*Figure{revenue, accepted}, nil
+}

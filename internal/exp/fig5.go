@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"strconv"
+
+	"metis/internal/baseline"
+	"metis/internal/core"
+	"metis/internal/wan"
+)
+
+// Fig5 regenerates Fig. 5a–5c: Metis against EcoFlow on B4. Returned
+// figures:
+//
+//   - fig5a: service profit,
+//   - fig5b: number of accepted requests,
+//   - fig5c: average link utilization (against each solution's own
+//     purchased bandwidth).
+func Fig5(cfg Config) ([]*Figure, error) {
+	profit := &Figure{
+		ID: "fig5a", Title: "Service profit vs request count (B4)", XLabel: "K",
+		Series: []string{"Metis", "EcoFlow"},
+	}
+	accepted := &Figure{
+		ID: "fig5b", Title: "Accepted requests vs request count (B4)", XLabel: "K",
+		Series: []string{"Metis", "EcoFlow"},
+	}
+	util := &Figure{
+		ID: "fig5c", Title: "Average link utilization vs request count (B4)", XLabel: "K",
+		Series: []string{"Metis", "EcoFlow"},
+	}
+	for _, k := range cfg.Fig5Ks {
+		inst, err := buildInstance(cfg, wan.B4(), k)
+		if err != nil {
+			return nil, err
+		}
+		metis, err := core.Solve(inst, core.Config{
+			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
+			LP: cfg.LP, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		eco, err := baseline.EcoFlow(inst)
+		if err != nil {
+			return nil, err
+		}
+		x := strconv.Itoa(k)
+		profit.AddRow(x, metis.Profit, eco.Profit)
+		accepted.AddRow(x, float64(metis.Schedule.NumAccepted()), float64(eco.NumAccepted))
+		util.AddRow(x, metis.Schedule.ChargedUtilization().Avg, eco.Utilization.Avg)
+	}
+	return []*Figure{profit, accepted, util}, nil
+}

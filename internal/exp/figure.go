@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+
+	"metis/internal/demand"
+	"metis/internal/sched"
+	"metis/internal/tableio"
+	"metis/internal/wan"
+)
+
+// Figure is one regenerated evaluation figure: labelled rows (usually a
+// request-count sweep) by named series columns.
+type Figure struct {
+	ID     string // e.g. "fig3a"
+	Title  string
+	XLabel string
+	Series []string    // column names
+	X      []string    // row labels
+	Y      [][]float64 // Y[row][column]
+}
+
+// AddRow appends one row of series values.
+func (f *Figure) AddRow(x string, values ...float64) {
+	if len(values) != len(f.Series) {
+		panic(fmt.Sprintf("exp: figure %s row %q has %d values, want %d", f.ID, x, len(values), len(f.Series)))
+	}
+	f.X = append(f.X, x)
+	f.Y = append(f.Y, append([]float64(nil), values...))
+}
+
+// Value returns the value of the named series in row r.
+func (f *Figure) Value(r int, series string) (float64, error) {
+	for c, s := range f.Series {
+		if s == series {
+			return f.Y[r][c], nil
+		}
+	}
+	return 0, fmt.Errorf("exp: figure %s has no series %q", f.ID, series)
+}
+
+// Chart renders the figure as a grouped text bar chart.
+func (f *Figure) Chart() *tableio.Chart {
+	c := tableio.NewChart(fmt.Sprintf("%s — %s", f.ID, f.Title), f.Series...)
+	for r, x := range f.X {
+		// Arity is guaranteed by AddRow.
+		if err := c.AddGroup(fmt.Sprintf("%s=%s", f.XLabel, x), f.Y[r]...); err != nil {
+			panic("exp: chart: " + err.Error())
+		}
+	}
+	return c
+}
+
+// Table renders the figure for printing.
+func (f *Figure) Table() *tableio.Table {
+	headers := append([]string{f.XLabel}, f.Series...)
+	t := tableio.New(fmt.Sprintf("%s — %s", f.ID, f.Title), headers...)
+	for r, x := range f.X {
+		t.AddFloats(x, f.Y[r]...)
+	}
+	return t
+}
+
+// buildInstance generates a workload of k requests on net and wraps it
+// in a scheduling instance, deterministically from cfg.Seed.
+func buildInstance(cfg Config, net *wan.Network, k int) (*sched.Instance, error) {
+	gen, err := demand.NewGenerator(net, demand.GeneratorConfig{
+		Slots:    cfg.Slots,
+		RateLo:   demand.DefaultRateLo,
+		RateHi:   demand.DefaultRateHi,
+		MarkupLo: demand.DefaultMarkupLo,
+		MarkupHi: demand.DefaultMarkupHi,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := gen.GenerateN(k)
+	if err != nil {
+		return nil, err
+	}
+	return sched.NewInstance(net, cfg.Slots, reqs, cfg.PathsPerRequest)
+}

@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// runners maps experiment ids to generator functions. Figure-group ids
+// regenerate every figure that shares a run (e.g. fig3 → 3a, 3b, 3c).
+var runners = map[string]func(Config) ([]*Figure, error){
+	"fig3":  Fig3,
+	"fig4a": single(Fig4a),
+	"fig4b": single(Fig4b),
+	"fig4cd": func(cfg Config) ([]*Figure, error) {
+		return Fig4cd(cfg)
+	},
+	"fig5":              Fig5,
+	"ablation-theta":    single(AblationTheta),
+	"ablation-tau":      single(AblationTau),
+	"ablation-paths":    single(AblationPaths),
+	"ablation-rounding": single(AblationRounding),
+	"ext-online":        single(ExtensionOnline),
+	"ext-multicycle":    single(ExtensionMultiCycle),
+	"ext-resilience":    single(ExtensionResilience),
+}
+
+// aliases lets callers name an individual figure of a grouped run.
+var aliases = map[string]string{
+	"fig3a": "fig3", "fig3b": "fig3", "fig3c": "fig3",
+	"fig4c": "fig4cd", "fig4d": "fig4cd",
+	"fig5a": "fig5", "fig5b": "fig5", "fig5c": "fig5",
+}
+
+func single(f func(Config) (*Figure, error)) func(Config) ([]*Figure, error) {
+	return func(cfg Config) ([]*Figure, error) {
+		fig, err := f(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*Figure{fig}, nil
+	}
+}
+
+// IDs returns every runnable experiment id, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(runners))
+	for id := range runners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run regenerates the experiment with the given id (an id from IDs(),
+// an individual figure alias like "fig3a", or "all").
+func Run(id string, cfg Config) ([]*Figure, error) {
+	if id == "all" {
+		var all []*Figure
+		for _, rid := range IDs() {
+			figs, err := runners[rid](cfg)
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s: %w", rid, err)
+			}
+			all = append(all, figs...)
+		}
+		return all, nil
+	}
+	rid := id
+	if a, ok := aliases[id]; ok {
+		rid = a
+	}
+	runner, ok := runners[rid]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (known: %v, all)", id, IDs())
+	}
+	figs, err := runner(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", rid, err)
+	}
+	return figs, nil
+}

@@ -1,0 +1,137 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+
+	"metis/internal/demand"
+	"metis/internal/stats"
+	"metis/internal/wan"
+)
+
+func workload(t *testing.T, k int, seed int64) (*wan.Network, []demand.Request) {
+	t.Helper()
+	net := wan.SubB4()
+	g, err := demand.NewGenerator(net, demand.DefaultGeneratorConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := g.GenerateN(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, reqs
+}
+
+func TestObserveAggregates(t *testing.T) {
+	net := wan.SubB4()
+	reqs := []demand.Request{
+		{ID: 0, Src: 0, Dst: 1, Start: 0, End: 5, Rate: 0.4, Value: 2},
+		{ID: 1, Src: 0, Dst: 1, Start: 2, End: 3, Rate: 0.2, Value: 4},
+		{ID: 2, Src: 2, Dst: 3, Start: 0, End: 0, Rate: 0.1, Value: 1},
+	}
+	m := Observe(net, reqs)
+	p := m.Pair(0, 1)
+	if p.Count != 2 {
+		t.Fatalf("count = %v, want 2", p.Count)
+	}
+	wantRateSlots := 0.4*6 + 0.2*2
+	if math.Abs(p.RateSlots-wantRateSlots) > 1e-12 {
+		t.Fatalf("rateSlots = %v, want %v", p.RateSlots, wantRateSlots)
+	}
+	if math.Abs(p.MeanRate-0.3) > 1e-12 {
+		t.Fatalf("meanRate = %v, want 0.3", p.MeanRate)
+	}
+	if math.Abs(p.MeanValue-3) > 1e-12 {
+		t.Fatalf("meanValue = %v, want 3", p.MeanValue)
+	}
+	if got := m.Pair(1, 0); got.Count != 0 {
+		t.Fatalf("reverse pair should be empty, got %+v", got)
+	}
+	if math.Abs(m.TotalCount()-3) > 1e-12 {
+		t.Fatalf("total count = %v, want 3", m.TotalCount())
+	}
+}
+
+func TestEWMAConvergesToStationaryDemand(t *testing.T) {
+	net, _ := workload(t, 1, 1)
+	f, err := NewEWMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Forecast() != nil {
+		t.Fatal("forecast before any update should be nil")
+	}
+	// Feed the same observation repeatedly: the forecast converges to it.
+	_, reqs := workload(t, 120, 5)
+	obs := Observe(net, reqs)
+	for i := 0; i < 10; i++ {
+		f.Update(obs)
+	}
+	got := f.Forecast()
+	if math.Abs(got.TotalCount()-obs.TotalCount()) > 1e-6 {
+		t.Fatalf("forecast count %v, want %v", got.TotalCount(), obs.TotalCount())
+	}
+}
+
+func TestEWMATracksGrowth(t *testing.T) {
+	net := wan.SubB4()
+	f, err := NewEWMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 5; cycle++ {
+		_, reqs := workload(t, 100*(cycle+1), int64(cycle+1))
+		f.Update(Observe(net, reqs))
+	}
+	// After growing observations, the forecast must sit between the
+	// first and last cycle's volume, nearer the last.
+	fc := f.Forecast().TotalCount()
+	if fc < 250 || fc > 500 {
+		t.Fatalf("forecast count %v outside plausible (250, 500)", fc)
+	}
+}
+
+func TestNewEWMAValidation(t *testing.T) {
+	for _, alpha := range []float64{0, -0.1, 1.5} {
+		if _, err := NewEWMA(alpha); err == nil {
+			t.Errorf("α = %v accepted", alpha)
+		}
+	}
+}
+
+func TestSynthesizeMatchesForecastVolume(t *testing.T) {
+	net, reqs := workload(t, 200, 9)
+	m := Observe(net, reqs)
+	synth := Synthesize(m, demand.DefaultSlots, stats.NewRNG(1))
+	// Counts are rounded per pair; total within ±1 per pair.
+	if len(synth) < 150 || len(synth) > 250 {
+		t.Fatalf("synthesized %d requests from 200 observed", len(synth))
+	}
+	if err := demand.ValidateAll(synth, net, demand.DefaultSlots); err != nil {
+		t.Fatal(err)
+	}
+	// Total demanded bandwidth-slots should approximate the original.
+	var obsRS, synRS float64
+	for _, r := range reqs {
+		obsRS += r.Rate * float64(r.Duration())
+	}
+	for _, r := range synth {
+		synRS += r.Rate * float64(r.Duration())
+	}
+	if synRS < 0.6*obsRS || synRS > 1.4*obsRS {
+		t.Fatalf("synthesized rate-slots %v far from observed %v", synRS, obsRS)
+	}
+}
+
+func TestPlanInstanceUsable(t *testing.T) {
+	net, reqs := workload(t, 80, 11)
+	m := Observe(net, reqs)
+	inst, err := PlanInstance(net, m, demand.DefaultSlots, 3, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumRequests() == 0 {
+		t.Fatal("plan instance has no requests")
+	}
+}

@@ -1,0 +1,75 @@
+package graph
+
+import "math"
+
+// MaxFlow computes the maximum src→dst flow where each edge's capacity is
+// given by cap[edgeID], using Edmonds–Karp. It is used by the WAN layer
+// as a feasibility sanity check (e.g. "can this demand matrix fit at all").
+// cap must have length g.NumEdges(); entries must be non-negative.
+func (g *Graph) MaxFlow(src, dst int, capacity []float64) float64 {
+	if src == dst {
+		return math.Inf(1)
+	}
+	// Residual graph: forward arcs mirror edges; backward arcs start at 0.
+	type arc struct {
+		to  int
+		rev int // index of reverse arc in adj[to]
+		cap float64
+	}
+	adj := make([][]arc, g.n)
+	addArc := func(from, to int, c float64) {
+		adj[from] = append(adj[from], arc{to: to, rev: len(adj[to]), cap: c})
+		adj[to] = append(adj[to], arc{to: from, rev: len(adj[from]) - 1, cap: 0})
+	}
+	for _, e := range g.edges {
+		c := capacity[e.ID]
+		if c < 0 {
+			c = 0
+		}
+		addArc(e.From, e.To, c)
+	}
+
+	var total float64
+	for {
+		// BFS for an augmenting path.
+		prevNode := make([]int, g.n)
+		prevArc := make([]int, g.n)
+		for i := range prevNode {
+			prevNode[i] = -1
+		}
+		prevNode[src] = src
+		queue := []int{src}
+		for len(queue) > 0 && prevNode[dst] == -1 {
+			v := queue[0]
+			queue = queue[1:]
+			for ai, a := range adj[v] {
+				if a.cap <= 1e-12 || prevNode[a.to] != -1 {
+					continue
+				}
+				prevNode[a.to] = v
+				prevArc[a.to] = ai
+				queue = append(queue, a.to)
+			}
+		}
+		if prevNode[dst] == -1 {
+			break
+		}
+		// Bottleneck.
+		bottleneck := math.Inf(1)
+		for v := dst; v != src; v = prevNode[v] {
+			a := adj[prevNode[v]][prevArc[v]]
+			if a.cap < bottleneck {
+				bottleneck = a.cap
+			}
+		}
+		// Augment.
+		for v := dst; v != src; v = prevNode[v] {
+			u := prevNode[v]
+			adj[u][prevArc[v]].cap -= bottleneck
+			rev := adj[u][prevArc[v]].rev
+			adj[v][rev].cap += bottleneck
+		}
+		total += bottleneck
+	}
+	return total
+}

@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// ShortestPath returns the minimum-weight path from src to dst using
+// Dijkstra's algorithm. It returns ErrNoPath when dst is unreachable.
+func (g *Graph) ShortestPath(src, dst int) (Path, error) {
+	return g.shortestPathFiltered(src, dst, nil, nil)
+}
+
+// shortestPathFiltered runs Dijkstra with optional exclusions: bannedEdges
+// marks edge ids that may not be used, bannedNodes marks nodes that may
+// not be visited (src is always allowed). Either may be nil.
+func (g *Graph) shortestPathFiltered(src, dst int, bannedEdges, bannedNodes []bool) (Path, error) {
+	if src == dst {
+		return Path{}, nil
+	}
+	dist := make([]float64, g.n)
+	prevEdge := make([]int, g.n)
+	done := make([]bool, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = -1
+	}
+	dist[src] = 0
+
+	pq := &nodeHeap{}
+	heap.Push(pq, nodeDist{node: src, dist: 0})
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(nodeDist)
+		v := cur.node
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		if v == dst {
+			break
+		}
+		for _, id := range g.out[v] {
+			if bannedEdges != nil && bannedEdges[id] {
+				continue
+			}
+			e := g.edges[id]
+			w := e.To
+			if bannedNodes != nil && bannedNodes[w] && w != dst {
+				continue
+			}
+			nd := dist[v] + e.Weight
+			if nd < dist[w] {
+				dist[w] = nd
+				prevEdge[w] = id
+				heap.Push(pq, nodeDist{node: w, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, ErrNoPath
+	}
+
+	var rev []int
+	for v := dst; v != src; {
+		id := prevEdge[v]
+		rev = append(rev, id)
+		v = g.edges[id].From
+	}
+	edges := make([]int, len(rev))
+	for i := range rev {
+		edges[i] = rev[len(rev)-1-i]
+	}
+	return Path{Edges: edges, Cost: dist[dst]}, nil
+}
+
+type nodeDist struct {
+	node int
+	dist float64
+}
+
+type nodeHeap []nodeDist
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeDist)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"sort"
+)
+
+// KShortestPaths returns up to k loopless minimum-weight paths from src
+// to dst in non-decreasing cost order, using Yen's algorithm. It returns
+// ErrNoPath when src cannot reach dst at all, and fewer than k paths when
+// the graph does not contain k distinct loopless paths.
+func (g *Graph) KShortestPaths(src, dst int, k int) ([]Path, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	first, err := g.ShortestPath(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	paths := []Path{first}
+	if k == 1 || src == dst {
+		return paths, nil
+	}
+
+	var candidates []Path
+	seen := map[string]bool{pathKey(first): true}
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		prevNodes := prev.Nodes(g)
+
+		// For each node of the previous path, deviate after its prefix.
+		for spur := 0; spur < len(prev.Edges); spur++ {
+			spurNode := prevNodes[spur]
+
+			bannedEdges := make([]bool, g.NumEdges())
+			bannedNodes := make([]bool, g.NumNodes())
+
+			// Ban the next edge of every accepted path sharing this prefix.
+			for _, p := range paths {
+				if len(p.Edges) <= spur {
+					continue
+				}
+				if samePrefix(p.Edges, prev.Edges, spur) {
+					bannedEdges[p.Edges[spur]] = true
+				}
+			}
+			// Ban the prefix nodes (except the spur node) to keep
+			// resulting paths loopless.
+			for i := 0; i < spur; i++ {
+				bannedNodes[prevNodes[i]] = true
+			}
+
+			tail, err := g.shortestPathFiltered(spurNode, dst, bannedEdges, bannedNodes)
+			if err != nil {
+				continue
+			}
+
+			total := make([]int, 0, spur+len(tail.Edges))
+			total = append(total, prev.Edges[:spur]...)
+			total = append(total, tail.Edges...)
+			cand := Path{Edges: total, Cost: g.pathCost(total)}
+			key := pathKey(cand)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			candidates = append(candidates, cand)
+		}
+
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			if candidates[i].Cost != candidates[j].Cost {
+				return candidates[i].Cost < candidates[j].Cost
+			}
+			return pathKey(candidates[i]) < pathKey(candidates[j])
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths, nil
+}
+
+func (g *Graph) pathCost(edges []int) float64 {
+	var c float64
+	for _, id := range edges {
+		c += g.edges[id].Weight
+	}
+	return c
+}
+
+func samePrefix(a, b []int, n int) bool {
+	if len(a) < n || len(b) < n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func pathKey(p Path) string {
+	// Compact unique key: edge ids as bytes-ish string. Edge ids fit in
+	// practice well below 1<<15 for WAN-scale graphs.
+	buf := make([]byte, 0, len(p.Edges)*2)
+	for _, id := range p.Edges {
+		buf = append(buf, byte(id>>8), byte(id))
+	}
+	return string(buf)
+}

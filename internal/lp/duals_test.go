@@ -1,0 +1,108 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"metis/internal/stats"
+)
+
+func TestDualsClassicMax(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → obj 36.
+	// Known duals: 0, 3/2, 1.
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, 3, 0, math.Inf(1), "x")
+	y := mustVar(t, p, 5, 0, math.Inf(1), "y")
+	c1 := mustCon(t, p, LE, 4, "c1")
+	c2 := mustCon(t, p, LE, 12, "c2")
+	c3 := mustCon(t, p, LE, 18, "c3")
+	mustTerm(t, p, c1, x, 1)
+	mustTerm(t, p, c2, y, 2)
+	mustTerm(t, p, c3, x, 3)
+	mustTerm(t, p, c3, y, 2)
+
+	sol := solveOptimal(t, p)
+	want := []float64{0, 1.5, 1}
+	for i, w := range want {
+		if math.Abs(sol.Duals[i]-w) > 1e-6 {
+			t.Errorf("dual[%d] = %v, want %v", i, sol.Duals[i], w)
+		}
+	}
+}
+
+func TestDualsClassicMin(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 4, x + 2y >= 6 → obj 10, duals 1, 1.
+	p := NewProblem(Minimize)
+	x := mustVar(t, p, 2, 0, math.Inf(1), "x")
+	y := mustVar(t, p, 3, 0, math.Inf(1), "y")
+	c1 := mustCon(t, p, GE, 4, "c1")
+	c2 := mustCon(t, p, GE, 6, "c2")
+	mustTerm(t, p, c1, x, 1)
+	mustTerm(t, p, c1, y, 1)
+	mustTerm(t, p, c2, x, 1)
+	mustTerm(t, p, c2, y, 2)
+
+	sol := solveOptimal(t, p)
+	for i := 0; i < 2; i++ {
+		if math.Abs(sol.Duals[i]-1) > 1e-6 {
+			t.Errorf("dual[%d] = %v, want 1", i, sol.Duals[i])
+		}
+	}
+}
+
+// TestStrongDualityRandom checks b·y == objective on random bounded
+// max-LPs without finite variable bounds (so no bound multipliers enter
+// the duality identity).
+func TestStrongDualityRandom(t *testing.T) {
+	rng := stats.NewRNG(53)
+	for trial := 0; trial < 30; trial++ {
+		nv := 2 + rng.Intn(5)
+		nc := 2 + rng.Intn(5)
+		p := NewProblem(Maximize)
+		for j := 0; j < nv; j++ {
+			mustVar(t, p, rng.Uniform(0.1, 3), 0, math.Inf(1), "x")
+		}
+		rhs := make([]float64, nc)
+		for i := 0; i < nc; i++ {
+			rhs[i] = rng.Uniform(1, 10)
+			row := mustCon(t, p, LE, rhs[i], "c")
+			for j := 0; j < nv; j++ {
+				// Strictly positive coefficients keep the LP bounded.
+				mustTerm(t, p, row, j, rng.Uniform(0.2, 2))
+			}
+		}
+		sol := solveOptimal(t, p)
+		var dualObj float64
+		for i := 0; i < nc; i++ {
+			if sol.Duals[i] < -1e-9 {
+				t.Fatalf("trial %d: max-LP LE dual %v negative", trial, sol.Duals[i])
+			}
+			dualObj += sol.Duals[i] * rhs[i]
+		}
+		if math.Abs(dualObj-sol.Objective) > 1e-6*(1+math.Abs(sol.Objective)) {
+			t.Fatalf("trial %d: strong duality broken: dual %v vs primal %v", trial, dualObj, sol.Objective)
+		}
+	}
+}
+
+// TestDualsShadowPrice verifies the ∂obj/∂rhs interpretation by finite
+// differences.
+func TestDualsShadowPrice(t *testing.T) {
+	build := func(cap float64) *Problem {
+		p := NewProblem(Maximize)
+		x, _ := p.AddVariable(2, 0, math.Inf(1), "x")
+		y, _ := p.AddVariable(1, 0, math.Inf(1), "y")
+		c1, _ := p.AddConstraint(LE, cap, "cap")
+		_ = p.AddTerm(c1, x, 1)
+		_ = p.AddTerm(c1, y, 1)
+		c2, _ := p.AddConstraint(LE, 3, "xcap")
+		_ = p.AddTerm(c2, x, 1)
+		return p
+	}
+	base := solveOptimal(t, build(5))
+	bumped := solveOptimal(t, build(5.5))
+	fd := (bumped.Objective - base.Objective) / 0.5
+	if math.Abs(base.Duals[0]-fd) > 1e-6 {
+		t.Fatalf("dual %v != finite difference %v", base.Duals[0], fd)
+	}
+}

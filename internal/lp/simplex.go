@@ -1,0 +1,479 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Options tunes the simplex solver.
+type Options struct {
+	// Tol is the feasibility/optimality tolerance (default 1e-7).
+	Tol float64
+	// MaxIters bounds total simplex iterations across both phases
+	// (default 200 + 40·(rows+cols)).
+	MaxIters int
+}
+
+func (o Options) withDefaults(m, n int) Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-7
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 200 + 40*(m+n)
+	}
+	return o
+}
+
+// variable states in the simplex.
+const (
+	atLower = iota
+	atUpper
+	isBasic
+)
+
+// simplex holds the standard-form working problem:
+//
+//	min cost·x   s.t.  A x = b,  0 <= x_j <= up_j
+//
+// with columns stored sparsely and a dense basis inverse.
+type simplex struct {
+	m, n int // rows, total columns (structural + slack + artificial)
+
+	cols [][]entry // full matrix columns, row-sorted
+	b    []float64 // rhs (>= 0 after normalization)
+	cost []float64 // phase-2 costs
+	up   []float64 // upper bounds (+Inf allowed); 0 = fixed
+
+	nArt     int // number of artificial columns (they occupy the tail)
+	artStart int
+
+	state []int     // per column: atLower / atUpper / isBasic
+	basic []int     // per row: basic column
+	xB    []float64 // basic variable values
+	binv  [][]float64
+
+	opts  Options
+	iters int
+
+	// scratch buffers reused across iterations.
+	y []float64
+	w []float64
+}
+
+// Solve optimizes the problem. It returns a Solution whose Status is
+// StatusOptimal, StatusInfeasible, StatusUnbounded or StatusIterLimit;
+// X is populated only for StatusOptimal.
+func (p *Problem) Solve(opts Options) (*Solution, error) {
+	if p.sense != Minimize && p.sense != Maximize {
+		return nil, fmt.Errorf("lp: invalid sense %d", p.sense)
+	}
+	nStruct := len(p.obj)
+	m := len(p.rel)
+	s := &simplex{m: m, opts: opts.withDefaults(m, nStruct)}
+
+	// Shift structural variables to lower bound 0 and compute the
+	// adjusted rhs: b_i' = b_i − Σ_j a_ij·lo_j.
+	rhs := make([]float64, m)
+	copy(rhs, p.rhs)
+	shiftObj := 0.0
+	for j := 0; j < nStruct; j++ {
+		if p.lo[j] == 0 {
+			continue
+		}
+		for _, e := range p.mergedColumn(j) {
+			rhs[e.row] -= e.val * p.lo[j]
+		}
+		shiftObj += p.objCoef(j) * p.lo[j]
+	}
+
+	// Row normalization signs: rows with negative adjusted rhs flip.
+	sign := make([]float64, m)
+	for i := range sign {
+		if rhs[i] < 0 {
+			sign[i] = -1
+			rhs[i] = -rhs[i]
+		} else {
+			sign[i] = 1
+		}
+	}
+	s.b = rhs
+
+	// Structural columns.
+	s.cols = make([][]entry, 0, nStruct+m)
+	s.cost = make([]float64, 0, nStruct+m)
+	s.up = make([]float64, 0, nStruct+m)
+	for j := 0; j < nStruct; j++ {
+		col := p.mergedColumn(j)
+		adj := make([]entry, len(col))
+		for k, e := range col {
+			adj[k] = entry{row: e.row, val: e.val * sign[e.row]}
+		}
+		s.cols = append(s.cols, adj)
+		s.cost = append(s.cost, p.objCoef(j))
+		s.up = append(s.up, p.hi[j]-p.lo[j])
+	}
+
+	// Slack columns; remember which rows get a +1 slack (initial basic).
+	slackBasic := make([]int, m) // column id of the +1 slack, or -1
+	for i := range slackBasic {
+		slackBasic[i] = -1
+	}
+	for i := 0; i < m; i++ {
+		var coef float64
+		switch p.rel[i] {
+		case LE:
+			coef = 1
+		case GE:
+			coef = -1
+		default:
+			continue // EQ: no slack
+		}
+		coef *= sign[i]
+		j := len(s.cols)
+		s.cols = append(s.cols, []entry{{row: i, val: coef}})
+		s.cost = append(s.cost, 0)
+		s.up = append(s.up, math.Inf(1))
+		if coef > 0 {
+			slackBasic[i] = j
+		}
+	}
+
+	// Artificial columns for rows without a +1 slack.
+	s.artStart = len(s.cols)
+	for i := 0; i < m; i++ {
+		if slackBasic[i] != -1 {
+			continue
+		}
+		s.cols = append(s.cols, []entry{{row: i, val: 1}})
+		s.cost = append(s.cost, 0)
+		s.up = append(s.up, math.Inf(1))
+		s.nArt++
+	}
+	s.n = len(s.cols)
+
+	// Initial basis: +1 slacks and artificials, everything else at lower.
+	s.state = make([]int, s.n)
+	s.basic = make([]int, m)
+	s.xB = make([]float64, m)
+	s.binv = identity(m)
+	art := s.artStart
+	for i := 0; i < m; i++ {
+		j := slackBasic[i]
+		if j == -1 {
+			j = art
+			art++
+		}
+		s.basic[i] = j
+		s.state[j] = isBasic
+		s.xB[i] = s.b[i]
+	}
+
+	// Phase 1: minimize the sum of artificials (skipped when none).
+	if s.nArt > 0 {
+		phase1 := make([]float64, s.n)
+		for j := s.artStart; j < s.n; j++ {
+			phase1[j] = 1
+		}
+		st := s.iterate(phase1)
+		if st == StatusIterLimit {
+			return &Solution{Status: StatusIterLimit, Iters: s.iters}, nil
+		}
+		if s.objective(phase1) > s.opts.Tol*(1+norm1(s.b)) {
+			return &Solution{Status: StatusInfeasible, Iters: s.iters}, nil
+		}
+		// Lock artificials at zero so phase 2 cannot reuse them.
+		for j := s.artStart; j < s.n; j++ {
+			s.up[j] = 0
+			if s.state[j] != isBasic {
+				s.state[j] = atLower
+			}
+		}
+	}
+
+	// Phase 2.
+	st := s.iterate(s.cost)
+	switch st {
+	case StatusIterLimit, StatusUnbounded:
+		return &Solution{Status: st, Iters: s.iters}, nil
+	}
+
+	s.refreshXB()
+	x := make([]float64, nStruct)
+	for j := 0; j < nStruct; j++ {
+		x[j] = p.lo[j] + s.value(j)
+	}
+	obj := shiftObj
+	for j := 0; j < nStruct; j++ {
+		obj += p.objCoef(j) * s.value(j)
+	}
+	if p.sense == Maximize {
+		obj = -obj
+	}
+
+	// Shadow prices: y = c_B^T·Binv in the normalized row space, mapped
+	// back through the row signs (and the sense flip for Maximize).
+	duals := make([]float64, m)
+	for i := 0; i < m; i++ {
+		var y float64
+		for r, j := range s.basic {
+			if cj := s.cost[j]; cj != 0 {
+				y += cj * s.binv[r][i]
+			}
+		}
+		y *= sign[i]
+		if p.sense == Maximize {
+			y = -y
+		}
+		duals[i] = y
+	}
+	return &Solution{Status: StatusOptimal, Objective: obj, X: x, Duals: duals, Iters: s.iters}, nil
+}
+
+// objCoef returns the internal (minimization) objective coefficient.
+func (p *Problem) objCoef(j int) float64 {
+	if p.sense == Maximize {
+		return -p.obj[j]
+	}
+	return p.obj[j]
+}
+
+// value returns the current value of column j (in shifted coordinates).
+func (s *simplex) value(j int) float64 {
+	switch s.state[j] {
+	case isBasic:
+		for i, bj := range s.basic {
+			if bj == j {
+				return s.xB[i]
+			}
+		}
+		return 0
+	case atUpper:
+		return s.up[j]
+	default:
+		return 0
+	}
+}
+
+func (s *simplex) objective(cost []float64) float64 {
+	var obj float64
+	for i, j := range s.basic {
+		obj += cost[j] * s.xB[i]
+	}
+	for j := 0; j < s.n; j++ {
+		if s.state[j] == atUpper {
+			obj += cost[j] * s.up[j]
+		}
+	}
+	return obj
+}
+
+// refreshXB recomputes basic values from scratch to shed accumulated
+// floating-point drift: xB = Binv·(b − Σ_{j at upper} A_j·up_j).
+func (s *simplex) refreshXB() {
+	rhs := make([]float64, s.m)
+	copy(rhs, s.b)
+	for j := 0; j < s.n; j++ {
+		if s.state[j] == atUpper && s.up[j] > 0 {
+			for _, e := range s.cols[j] {
+				rhs[e.row] -= e.val * s.up[j]
+			}
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		var v float64
+		row := s.binv[i]
+		for r := 0; r < s.m; r++ {
+			v += row[r] * rhs[r]
+		}
+		if v < 0 && v > -s.opts.Tol {
+			v = 0
+		}
+		s.xB[i] = v
+	}
+}
+
+// iterate runs primal simplex iterations with the given cost vector
+// until optimality, unboundedness, or the iteration limit. It returns
+// StatusOptimal when no improving entering variable exists.
+func (s *simplex) iterate(cost []float64) Status {
+	if s.y == nil {
+		s.y = make([]float64, s.m)
+		s.w = make([]float64, s.m)
+	}
+	tol := s.opts.Tol
+	degenerate := 0
+	bland := false
+
+	for ; s.iters < s.opts.MaxIters; s.iters++ {
+		// Dual values y = c_B^T · Binv.
+		for i := range s.y {
+			s.y[i] = 0
+		}
+		for r, j := range s.basic {
+			cj := cost[j]
+			if cj == 0 {
+				continue
+			}
+			row := s.binv[r]
+			for i := 0; i < s.m; i++ {
+				s.y[i] += cj * row[i]
+			}
+		}
+
+		// Entering variable.
+		enter := -1
+		var enterD, enterDir float64
+		for j := 0; j < s.n; j++ {
+			st := s.state[j]
+			if st == isBasic || s.up[j] == 0 {
+				continue
+			}
+			d := cost[j]
+			for _, e := range s.cols[j] {
+				d -= s.y[e.row] * e.val
+			}
+			var improving bool
+			var dir float64
+			if st == atLower && d < -tol {
+				improving, dir = true, 1
+			} else if st == atUpper && d > tol {
+				improving, dir = true, -1
+			}
+			if !improving {
+				continue
+			}
+			if bland {
+				enter, enterD, enterDir = j, d, dir
+				break
+			}
+			if enter == -1 || math.Abs(d) > math.Abs(enterD) {
+				enter, enterD, enterDir = j, d, dir
+			}
+		}
+		if enter == -1 {
+			return StatusOptimal
+		}
+
+		// Direction w = Binv · A_enter.
+		for i := range s.w {
+			s.w[i] = 0
+		}
+		for _, e := range s.cols[enter] {
+			v := e.val
+			for i := 0; i < s.m; i++ {
+				s.w[i] += s.binv[i][e.row] * v
+			}
+		}
+
+		// Ratio test.
+		theta := s.up[enter] // bound-flip limit (may be +Inf)
+		leave := -1
+		leaveTo := atLower
+		const pivTol = 1e-9
+		for i := 0; i < s.m; i++ {
+			g := enterDir * s.w[i]
+			if g > pivTol {
+				limit := s.xB[i] / g
+				if limit < theta-1e-12 || (limit < theta+1e-12 && leave != -1 && math.Abs(g) > math.Abs(enterDir*s.w[leave])) {
+					theta, leave, leaveTo = limit, i, atLower
+				}
+			} else if g < -pivTol {
+				ub := s.up[s.basic[i]]
+				if math.IsInf(ub, 1) {
+					continue
+				}
+				limit := (ub - s.xB[i]) / -g
+				if limit < theta-1e-12 || (limit < theta+1e-12 && leave != -1 && math.Abs(g) > math.Abs(enterDir*s.w[leave])) {
+					theta, leave, leaveTo = limit, i, atUpper
+				}
+			}
+		}
+		if math.IsInf(theta, 1) {
+			return StatusUnbounded
+		}
+		if theta < 0 {
+			theta = 0
+		}
+
+		// Anti-cycling: after a run of degenerate pivots switch to
+		// Bland's rule, which guarantees termination.
+		if theta <= 1e-12 {
+			degenerate++
+			if degenerate > 40 {
+				bland = true
+			}
+		} else {
+			degenerate = 0
+			bland = false
+		}
+
+		// Move basic variables.
+		for i := 0; i < s.m; i++ {
+			s.xB[i] -= enterDir * theta * s.w[i]
+			if s.xB[i] < 0 && s.xB[i] > -tol {
+				s.xB[i] = 0
+			}
+		}
+
+		if leave == -1 {
+			// Bound flip: the entering variable crosses its whole range.
+			if s.state[enter] == atLower {
+				s.state[enter] = atUpper
+			} else {
+				s.state[enter] = atLower
+			}
+			continue
+		}
+
+		// Pivot: basic[leave] exits, enter becomes basic.
+		exit := s.basic[leave]
+		s.state[exit] = leaveTo
+		var enterVal float64
+		if enterDir > 0 {
+			enterVal = theta
+		} else {
+			enterVal = s.up[enter] - theta
+		}
+		s.basic[leave] = enter
+		s.state[enter] = isBasic
+		s.xB[leave] = enterVal
+
+		piv := s.w[leave]
+		rowL := s.binv[leave]
+		inv := 1 / piv
+		for k := 0; k < s.m; k++ {
+			rowL[k] *= inv
+		}
+		for i := 0; i < s.m; i++ {
+			if i == leave {
+				continue
+			}
+			f := s.w[i]
+			if f == 0 {
+				continue
+			}
+			row := s.binv[i]
+			for k := 0; k < s.m; k++ {
+				row[k] -= f * rowL[k]
+			}
+		}
+	}
+	return StatusIterLimit
+}
+
+func identity(m int) [][]float64 {
+	b := make([][]float64, m)
+	for i := range b {
+		b[i] = make([]float64, m)
+		b[i][i] = 1
+	}
+	return b
+}
+
+func norm1(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += math.Abs(x)
+	}
+	return s
+}

@@ -1,0 +1,146 @@
+// Package maa implements the paper's Multistage Approximation Algorithm
+// (Algorithm 1) for RL-SPM: solve the relaxed linear program, select one
+// path per request by randomized rounding on the fractional routing, and
+// round the per-link peak load up to integer charging bandwidth.
+//
+// MAA is an O((α+1)/α · log|E|/loglog|E|)-approximation for RL-SPM with
+// high probability (Theorem 4 of the paper).
+package maa
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"metis/internal/lp"
+	"metis/internal/sched"
+	"metis/internal/spm"
+	"metis/internal/stats"
+)
+
+// ErrNoRequests is returned for an empty instance.
+var ErrNoRequests = errors.New("maa: instance has no requests")
+
+// Options tunes MAA.
+type Options struct {
+	// LP configures the relaxation solve.
+	LP lp.Options
+	// Rounds is the number of independent randomized roundings; the
+	// cheapest rounded schedule wins (default 1, the paper's algorithm).
+	Rounds int
+	// RNG supplies the rounding randomness (required).
+	RNG *stats.RNG
+}
+
+// Result is MAA's output.
+type Result struct {
+	// Schedule serves every request of the instance on exactly one path.
+	Schedule *sched.Schedule
+	// Charged is the integer charging bandwidth per link (the ceiling
+	// of each link's peak load).
+	Charged []int
+	// Cost is Σ_e u_e·Charged[e].
+	Cost float64
+	// Relaxed is the underlying fractional solution; Relaxed.Cost is a
+	// lower bound on the optimal RL-SPM cost.
+	Relaxed *spm.RelaxedRL
+}
+
+// Alpha returns α = min_{e ∈ E'} ĉ_e, the smallest positive fractional
+// charging bandwidth of the relaxation — the quantity behind Theorem 2:
+// the ceiling step is an (α+1)/α-relaxed algorithm for P₂. Zero when no
+// link carries load.
+func (r *Result) Alpha() float64 {
+	alpha := 0.0
+	for _, c := range r.Relaxed.C {
+		if c > 1e-9 && (alpha == 0 || c < alpha) {
+			alpha = c
+		}
+	}
+	return alpha
+}
+
+// CeilingRatio returns Theorem 2's (α+1)/α bound on the cost inflation
+// of the integer-ceiling step, or +Inf when α is zero.
+func (r *Result) CeilingRatio() float64 {
+	alpha := r.Alpha()
+	if alpha <= 0 {
+		return math.Inf(1)
+	}
+	return (alpha + 1) / alpha
+}
+
+// TheoreticalRatio returns the Theorem 4 approximation guarantee for
+// the given network size: (α+1)/α · log|E|/loglog|E| (the constant in
+// the O(·) taken as 1). It contextualizes measured ratios like
+// Result.Cost/Relaxed.Cost.
+func (r *Result) TheoreticalRatio(links int) float64 {
+	if links < 3 {
+		// loglog degenerates below e; the bound is vacuous here.
+		return math.Inf(1)
+	}
+	logE := math.Log(float64(links))
+	return r.CeilingRatio() * logE / math.Log(logE)
+}
+
+// Solve runs MAA on inst.
+func Solve(inst *sched.Instance, opts Options) (*Result, error) {
+	if inst.NumRequests() == 0 {
+		return nil, ErrNoRequests
+	}
+	if opts.RNG == nil {
+		return nil, errors.New("maa: options require an RNG")
+	}
+	rounds := opts.Rounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+
+	rel, err := spm.SolveRLRelaxation(inst, opts.LP)
+	if err != nil {
+		return nil, fmt.Errorf("maa: %w", err)
+	}
+
+	var (
+		best     *sched.Schedule
+		bestCost float64
+	)
+	for r := 0; r < rounds; r++ {
+		s, err := Round(inst, rel, opts.RNG)
+		if err != nil {
+			return nil, err
+		}
+		cost := s.Cost()
+		if best == nil || cost < bestCost {
+			best, bestCost = s, cost
+		}
+	}
+	return &Result{
+		Schedule: best,
+		Charged:  best.ChargedBandwidth(),
+		Cost:     bestCost,
+		Relaxed:  rel,
+	}, nil
+}
+
+// Round performs one randomized rounding of the relaxed solution:
+// request i is routed on path j with probability rel.X[i][j]
+// (Algorithm 1, lines 2–4). Every request is served.
+func Round(inst *sched.Instance, rel *spm.RelaxedRL, rng *stats.RNG) (*sched.Schedule, error) {
+	if len(rel.X) != inst.NumRequests() {
+		return nil, fmt.Errorf("maa: relaxation covers %d requests, instance has %d", len(rel.X), inst.NumRequests())
+	}
+	s := sched.NewSchedule(inst)
+	for i := 0; i < inst.NumRequests(); i++ {
+		j := rng.PickWeighted(rel.X[i])
+		if j < 0 {
+			// The relaxation serves every request, so a vanishing row
+			// is numerical noise; fall back to the cheapest path.
+			j = 0
+		}
+		if err := s.Assign(i, j); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,269 @@
+// Package mip implements a branch & bound solver for mixed 0/1-integer
+// linear programs on top of the internal/lp simplex. It replaces the
+// Gurobi ILP calls of the paper's evaluation (the exact OPT(SPM) and
+// OPT(RL-SPM) reference solutions).
+//
+// The solver is an anytime algorithm: with a node or time limit it
+// returns the best incumbent found and the remaining optimality gap.
+package mip
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"metis/internal/lp"
+)
+
+// Status is the outcome of a MIP solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// StatusOptimal means the search tree was exhausted; the incumbent
+	// is a proven optimum (within tolerance).
+	StatusOptimal Status = iota + 1
+	// StatusFeasible means a limit (time or nodes) stopped the search
+	// with at least one incumbent; Gap bounds its suboptimality.
+	StatusFeasible
+	// StatusInfeasible means no integer-feasible point exists.
+	StatusInfeasible
+	// StatusLimit means a limit stopped the search before any incumbent
+	// was found.
+	StatusLimit
+	// StatusUnbounded means the LP relaxation is unbounded.
+	StatusUnbounded
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusFeasible:
+		return "feasible"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusLimit:
+		return "limit"
+	case StatusUnbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Options tunes the branch & bound search.
+type Options struct {
+	// LP configures the per-node simplex solves.
+	LP lp.Options
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+	// MaxNodes bounds the number of explored nodes (default 200000).
+	MaxNodes int
+	// TimeLimit stops the search after the given wall time
+	// (default: none).
+	TimeLimit time.Duration
+	// WarmStart optionally seeds the search with a known
+	// integer-feasible point (its feasibility is the caller's
+	// responsibility). The incumbent and pruning bound start from it,
+	// which keeps time-limited solves from returning nothing and
+	// tightens the search.
+	WarmStart []float64
+	// now is injectable for tests.
+	now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.IntTol <= 0 {
+		o.IntTol = 1e-6
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 200000
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return o
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	Objective float64   // incumbent objective (original sense)
+	X         []float64 // incumbent point
+	Bound     float64   // best proven bound on the optimum
+	Gap       float64   // |Objective−Bound| / max(1, |Objective|); 0 when optimal
+	Nodes     int       // explored nodes
+}
+
+// Solve optimizes prob with the variables listed in integerCols
+// restricted to integer values. The sense must match how prob was
+// built; it is needed to orient pruning. Solve mutates prob's variable
+// bounds during the search and restores them before returning.
+func Solve(prob *lp.Problem, sense lp.Sense, integerCols []int, opts Options) (*Solution, error) {
+	o := opts.withDefaults()
+	for _, j := range integerCols {
+		if j < 0 || j >= prob.NumVariables() {
+			return nil, fmt.Errorf("mip: integer column %d out of range", j)
+		}
+	}
+	start := o.now()
+	deadline := time.Time{}
+	if o.TimeLimit > 0 {
+		deadline = start.Add(o.TimeLimit)
+	}
+
+	// Root relaxation.
+	root, err := prob.Solve(o.LP)
+	if err != nil {
+		return nil, err
+	}
+	switch root.Status {
+	case lp.StatusInfeasible:
+		return &Solution{Status: StatusInfeasible, Nodes: 1}, nil
+	case lp.StatusUnbounded:
+		return &Solution{Status: StatusUnbounded, Nodes: 1}, nil
+	case lp.StatusIterLimit:
+		return &Solution{Status: StatusLimit, Nodes: 1}, nil
+	}
+
+	s := &searcher{
+		prob:    prob,
+		sense:   sense,
+		intCols: integerCols,
+		opts:    o,
+		deadline: func() bool {
+			return !deadline.IsZero() && o.now().After(deadline)
+		},
+		rootBound: root.Objective,
+		bestObj:   math.NaN(),
+	}
+	if o.WarmStart != nil {
+		if len(o.WarmStart) != prob.NumVariables() {
+			return nil, fmt.Errorf("mip: warm start has %d values, want %d", len(o.WarmStart), prob.NumVariables())
+		}
+		s.bestX = append([]float64(nil), o.WarmStart...)
+		s.bestObj = prob.ObjectiveValue(o.WarmStart)
+	}
+	s.branch(root)
+
+	sol := &Solution{
+		Bound: s.rootBound,
+		Nodes: s.nodes,
+	}
+	if s.bestX == nil {
+		if s.limited {
+			sol.Status = StatusLimit
+		} else {
+			sol.Status = StatusInfeasible
+		}
+		return sol, nil
+	}
+	sol.Objective = s.bestObj
+	sol.X = s.bestX
+	if s.limited {
+		sol.Status = StatusFeasible
+		sol.Gap = math.Abs(sol.Objective-sol.Bound) / math.Max(1, math.Abs(sol.Objective))
+	} else {
+		sol.Status = StatusOptimal
+		sol.Bound = sol.Objective
+	}
+	return sol, nil
+}
+
+type searcher struct {
+	prob     *lp.Problem
+	sense    lp.Sense
+	intCols  []int
+	opts     Options
+	deadline func() bool
+
+	rootBound float64
+	bestObj   float64
+	bestX     []float64
+	nodes     int
+	limited   bool
+}
+
+// better reports whether a beats b in the problem's sense.
+func (s *searcher) better(a, b float64) bool {
+	if s.sense == lp.Maximize {
+		return a > b
+	}
+	return a < b
+}
+
+// branch recursively explores the subtree rooted at the node whose LP
+// relaxation is rel (already solved under the current bounds of s.prob).
+func (s *searcher) branch(rel *lp.Solution) {
+	s.nodes++
+	if s.nodes >= s.opts.MaxNodes || s.deadline() {
+		s.limited = true
+		return
+	}
+
+	// Prune by bound.
+	if s.bestX != nil {
+		improves := s.better(rel.Objective, s.bestObj)
+		if !improves {
+			return
+		}
+	}
+
+	// Find the most fractional integer variable.
+	frac := -1
+	fracDist := 0.0
+	for _, j := range s.intCols {
+		v := rel.X[j]
+		d := math.Abs(v - math.Round(v))
+		if d > s.opts.IntTol && d > fracDist {
+			frac, fracDist = j, d
+		}
+	}
+	if frac == -1 {
+		// Integer feasible: candidate incumbent.
+		if s.bestX == nil || s.better(rel.Objective, s.bestObj) {
+			s.bestObj = rel.Objective
+			s.bestX = append([]float64(nil), rel.X...)
+			// Snap near-integers exactly.
+			for _, j := range s.intCols {
+				s.bestX[j] = math.Round(s.bestX[j])
+			}
+		}
+		return
+	}
+
+	lo, hi := s.prob.Bounds(frac)
+	v := rel.X[frac]
+	floorV := math.Floor(v)
+
+	// Explore the child nearer the LP value first.
+	downFirst := v-floorV < 0.5
+	for pass := 0; pass < 2; pass++ {
+		down := downFirst == (pass == 0)
+		var err error
+		if down {
+			err = s.prob.SetBounds(frac, lo, floorV)
+		} else {
+			err = s.prob.SetBounds(frac, floorV+1, hi)
+		}
+		if err != nil {
+			// Empty child interval (e.g. floor below lower bound): skip.
+			continue
+		}
+		child, solveErr := s.prob.Solve(s.opts.LP)
+		if solveErr == nil && child.Status == lp.StatusOptimal {
+			s.branch(child)
+		} else if solveErr == nil && child.Status == lp.StatusIterLimit {
+			s.limited = true
+		}
+		if err := s.prob.SetBounds(frac, lo, hi); err != nil {
+			// Restoring previously valid bounds cannot fail.
+			panic("mip: restore bounds: " + err.Error())
+		}
+		if s.limited {
+			return
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package mip
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"metis/internal/lp"
+	"metis/internal/stats"
+)
+
+func buildKnapsack(t *testing.T, values, weights []float64, capacity float64) (*lp.Problem, []int) {
+	t.Helper()
+	p := lp.NewProblem(lp.Maximize)
+	cols := make([]int, len(values))
+	row, err := p.AddConstraint(lp.LE, capacity, "cap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range values {
+		j, err := p.AddVariable(values[i], 0, 1, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols[i] = j
+		if err := p.AddTerm(row, j, weights[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p, cols
+}
+
+func bruteKnapsack(values, weights []float64, capacity float64) float64 {
+	n := len(values)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		var v, w float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				v += values[i]
+				w += weights[i]
+			}
+		}
+		if w <= capacity+1e-12 && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestKnapsackExact(t *testing.T) {
+	values := []float64{10, 13, 7, 8, 2}
+	weights := []float64{5, 6, 4, 5, 1}
+	p, cols := buildKnapsack(t, values, weights, 10)
+	sol, err := Solve(p, lp.Maximize, cols, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	want := bruteKnapsack(values, weights, 10)
+	if math.Abs(sol.Objective-want) > 1e-6 {
+		t.Fatalf("objective = %v, want %v", sol.Objective, want)
+	}
+	for _, j := range cols {
+		v := sol.X[j]
+		if math.Abs(v-math.Round(v)) > 1e-9 {
+			t.Fatalf("x[%d] = %v not integral", j, v)
+		}
+	}
+}
+
+func TestKnapsackRandomAgainstBruteForce(t *testing.T) {
+	rng := stats.NewRNG(5)
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(7)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		var total float64
+		for i := 0; i < n; i++ {
+			values[i] = rng.Uniform(1, 20)
+			weights[i] = rng.Uniform(1, 10)
+			total += weights[i]
+		}
+		capacity := rng.Uniform(0.3, 0.7) * total
+		p, cols := buildKnapsack(t, values, weights, capacity)
+		sol, err := Solve(p, lp.Maximize, cols, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != StatusOptimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		want := bruteKnapsack(values, weights, capacity)
+		if math.Abs(sol.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: got %v, want %v", trial, sol.Objective, want)
+		}
+	}
+}
+
+func TestMinimizationIntegerProgram(t *testing.T) {
+	// min 3x + 2y  s.t. x + y >= 3.5, x,y integer, 0 <= x,y <= 10.
+	// LP optimum is y=3.5 (cost 7); ILP optimum y=4, x=0 → cost 8.
+	p := lp.NewProblem(lp.Minimize)
+	x, _ := p.AddVariable(3, 0, 10, "x")
+	y, _ := p.AddVariable(2, 0, 10, "y")
+	row, _ := p.AddConstraint(lp.GE, 3.5, "c")
+	_ = p.AddTerm(row, x, 1)
+	_ = p.AddTerm(row, y, 1)
+
+	sol, err := Solve(p, lp.Minimize, []int{x, y}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-8) > 1e-6 {
+		t.Fatalf("objective = %v, want 8", sol.Objective)
+	}
+}
+
+func TestMixedIntegerKeepsContinuousFree(t *testing.T) {
+	// max x + y, x integer <= 2.5 bound, y continuous, x + y <= 3.9.
+	// Optimum: x = 2 (integer), y = 1.9.
+	p := lp.NewProblem(lp.Maximize)
+	x, _ := p.AddVariable(1, 0, 2.5, "x")
+	y, _ := p.AddVariable(1, 0, math.Inf(1), "y")
+	row, _ := p.AddConstraint(lp.LE, 3.9, "c")
+	_ = p.AddTerm(row, x, 1)
+	_ = p.AddTerm(row, y, 1)
+
+	sol, err := Solve(p, lp.Maximize, []int{x}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-3.9) > 1e-6 {
+		t.Fatalf("objective = %v, want 3.9", sol.Objective)
+	}
+	if math.Abs(sol.X[x]-math.Round(sol.X[x])) > 1e-9 {
+		t.Fatalf("x = %v not integral", sol.X[x])
+	}
+}
+
+func TestInfeasibleInteger(t *testing.T) {
+	// 0.4 <= x <= 0.6 with x integer: no integer point.
+	p := lp.NewProblem(lp.Minimize)
+	x, _ := p.AddVariable(1, 0.4, 0.6, "x")
+	row, _ := p.AddConstraint(lp.GE, 0.4, "c")
+	_ = p.AddTerm(row, x, 1)
+
+	sol, err := Solve(p, lp.Minimize, []int{x}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestLPInfeasibleRoot(t *testing.T) {
+	p := lp.NewProblem(lp.Minimize)
+	x, _ := p.AddVariable(1, 0, 1, "x")
+	c1, _ := p.AddConstraint(lp.GE, 2, "c1")
+	_ = p.AddTerm(c1, x, 1)
+
+	sol, err := Solve(p, lp.Minimize, []int{x}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestNodeLimitReturnsIncumbentOrLimit(t *testing.T) {
+	rng := stats.NewRNG(77)
+	n := 14
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		values[i] = rng.Uniform(1, 20)
+		weights[i] = rng.Uniform(1, 10)
+		total += weights[i]
+	}
+	p, cols := buildKnapsack(t, values, weights, total*0.5)
+	sol, err := Solve(p, lp.Maximize, cols, Options{MaxNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusFeasible && sol.Status != StatusLimit {
+		t.Fatalf("status = %v, want feasible or limit", sol.Status)
+	}
+	if sol.Status == StatusFeasible {
+		if sol.Gap < 0 {
+			t.Fatalf("negative gap %v", sol.Gap)
+		}
+		if sol.Objective > sol.Bound+1e-6 {
+			t.Fatalf("incumbent %v above bound %v in a max problem", sol.Objective, sol.Bound)
+		}
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	// A fake clock that expires immediately after the root solve.
+	calls := 0
+	fakeNow := func() time.Time {
+		calls++
+		return time.Unix(int64(calls)*3600, 0)
+	}
+	values := []float64{3, 5, 7}
+	weights := []float64{2, 3, 4}
+	p, cols := buildKnapsack(t, values, weights, 5)
+	sol, err := Solve(p, lp.Maximize, cols, Options{TimeLimit: time.Second, now: fakeNow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status == StatusOptimal && sol.Nodes > 2 {
+		t.Fatalf("time limit ignored: %v after %d nodes", sol.Status, sol.Nodes)
+	}
+}
+
+func TestBoundsRestoredAfterSolve(t *testing.T) {
+	values := []float64{4, 5}
+	weights := []float64{2, 3}
+	p, cols := buildKnapsack(t, values, weights, 4)
+	if _, err := Solve(p, lp.Maximize, cols, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range cols {
+		lo, hi := p.Bounds(j)
+		if lo != 0 || hi != 1 {
+			t.Fatalf("bounds of %d not restored: [%v, %v]", j, lo, hi)
+		}
+	}
+}
+
+func TestInvalidIntegerColumn(t *testing.T) {
+	p := lp.NewProblem(lp.Minimize)
+	if _, err := Solve(p, lp.Minimize, []int{3}, Options{}); err == nil {
+		t.Fatal("want error for out-of-range integer column")
+	}
+}
+
+func TestStatusStringMIP(t *testing.T) {
+	tests := []struct {
+		s    Status
+		want string
+	}{
+		{StatusOptimal, "optimal"},
+		{StatusFeasible, "feasible"},
+		{StatusInfeasible, "infeasible"},
+		{StatusLimit, "limit"},
+		{StatusUnbounded, "unbounded"},
+		{Status(9), "status(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.s, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package online
+
+import (
+	"testing"
+
+	"metis/internal/core"
+	"metis/internal/demand"
+	"metis/internal/maa"
+	"metis/internal/sched"
+	"metis/internal/stats"
+	"metis/internal/wan"
+)
+
+func instance(t *testing.T, net *wan.Network, k int, seed int64) *sched.Instance {
+	t.Helper()
+	g, err := demand.NewGenerator(net, demand.DefaultGeneratorConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := g.GenerateN(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sched.NewInstance(net, demand.DefaultSlots, reqs, sched.DefaultPathsPerRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// forecastPlan plans capacity with MAA on a forecast workload of the
+// same size but a different seed.
+func forecastPlan(t *testing.T, net *wan.Network, k int) []int {
+	t.Helper()
+	inst := instance(t, net, k, 999)
+	res, err := maa.Solve(inst, maa.Options{RNG: stats.NewRNG(9), Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Charged
+}
+
+func TestGreedyProfitNonNegative(t *testing.T) {
+	inst := instance(t, wan.SubB4(), 150, 1)
+	res, err := Simulate(inst, Greedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy only buys when value covers the purchase, so profit can
+	// never go negative.
+	if res.Profit < -1e-9 {
+		t.Fatalf("greedy profit %v negative", res.Profit)
+	}
+	if res.Revenue != res.Schedule.Revenue() {
+		t.Fatal("revenue accounting mismatch")
+	}
+	if err := res.Schedule.FeasibleUnder(res.Purchased); err != nil {
+		t.Fatalf("final schedule exceeds purchased bandwidth: %v", err)
+	}
+}
+
+func TestPerSlotTraceConsistent(t *testing.T) {
+	inst := instance(t, wan.SubB4(), 100, 2)
+	res, err := Simulate(inst, Greedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerSlot) != inst.Slots() {
+		t.Fatalf("trace has %d slots, want %d", len(res.PerSlot), inst.Slots())
+	}
+	var arrived, accepted int
+	for _, s := range res.PerSlot {
+		if s.Accepted > s.Arrived {
+			t.Fatalf("slot %d accepted %d of %d arrivals", s.Slot, s.Accepted, s.Arrived)
+		}
+		arrived += s.Arrived
+		accepted += s.Accepted
+	}
+	if arrived != inst.NumRequests() {
+		t.Fatalf("trace saw %d arrivals, want %d", arrived, inst.NumRequests())
+	}
+	if accepted != res.Schedule.NumAccepted() {
+		t.Fatalf("trace accepted %d, schedule has %d", accepted, res.Schedule.NumAccepted())
+	}
+}
+
+func TestProvisionedPoliciesRespectPlan(t *testing.T) {
+	net := wan.SubB4()
+	inst := instance(t, net, 120, 3)
+	plan := forecastPlan(t, net, 120)
+
+	for _, p := range []Policy{ProvisionedFirstFit{Plan: plan}, ProvisionedTAA{Plan: plan}} {
+		res, err := Simulate(inst, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		// Provisioned policies never buy beyond the plan.
+		for e, units := range res.Purchased {
+			if units > plan[e] {
+				t.Fatalf("%s: bought %d units on link %d beyond plan %d", p.Name(), units, e, plan[e])
+			}
+		}
+		if err := res.Schedule.FeasibleUnder(plan); err != nil {
+			t.Fatalf("%s: schedule exceeds the plan: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestProvisionedTAABeatsFirstFit(t *testing.T) {
+	// TAA's batch admission should never earn less revenue than plain
+	// first-fit under the same plan (allowing small slack: they commit
+	// different early paths).
+	net := wan.SubB4()
+	inst := instance(t, net, 200, 4)
+	plan := forecastPlan(t, net, 200)
+
+	ff, err := Simulate(inst, ProvisionedFirstFit{Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := Simulate(inst, ProvisionedTAA{Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.Revenue < 0.95*ff.Revenue {
+		t.Fatalf("provisioned TAA revenue %v well below first-fit %v", ta.Revenue, ff.Revenue)
+	}
+}
+
+func TestOnlineNeverBeatsOffline(t *testing.T) {
+	// Hindsight check: the offline Metis profit (which sees the whole
+	// cycle) should not be materially below the online greedy's.
+	inst := instance(t, wan.SubB4(), 150, 5)
+	on, err := Simulate(inst, Greedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := core.Solve(inst, core.Config{Theta: 6, MAARounds: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Profit < on.Profit-1e-6 {
+		t.Fatalf("offline Metis %v below online greedy %v", off.Profit, on.Profit)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	inst := instance(t, wan.SubB4(), 10, 6)
+	if _, err := Simulate(inst, ProvisionedTAA{Plan: []int{1}}); err == nil {
+		t.Fatal("want error for wrong plan length")
+	}
+}
+
+func TestEmptyWorkload(t *testing.T) {
+	inst, err := sched.NewInstance(wan.SubB4(), 12, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(inst, Greedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profit != 0 || res.Schedule.NumAccepted() != 0 {
+		t.Fatalf("empty workload produced %+v", res)
+	}
+}

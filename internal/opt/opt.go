@@ -1,0 +1,89 @@
+// Package opt exposes the exact reference solutions of the paper's
+// evaluation — OPT(SPM) and OPT(RL-SPM) — as evaluation-friendly
+// wrappers over the internal/spm MILP builders. Both are anytime: with
+// a time limit they return the best incumbent and whether optimality
+// was proven.
+package opt
+
+import (
+	"time"
+
+	"metis/internal/core"
+	"metis/internal/maa"
+	"metis/internal/sched"
+	"metis/internal/spm"
+	"metis/internal/stats"
+)
+
+// Result is an exact-solver outcome plus the derived evaluation metrics.
+type Result struct {
+	// Schedule is the incumbent schedule.
+	Schedule *sched.Schedule
+	// Profit, Revenue, Cost summarize Schedule.
+	Profit, Revenue, Cost float64
+	// Accepted is the number of served requests.
+	Accepted int
+	// Proven reports whether the incumbent is a proven optimum.
+	Proven bool
+	// Gap is the relative optimality gap when Proven is false.
+	Gap float64
+	// Elapsed is the solver wall time.
+	Elapsed time.Duration
+}
+
+// SPM computes OPT(SPM): the profit-maximal acceptance, routing and
+// integer bandwidth purchase. timeLimit bounds the branch & bound
+// search (0 = solve to optimality). The search is warm-started with a
+// Metis incumbent, so a time-limited result is never worse than Metis —
+// matching Gurobi-style anytime behaviour.
+func SPM(inst *sched.Instance, timeLimit time.Duration) (*Result, error) {
+	var warm *sched.Schedule
+	if m, err := core.Solve(inst, core.Config{Theta: 6, MAARounds: 3, Seed: 1}); err == nil {
+		warm = m.Schedule
+	}
+	return SPMWithWarm(inst, timeLimit, warm)
+}
+
+// SPMWithWarm is SPM with a caller-provided warm-start schedule (e.g.
+// the exact Metis schedule an experiment is comparing against, which
+// keeps the anytime OPT(SPM) line above the Metis line by
+// construction). A nil warm start is allowed.
+func SPMWithWarm(inst *sched.Instance, timeLimit time.Duration, warm *sched.Schedule) (*Result, error) {
+	start := time.Now()
+	res, err := spm.SolveExactSPM(inst, spm.ExactOptions{TimeLimit: timeLimit, Warm: warm})
+	if err != nil {
+		return nil, err
+	}
+	return wrap(res, start), nil
+}
+
+// RLSPM computes OPT(RL-SPM): the cost-minimal schedule that serves
+// every request (the paper's "accept everything" mode). The search is
+// warm-started with a best-of-several MAA rounding, so a time-limited
+// result is never worse than the MAA heuristic.
+func RLSPM(inst *sched.Instance, timeLimit time.Duration) (*Result, error) {
+	start := time.Now()
+	var warm *sched.Schedule
+	if m, err := maa.Solve(inst, maa.Options{RNG: stats.NewRNG(1), Rounds: 20}); err == nil {
+		warm = m.Schedule
+	}
+	res, err := spm.SolveExactRL(inst, spm.ExactOptions{TimeLimit: timeLimit, Warm: warm})
+	if err != nil {
+		return nil, err
+	}
+	return wrap(res, start), nil
+}
+
+func wrap(res *spm.ExactResult, start time.Time) *Result {
+	s := res.Schedule
+	return &Result{
+		Schedule: s,
+		Profit:   s.Profit(),
+		Revenue:  s.Revenue(),
+		Cost:     s.Cost(),
+		Accepted: s.NumAccepted(),
+		Proven:   res.Proven,
+		Gap:      res.Gap,
+		Elapsed:  time.Since(start),
+	}
+}

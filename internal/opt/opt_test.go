@@ -1,0 +1,83 @@
+package opt
+
+import (
+	"testing"
+	"time"
+
+	"metis/internal/core"
+	"metis/internal/demand"
+	"metis/internal/sched"
+	"metis/internal/wan"
+)
+
+func instance(t *testing.T, k int, seed int64) *sched.Instance {
+	t.Helper()
+	g, err := demand.NewGenerator(wan.SubB4(), demand.DefaultGeneratorConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := g.GenerateN(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sched.NewInstance(wan.SubB4(), demand.DefaultSlots, reqs, sched.DefaultPathsPerRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestOrderingSPMvsRLSPMvsMetis(t *testing.T) {
+	// The paper's Fig. 3a ordering on any instance where all solvers
+	// finish: OPT(SPM) >= Metis and OPT(SPM) >= OPT(RL-SPM).
+	inst := instance(t, 12, 1)
+	optSPM, err := SPM(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !optSPM.Proven {
+		t.Skip("OPT(SPM) hit a limit")
+	}
+	optRL, err := RLSPM(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metis, err := core.Solve(inst, core.Config{Theta: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metis.Profit > optSPM.Profit+1e-6 {
+		t.Fatalf("Metis %v beats proven OPT(SPM) %v", metis.Profit, optSPM.Profit)
+	}
+	if optRL.Proven && optRL.Profit > optSPM.Profit+1e-6 {
+		t.Fatalf("OPT(RL-SPM) %v beats OPT(SPM) %v", optRL.Profit, optSPM.Profit)
+	}
+}
+
+func TestRLSPMAcceptsAll(t *testing.T) {
+	inst := instance(t, 10, 2)
+	res, err := RLSPM(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 10 {
+		t.Fatalf("OPT(RL-SPM) accepted %d of 10", res.Accepted)
+	}
+	if res.Revenue != demand.TotalValue(inst.Requests()) {
+		t.Fatalf("revenue %v, want total value", res.Revenue)
+	}
+}
+
+func TestTimeLimitedStillReturns(t *testing.T) {
+	inst := instance(t, 40, 3)
+	res, err := SPM(inst, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule == nil {
+		t.Fatal("no incumbent under time limit")
+	}
+	if res.Profit < -1e-9 {
+		t.Fatalf("profit %v negative (empty schedule is always available)", res.Profit)
+	}
+}

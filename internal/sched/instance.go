@@ -1,0 +1,114 @@
+// Package sched defines scheduling instances (network + billing cycle +
+// requests + candidate path sets) and schedules (request→path
+// assignments) together with all profit accounting: per-(link, slot)
+// loads, charged bandwidth, service cost, service revenue, service
+// profit, link utilization, and capacity-feasibility checking.
+package sched
+
+import (
+	"fmt"
+
+	"metis/internal/demand"
+	"metis/internal/wan"
+)
+
+// DefaultPathsPerRequest is the default size of each request's candidate
+// path set (k in the k-cheapest-paths enumeration).
+const DefaultPathsPerRequest = 3
+
+// Instance is one SPM problem instance: the network, the billing cycle
+// length, the requests of the cycle, and each request's candidate paths.
+type Instance struct {
+	net   *wan.Network
+	slots int
+	reqs  []demand.Request
+	paths [][]wan.Path // paths[i] = candidate paths of reqs[i]
+}
+
+// NewInstance builds an instance, enumerating up to pathsPerRequest
+// cheapest candidate paths for every request. It validates all requests.
+func NewInstance(net *wan.Network, slots int, reqs []demand.Request, pathsPerRequest int) (*Instance, error) {
+	if slots <= 0 {
+		return nil, fmt.Errorf("sched: slots %d must be positive", slots)
+	}
+	if pathsPerRequest <= 0 {
+		return nil, fmt.Errorf("sched: pathsPerRequest %d must be positive", pathsPerRequest)
+	}
+	if err := demand.ValidateAll(reqs, net, slots); err != nil {
+		return nil, err
+	}
+
+	// Path sets depend only on the (src, dst) pair; memoize.
+	cache := make(map[[2]int][]wan.Path)
+	paths := make([][]wan.Path, len(reqs))
+	for i, r := range reqs {
+		key := [2]int{r.Src, r.Dst}
+		ps, ok := cache[key]
+		if !ok {
+			var err error
+			ps, err = net.Paths(r.Src, r.Dst, pathsPerRequest)
+			if err != nil {
+				return nil, fmt.Errorf("sched: request %d: %w", r.ID, err)
+			}
+			cache[key] = ps
+		}
+		paths[i] = ps
+	}
+	return &Instance{
+		net:   net,
+		slots: slots,
+		reqs:  append([]demand.Request(nil), reqs...),
+		paths: paths,
+	}, nil
+}
+
+// Network returns the instance's WAN.
+func (in *Instance) Network() *wan.Network { return in.net }
+
+// Slots returns the billing cycle length.
+func (in *Instance) Slots() int { return in.slots }
+
+// NumRequests returns the number of requests.
+func (in *Instance) NumRequests() int { return len(in.reqs) }
+
+// Request returns the i-th request.
+func (in *Instance) Request(i int) demand.Request { return in.reqs[i] }
+
+// Requests returns a copy of all requests.
+func (in *Instance) Requests() []demand.Request {
+	out := make([]demand.Request, len(in.reqs))
+	copy(out, in.reqs)
+	return out
+}
+
+// NumPaths returns the number of candidate paths of request i.
+func (in *Instance) NumPaths(i int) int { return len(in.paths[i]) }
+
+// Path returns candidate path j of request i.
+func (in *Instance) Path(i, j int) wan.Path { return in.paths[i][j] }
+
+// Subset returns a new instance over the requests whose indices are in
+// keep (candidate paths are reused, not re-enumerated). Indices refer to
+// positions in this instance, not request ids.
+func (in *Instance) Subset(keep []int) (*Instance, error) {
+	reqs := make([]demand.Request, 0, len(keep))
+	paths := make([][]wan.Path, 0, len(keep))
+	for _, idx := range keep {
+		if idx < 0 || idx >= len(in.reqs) {
+			return nil, fmt.Errorf("sched: subset index %d out of range", idx)
+		}
+		reqs = append(reqs, in.reqs[idx])
+		paths = append(paths, in.paths[idx])
+	}
+	return &Instance{net: in.net, slots: in.slots, reqs: reqs, paths: paths}, nil
+}
+
+// UniformCaps returns a capacity vector with the same integer capacity
+// on every link (e.g. 10 units = 100 Gbps in Fig. 4c/4d).
+func (in *Instance) UniformCaps(units int) []int {
+	caps := make([]int, in.net.NumLinks())
+	for i := range caps {
+		caps[i] = units
+	}
+	return caps
+}

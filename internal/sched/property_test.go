@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"metis/internal/demand"
+	"metis/internal/stats"
+	"metis/internal/wan"
+)
+
+// randomSchedule builds a random instance and a random partial schedule
+// over it.
+func randomSchedule(rng *stats.RNG, k int) (*Schedule, error) {
+	net := wan.SubB4()
+	gen, err := demand.NewGenerator(net, demand.DefaultGeneratorConfig(int64(rng.IntBetween(1, 1<<30))))
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := gen.GenerateN(k)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := NewInstance(net, demand.DefaultSlots, reqs, DefaultPathsPerRequest)
+	if err != nil {
+		return nil, err
+	}
+	s := NewSchedule(inst)
+	for i := 0; i < inst.NumRequests(); i++ {
+		switch rng.Intn(3) {
+		case 0: // declined
+		default:
+			if err := s.Assign(i, rng.Intn(inst.NumPaths(i))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// TestAccountingInvariants fuzzes random schedules and checks the core
+// accounting identities the rest of the system relies on.
+func TestAccountingInvariants(t *testing.T) {
+	rng := stats.NewRNG(71)
+	for trial := 0; trial < 40; trial++ {
+		s, err := randomSchedule(rng, 5+rng.Intn(40))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := s.Instance()
+		net := inst.Network()
+
+		// Profit identity.
+		if math.Abs(s.Profit()-(s.Revenue()-s.Cost())) > 1e-9 {
+			t.Fatalf("trial %d: profit identity violated", trial)
+		}
+
+		// Revenue equals the sum of accepted values.
+		var wantRev float64
+		for _, i := range s.Accepted() {
+			wantRev += inst.Request(i).Value
+		}
+		if math.Abs(s.Revenue()-wantRev) > 1e-9 {
+			t.Fatalf("trial %d: revenue %v, want %v", trial, s.Revenue(), wantRev)
+		}
+
+		// Charged bandwidth covers every per-slot load and never
+		// exceeds peak+1 unit.
+		loads := s.Loads()
+		charged := s.ChargedBandwidth()
+		var wantCost float64
+		for e, ts := range loads {
+			var peak float64
+			for _, v := range ts {
+				if v > peak {
+					peak = v
+				}
+			}
+			if float64(charged[e]) < peak-1e-9 {
+				t.Fatalf("trial %d: link %d charged %d below peak %v", trial, e, charged[e], peak)
+			}
+			if float64(charged[e]) >= peak+1+1e-9 {
+				t.Fatalf("trial %d: link %d overcharged %d for peak %v", trial, e, charged[e], peak)
+			}
+			wantCost += float64(charged[e]) * net.Link(e).Price
+		}
+		if math.Abs(s.Cost()-wantCost) > 1e-9 {
+			t.Fatalf("trial %d: cost %v, want %v", trial, s.Cost(), wantCost)
+		}
+
+		// The schedule is always feasible under its own purchase.
+		if err := s.FeasibleUnder(charged); err != nil {
+			t.Fatalf("trial %d: infeasible under own purchase: %v", trial, err)
+		}
+
+		// Utilization bounds: all in [0, 1] against the charged
+		// bandwidth (peak-based, so the average can never exceed 1).
+		st := s.Utilization(charged)
+		if st.Max > 1+1e-9 || st.Min < -1e-9 || st.Avg > 1+1e-9 {
+			t.Fatalf("trial %d: utilization out of bounds: %+v", trial, st)
+		}
+
+		// Declining any request never increases loads.
+		if acc := s.Accepted(); len(acc) > 0 {
+			victim := acc[rng.Intn(len(acc))]
+			before := s.Loads()
+			s.Decline(victim)
+			after := s.Loads()
+			for e := range after {
+				for ts := range after[e] {
+					if after[e][ts] > before[e][ts]+1e-12 {
+						t.Fatalf("trial %d: load grew after decline", trial)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMonotoneCost checks that adding a request to a schedule never
+// decreases cost and never decreases revenue.
+func TestMonotoneCost(t *testing.T) {
+	rng := stats.NewRNG(73)
+	for trial := 0; trial < 30; trial++ {
+		s, err := randomSchedule(rng, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := s.Instance()
+		var declined []int
+		for i := 0; i < inst.NumRequests(); i++ {
+			if s.Choice(i) == Declined {
+				declined = append(declined, i)
+			}
+		}
+		if len(declined) == 0 {
+			continue
+		}
+		costBefore, revBefore := s.Cost(), s.Revenue()
+		pick := declined[rng.Intn(len(declined))]
+		if err := s.Assign(pick, rng.Intn(inst.NumPaths(pick))); err != nil {
+			t.Fatal(err)
+		}
+		if s.Cost() < costBefore-1e-9 {
+			t.Fatalf("trial %d: cost decreased after adding a request", trial)
+		}
+		if s.Revenue() < revBefore-1e-9 {
+			t.Fatalf("trial %d: revenue decreased after adding a request", trial)
+		}
+	}
+}

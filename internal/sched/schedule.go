@@ -1,0 +1,234 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// Declined marks a request that is not served by a schedule.
+const Declined = -1
+
+// ceilEps guards integer ceilings against floating-point noise so that a
+// load of 2+1e-10 charges 2 units, not 3.
+const ceilEps = 1e-9
+
+// Schedule assigns each request of an instance either a candidate path
+// index or Declined.
+type Schedule struct {
+	inst   *Instance
+	choice []int
+}
+
+// NewSchedule returns a schedule over inst with every request declined.
+func NewSchedule(inst *Instance) *Schedule {
+	choice := make([]int, inst.NumRequests())
+	for i := range choice {
+		choice[i] = Declined
+	}
+	return &Schedule{inst: inst, choice: choice}
+}
+
+// Instance returns the schedule's instance.
+func (s *Schedule) Instance() *Instance { return s.inst }
+
+// Assign routes request i over its candidate path j.
+func (s *Schedule) Assign(i, j int) error {
+	if i < 0 || i >= len(s.choice) {
+		return fmt.Errorf("sched: request index %d out of range", i)
+	}
+	if j < 0 || j >= s.inst.NumPaths(i) {
+		return fmt.Errorf("sched: request %d has no candidate path %d", i, j)
+	}
+	s.choice[i] = j
+	return nil
+}
+
+// Decline marks request i as not served.
+func (s *Schedule) Decline(i int) {
+	s.choice[i] = Declined
+}
+
+// Choice returns the path index of request i, or Declined.
+func (s *Schedule) Choice(i int) int { return s.choice[i] }
+
+// Accepted returns the indices of served requests, in order.
+func (s *Schedule) Accepted() []int {
+	var out []int
+	for i, c := range s.choice {
+		if c != Declined {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumAccepted returns the number of served requests.
+func (s *Schedule) NumAccepted() int {
+	n := 0
+	for _, c := range s.choice {
+		if c != Declined {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns an independent copy of the schedule.
+func (s *Schedule) Clone() *Schedule {
+	choice := make([]int, len(s.choice))
+	copy(choice, s.choice)
+	return &Schedule{inst: s.inst, choice: choice}
+}
+
+// Loads returns the per-link, per-slot bandwidth load implied by the
+// schedule: loads[e][t] = Σ_i r_{i,t}·x_{i,j}·I_{i,j,e}.
+func (s *Schedule) Loads() [][]float64 {
+	loads := make([][]float64, s.inst.Network().NumLinks())
+	for e := range loads {
+		loads[e] = make([]float64, s.inst.Slots())
+	}
+	for i, c := range s.choice {
+		if c == Declined {
+			continue
+		}
+		r := s.inst.Request(i)
+		for _, e := range s.inst.Path(i, c).Links {
+			for t := r.Start; t <= r.End; t++ {
+				loads[e][t] += r.Rate
+			}
+		}
+	}
+	return loads
+}
+
+// ChargedBandwidth returns the integer bandwidth to purchase on each
+// link: the ceiling of the link's peak load over the billing cycle
+// (Algorithm 1, lines 6–8).
+func (s *Schedule) ChargedBandwidth() []int {
+	loads := s.Loads()
+	charged := make([]int, len(loads))
+	for e, ts := range loads {
+		var peak float64
+		for _, v := range ts {
+			if v > peak {
+				peak = v
+			}
+		}
+		charged[e] = CeilUnits(peak)
+	}
+	return charged
+}
+
+// Cost returns the service cost Σ_e u_e·c_e with c_e = ChargedBandwidth.
+func (s *Schedule) Cost() float64 {
+	charged := s.ChargedBandwidth()
+	var cost float64
+	for e, c := range charged {
+		cost += s.inst.Network().Link(e).Price * float64(c)
+	}
+	return cost
+}
+
+// Revenue returns the service revenue Σ of accepted request values.
+func (s *Schedule) Revenue() float64 {
+	var rev float64
+	for i, c := range s.choice {
+		if c != Declined {
+			rev += s.inst.Request(i).Value
+		}
+	}
+	return rev
+}
+
+// Profit returns Revenue() − Cost().
+func (s *Schedule) Profit() float64 { return s.Revenue() - s.Cost() }
+
+// CapacityViolationError reports a link-capacity constraint violation.
+type CapacityViolationError struct {
+	Link     int
+	Slot     int
+	Load     float64
+	Capacity int
+}
+
+func (e *CapacityViolationError) Error() string {
+	return fmt.Sprintf("sched: link %d slot %d: load %v exceeds capacity %d", e.Link, e.Slot, e.Load, e.Capacity)
+}
+
+// FeasibleUnder checks every (link, slot) load against caps (indexed by
+// link id) and returns a *CapacityViolationError for the first violation.
+func (s *Schedule) FeasibleUnder(caps []int) error {
+	if len(caps) != s.inst.Network().NumLinks() {
+		return fmt.Errorf("sched: capacity vector has %d entries, want %d", len(caps), s.inst.Network().NumLinks())
+	}
+	loads := s.Loads()
+	for e, ts := range loads {
+		for t, v := range ts {
+			if v > float64(caps[e])+ceilEps {
+				return &CapacityViolationError{Link: e, Slot: t, Load: v, Capacity: caps[e]}
+			}
+		}
+	}
+	return nil
+}
+
+// UtilizationStats summarizes link utilization across a schedule:
+// per-link utilization is the time-average load divided by that link's
+// capacity; Max/Min/Avg aggregate across links with positive capacity.
+type UtilizationStats struct {
+	Max float64
+	Min float64
+	Avg float64
+}
+
+// Utilization computes utilization statistics under the given per-link
+// capacities. Links with zero capacity are excluded; if no link has
+// positive capacity the zero value is returned.
+func (s *Schedule) Utilization(caps []int) UtilizationStats {
+	loads := s.Loads()
+	var (
+		utils []float64
+		sum   float64
+	)
+	for e, ts := range loads {
+		if e >= len(caps) || caps[e] <= 0 {
+			continue
+		}
+		var total float64
+		for _, v := range ts {
+			total += v
+		}
+		u := total / float64(s.inst.Slots()) / float64(caps[e])
+		utils = append(utils, u)
+		sum += u
+	}
+	if len(utils) == 0 {
+		return UtilizationStats{}
+	}
+	st := UtilizationStats{Max: math.Inf(-1), Min: math.Inf(1)}
+	for _, u := range utils {
+		if u > st.Max {
+			st.Max = u
+		}
+		if u < st.Min {
+			st.Min = u
+		}
+	}
+	st.Avg = sum / float64(len(utils))
+	return st
+}
+
+// ChargedUtilization is Utilization measured against the schedule's own
+// charged bandwidth — how well the purchased bandwidth is used.
+func (s *Schedule) ChargedUtilization() UtilizationStats {
+	return s.Utilization(s.ChargedBandwidth())
+}
+
+// CeilUnits rounds a non-negative bandwidth amount up to whole units,
+// absorbing floating-point noise within ceilEps.
+func CeilUnits(x float64) int {
+	if x <= 0 {
+		return 0
+	}
+	return int(math.Ceil(x - ceilEps))
+}

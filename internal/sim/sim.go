@@ -1,0 +1,269 @@
+// Package sim drives multi-cycle provider simulations: several billing
+// cycles of drifting demand, each scheduled by a pluggable scheduler,
+// with cumulative profit accounting. It composes the workload
+// generator, the forecasting pipeline, the offline schedulers (Metis,
+// EcoFlow, accept-everything) and the online policies into a lifecycle
+// evaluation the single-cycle paper setup cannot express.
+package sim
+
+import (
+	"fmt"
+
+	"metis/internal/baseline"
+	"metis/internal/core"
+	"metis/internal/demand"
+	"metis/internal/forecast"
+	"metis/internal/maa"
+	"metis/internal/online"
+	"metis/internal/sched"
+	"metis/internal/stats"
+	"metis/internal/wan"
+)
+
+// Config parameterizes a multi-cycle simulation.
+type Config struct {
+	// Net is the WAN to simulate on.
+	Net *wan.Network
+	// Cycles is the number of billing cycles (>= 1).
+	Cycles int
+	// BaseRequests is cycle 0's request count.
+	BaseRequests int
+	// Growth is the per-cycle demand growth rate (0.1 = +10% per
+	// cycle; may be negative).
+	Growth float64
+	// Slots is the billing cycle length (default demand.DefaultSlots).
+	Slots int
+	// PathsPerRequest sizes candidate path sets (default
+	// sched.DefaultPathsPerRequest).
+	PathsPerRequest int
+	// Seed drives workload generation (cycle c uses Seed+c) and all
+	// randomized algorithms.
+	Seed int64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Net == nil {
+		return c, fmt.Errorf("sim: config requires a network")
+	}
+	if c.Cycles <= 0 {
+		return c, fmt.Errorf("sim: cycles %d must be positive", c.Cycles)
+	}
+	if c.BaseRequests <= 0 {
+		return c, fmt.Errorf("sim: base request count %d must be positive", c.BaseRequests)
+	}
+	if c.Growth < -0.9 {
+		return c, fmt.Errorf("sim: growth %v below -0.9", c.Growth)
+	}
+	if c.Slots == 0 {
+		c.Slots = demand.DefaultSlots
+	}
+	if c.PathsPerRequest == 0 {
+		c.PathsPerRequest = sched.DefaultPathsPerRequest
+	}
+	return c, nil
+}
+
+// CycleStats records one simulated cycle.
+type CycleStats struct {
+	Cycle    int
+	Requests int
+	Accepted int
+	Revenue  float64
+	Cost     float64
+	Profit   float64
+}
+
+// Result is a full simulation outcome.
+type Result struct {
+	Scheduler         string
+	Cycles            []CycleStats
+	CumulativeProfit  float64
+	CumulativeRevenue float64
+	CumulativeCost    float64
+}
+
+// Scheduler schedules one cycle. Implementations may keep state across
+// cycles (e.g. forecasts).
+type Scheduler interface {
+	Name() string
+	// ScheduleCycle decides the cycle's requests and returns its stats
+	// (Cycle and Requests are filled by the driver).
+	ScheduleCycle(inst *sched.Instance, rng *stats.RNG) (CycleStats, error)
+}
+
+// Run simulates cfg.Cycles billing cycles under the given scheduler.
+func Run(cfg Config, sch Scheduler) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	res := &Result{Scheduler: sch.Name()}
+
+	k := float64(cfg.BaseRequests)
+	for c := 0; c < cfg.Cycles; c++ {
+		gen, err := demand.NewGenerator(cfg.Net, demand.GeneratorConfig{
+			Slots:    cfg.Slots,
+			RateLo:   demand.DefaultRateLo,
+			RateHi:   demand.DefaultRateHi,
+			MarkupLo: demand.DefaultMarkupLo,
+			MarkupHi: demand.DefaultMarkupHi,
+			Seed:     cfg.Seed + int64(c),
+		})
+		if err != nil {
+			return nil, err
+		}
+		reqs, err := gen.GenerateN(int(k + 0.5))
+		if err != nil {
+			return nil, err
+		}
+		inst, err := sched.NewInstance(cfg.Net, cfg.Slots, reqs, cfg.PathsPerRequest)
+		if err != nil {
+			return nil, err
+		}
+
+		st, err := sch.ScheduleCycle(inst, rng)
+		if err != nil {
+			return nil, fmt.Errorf("sim: cycle %d: %w", c, err)
+		}
+		st.Cycle = c
+		st.Requests = inst.NumRequests()
+		res.Cycles = append(res.Cycles, st)
+		res.CumulativeProfit += st.Profit
+		res.CumulativeRevenue += st.Revenue
+		res.CumulativeCost += st.Cost
+
+		k *= 1 + cfg.Growth
+	}
+	return res, nil
+}
+
+// MetisScheduler runs the full Metis framework each cycle.
+type MetisScheduler struct {
+	// Cfg configures each cycle's Metis run (Seed is overridden).
+	Cfg core.Config
+}
+
+// Name implements Scheduler.
+func (MetisScheduler) Name() string { return "metis" }
+
+// ScheduleCycle implements Scheduler.
+func (m MetisScheduler) ScheduleCycle(inst *sched.Instance, rng *stats.RNG) (CycleStats, error) {
+	cfg := m.Cfg
+	cfg.Seed = int64(rng.Intn(1 << 30))
+	res, err := core.Solve(inst, cfg)
+	if err != nil {
+		return CycleStats{}, err
+	}
+	return CycleStats{
+		Accepted: res.Schedule.NumAccepted(),
+		Revenue:  res.Revenue,
+		Cost:     res.Cost,
+		Profit:   res.Profit,
+	}, nil
+}
+
+// EcoFlowScheduler runs the EcoFlow baseline each cycle.
+type EcoFlowScheduler struct{}
+
+// Name implements Scheduler.
+func (EcoFlowScheduler) Name() string { return "ecoflow" }
+
+// ScheduleCycle implements Scheduler.
+func (EcoFlowScheduler) ScheduleCycle(inst *sched.Instance, _ *stats.RNG) (CycleStats, error) {
+	res, err := baseline.EcoFlow(inst)
+	if err != nil {
+		return CycleStats{}, err
+	}
+	return CycleStats{
+		Accepted: res.NumAccepted,
+		Revenue:  res.Revenue,
+		Cost:     res.Cost,
+		Profit:   res.Profit,
+	}, nil
+}
+
+// AcceptAllScheduler serves every request at MAA-minimized cost — the
+// status-quo service mode.
+type AcceptAllScheduler struct {
+	// Rounds is the number of MAA roundings (default 3).
+	Rounds int
+}
+
+// Name implements Scheduler.
+func (AcceptAllScheduler) Name() string { return "accept-all" }
+
+// ScheduleCycle implements Scheduler.
+func (a AcceptAllScheduler) ScheduleCycle(inst *sched.Instance, rng *stats.RNG) (CycleStats, error) {
+	rounds := a.Rounds
+	if rounds <= 0 {
+		rounds = 3
+	}
+	res, err := maa.Solve(inst, maa.Options{Rounds: rounds, RNG: rng})
+	if err != nil {
+		return CycleStats{}, err
+	}
+	s := res.Schedule
+	return CycleStats{
+		Accepted: s.NumAccepted(),
+		Revenue:  s.Revenue(),
+		Cost:     res.Cost,
+		Profit:   s.Revenue() - res.Cost,
+	}, nil
+}
+
+// ForecastOnlineScheduler plans each cycle's capacity with MAA on an
+// EWMA forecast of past cycles, then admits the cycle's requests online
+// with per-batch TAA. The first cycle (no history) falls back to
+// buy-as-you-go greedy.
+type ForecastOnlineScheduler struct {
+	// Alpha is the EWMA smoothing factor (default 0.5).
+	Alpha float64
+
+	fc *forecast.EWMA
+}
+
+// Name implements Scheduler.
+func (*ForecastOnlineScheduler) Name() string { return "forecast-online" }
+
+// ScheduleCycle implements Scheduler.
+func (f *ForecastOnlineScheduler) ScheduleCycle(inst *sched.Instance, rng *stats.RNG) (CycleStats, error) {
+	if f.fc == nil {
+		alpha := f.Alpha
+		if alpha == 0 {
+			alpha = 0.5
+		}
+		var err error
+		f.fc, err = forecast.NewEWMA(alpha)
+		if err != nil {
+			return CycleStats{}, err
+		}
+	}
+
+	var policy online.Policy = online.Greedy{}
+	if m := f.fc.Forecast(); m != nil {
+		planInst, err := forecast.PlanInstance(inst.Network(), m, inst.Slots(), sched.DefaultPathsPerRequest, rng)
+		if err != nil {
+			return CycleStats{}, err
+		}
+		if planInst.NumRequests() > 0 {
+			planRes, err := maa.Solve(planInst, maa.Options{Rounds: 3, RNG: rng})
+			if err != nil {
+				return CycleStats{}, err
+			}
+			policy = online.ProvisionedTAA{Plan: planRes.Charged}
+		}
+	}
+
+	res, err := online.Simulate(inst, policy)
+	if err != nil {
+		return CycleStats{}, err
+	}
+	f.fc.Update(forecast.Observe(inst.Network(), inst.Requests()))
+	return CycleStats{
+		Accepted: res.Schedule.NumAccepted(),
+		Revenue:  res.Revenue,
+		Cost:     res.Cost,
+		Profit:   res.Profit,
+	}, nil
+}

@@ -1,0 +1,264 @@
+package spm
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"metis/internal/lp"
+	"metis/internal/mip"
+	"metis/internal/sched"
+)
+
+// ExactOptions tunes the exact MILP reference solvers.
+type ExactOptions struct {
+	// LP configures the per-node simplex solves.
+	LP lp.Options
+	// TimeLimit bounds the branch & bound wall time (0 = none). With a
+	// limit the solvers return the best incumbent found ("anytime").
+	TimeLimit time.Duration
+	// MaxNodes bounds the number of branch & bound nodes (0 = default).
+	MaxNodes int
+	// Warm optionally seeds branch & bound with a feasible schedule
+	// (e.g. a Metis or MAA result), guaranteeing the anytime result is
+	// never worse than the heuristic.
+	Warm *sched.Schedule
+}
+
+// warmVector encodes a schedule as a MILP point over the given routing
+// and bandwidth columns.
+func warmVector(n int, inst *sched.Instance, xCols [][]int, cCols []int, s *sched.Schedule) []float64 {
+	x := make([]float64, n)
+	for i := range xCols {
+		if c := s.Choice(i); c != sched.Declined {
+			x[xCols[i][c]] = 1
+		}
+	}
+	for e, units := range s.ChargedBandwidth() {
+		x[cCols[e]] = float64(units)
+	}
+	return x
+}
+
+// ExactResult is the outcome of an exact MILP solve.
+type ExactResult struct {
+	// Schedule is the decoded incumbent.
+	Schedule *sched.Schedule
+	// Objective is the MILP incumbent objective: service profit for
+	// OPT(SPM), bandwidth cost for OPT(RL-SPM).
+	Objective float64
+	// Proven reports whether the incumbent is a proven optimum (no
+	// limit interrupted the search).
+	Proven bool
+	// Gap is the relative optimality gap when Proven is false.
+	Gap float64
+	// Nodes is the number of branch & bound nodes explored.
+	Nodes int
+}
+
+// SolveExactSPM solves the full SPM MILP — the paper's OPT(SPM)
+// reference: choose an acceptance set, integral routing, and integer
+// bandwidth purchase maximizing revenue minus cost.
+func SolveExactSPM(inst *sched.Instance, opts ExactOptions) (*ExactResult, error) {
+	net := inst.Network()
+	p := lp.NewProblem(lp.Maximize)
+
+	xCols, err := addRoutingVars(p, inst, 1)
+	if err != nil {
+		return nil, err
+	}
+	cCols := make([]int, net.NumLinks())
+	for e := range cCols {
+		cCols[e], err = p.AddVariable(-net.Link(e).Price, 0, math.Inf(1), fmt.Sprintf("c[%d]", e))
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < inst.NumRequests(); i++ {
+		row, err := p.AddConstraint(lp.LE, 1, fmt.Sprintf("accept[%d]", i))
+		if err != nil {
+			return nil, err
+		}
+		for j := range xCols[i] {
+			if err := p.AddTerm(row, xCols[i][j], 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := addCapacityRows(p, inst, xCols,
+		func(e int) int { return cCols[e] },
+		func(e, t int) float64 { return 0 },
+	); err != nil {
+		return nil, err
+	}
+
+	intCols := collectIntCols(xCols, cCols)
+	var warm []float64
+	if opts.Warm != nil {
+		warm = warmVector(p.NumVariables(), inst, xCols, cCols, opts.Warm)
+	}
+	sol, err := mip.Solve(p, lp.Maximize, intCols, mip.Options{
+		LP: opts.LP, TimeLimit: opts.TimeLimit, MaxNodes: opts.MaxNodes, WarmStart: warm,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status == mip.StatusLimit {
+		// No incumbent before the limit; the empty schedule (accept
+		// nothing, buy nothing, profit 0) is always feasible for SPM.
+		return &ExactResult{
+			Schedule:  sched.NewSchedule(inst),
+			Objective: 0,
+			Proven:    false,
+			Gap:       math.Abs(sol.Bound),
+			Nodes:     sol.Nodes,
+		}, nil
+	}
+	return decodeExact(inst, xCols, sol, "OPT(SPM)")
+}
+
+// SolveExactRL solves the exact RL-SPM MILP — the paper's OPT(RL-SPM)
+// reference: serve every request with integral routing and integer
+// bandwidth at minimum cost.
+func SolveExactRL(inst *sched.Instance, opts ExactOptions) (*ExactResult, error) {
+	net := inst.Network()
+	p := lp.NewProblem(lp.Minimize)
+
+	xCols, err := addRoutingVars(p, inst, 0)
+	if err != nil {
+		return nil, err
+	}
+	cCols := make([]int, net.NumLinks())
+	for e := range cCols {
+		cCols[e], err = p.AddVariable(net.Link(e).Price, 0, math.Inf(1), fmt.Sprintf("c[%d]", e))
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < inst.NumRequests(); i++ {
+		row, err := p.AddConstraint(lp.EQ, 1, fmt.Sprintf("serve[%d]", i))
+		if err != nil {
+			return nil, err
+		}
+		for j := range xCols[i] {
+			if err := p.AddTerm(row, xCols[i][j], 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := addCapacityRows(p, inst, xCols,
+		func(e int) int { return cCols[e] },
+		func(e, t int) float64 { return 0 },
+	); err != nil {
+		return nil, err
+	}
+
+	intCols := collectIntCols(xCols, cCols)
+	var warm []float64
+	if opts.Warm != nil {
+		warm = warmVector(p.NumVariables(), inst, xCols, cCols, opts.Warm)
+	}
+	sol, err := mip.Solve(p, lp.Minimize, intCols, mip.Options{
+		LP: opts.LP, TimeLimit: opts.TimeLimit, MaxNodes: opts.MaxNodes, WarmStart: warm,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return decodeExact(inst, xCols, sol, "OPT(RL-SPM)")
+}
+
+// SolveExactBL solves the exact BL-SPM MILP: maximize revenue under
+// fixed integer link capacities with integral acceptance/routing. It is
+// the reference optimum for TAA.
+func SolveExactBL(inst *sched.Instance, caps []int, opts ExactOptions) (*ExactResult, error) {
+	if len(caps) != inst.Network().NumLinks() {
+		return nil, fmt.Errorf("spm: capacity vector has %d entries, want %d", len(caps), inst.Network().NumLinks())
+	}
+	p := lp.NewProblem(lp.Maximize)
+
+	xCols, err := addRoutingVars(p, inst, 1)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < inst.NumRequests(); i++ {
+		row, err := p.AddConstraint(lp.LE, 1, fmt.Sprintf("accept[%d]", i))
+		if err != nil {
+			return nil, err
+		}
+		for j := range xCols[i] {
+			if err := p.AddTerm(row, xCols[i][j], 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := addCapacityRows(p, inst, xCols,
+		func(e int) int { return -1 },
+		func(e, t int) float64 { return float64(caps[e]) },
+	); err != nil {
+		return nil, err
+	}
+
+	var intCols []int
+	for i := range xCols {
+		intCols = append(intCols, xCols[i]...)
+	}
+	var warm []float64
+	if opts.Warm != nil {
+		warm = make([]float64, p.NumVariables())
+		for i := range xCols {
+			if c := opts.Warm.Choice(i); c != sched.Declined {
+				warm[xCols[i][c]] = 1
+			}
+		}
+	}
+	sol, err := mip.Solve(p, lp.Maximize, intCols, mip.Options{
+		LP: opts.LP, TimeLimit: opts.TimeLimit, MaxNodes: opts.MaxNodes, WarmStart: warm,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status == mip.StatusLimit {
+		// Declining everything is always feasible for BL-SPM.
+		return &ExactResult{
+			Schedule: sched.NewSchedule(inst),
+			Gap:      math.Abs(sol.Bound),
+			Nodes:    sol.Nodes,
+		}, nil
+	}
+	return decodeExact(inst, xCols, sol, "OPT(BL-SPM)")
+}
+
+func collectIntCols(xCols [][]int, cCols []int) []int {
+	var intCols []int
+	for i := range xCols {
+		intCols = append(intCols, xCols[i]...)
+	}
+	intCols = append(intCols, cCols...)
+	return intCols
+}
+
+func decodeExact(inst *sched.Instance, xCols [][]int, sol *mip.Solution, what string) (*ExactResult, error) {
+	switch sol.Status {
+	case mip.StatusOptimal, mip.StatusFeasible:
+	default:
+		return nil, fmt.Errorf("spm: %s: %v", what, sol.Status)
+	}
+	s := sched.NewSchedule(inst)
+	for i := range xCols {
+		for j, col := range xCols[i] {
+			if sol.X[col] > 0.5 {
+				if err := s.Assign(i, j); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+	}
+	return &ExactResult{
+		Schedule:  s,
+		Objective: sol.Objective,
+		Proven:    sol.Status == mip.StatusOptimal,
+		Gap:       sol.Gap,
+		Nodes:     sol.Nodes,
+	}, nil
+}

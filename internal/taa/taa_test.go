@@ -1,0 +1,209 @@
+package taa
+
+import (
+	"testing"
+
+	"metis/internal/demand"
+	"metis/internal/sched"
+	"metis/internal/spm"
+	"metis/internal/wan"
+)
+
+func instance(t *testing.T, net *wan.Network, k int, seed int64) *sched.Instance {
+	t.Helper()
+	g, err := demand.NewGenerator(net, demand.DefaultGeneratorConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := g.GenerateN(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sched.NewInstance(net, demand.DefaultSlots, reqs, sched.DefaultPathsPerRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestSolveFeasibleUnderCaps(t *testing.T) {
+	inst := instance(t, wan.B4(), 120, 1)
+	caps := inst.UniformCaps(2)
+	res, err := Solve(inst, caps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.FeasibleUnder(caps); err != nil {
+		t.Fatalf("TAA schedule violates capacity: %v", err)
+	}
+}
+
+func TestRevenueBelowRelaxationBound(t *testing.T) {
+	inst := instance(t, wan.SubB4(), 60, 2)
+	caps := inst.UniformCaps(3)
+	res, err := Solve(inst, caps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Revenue > res.Relaxed.Revenue+1e-6 {
+		t.Fatalf("revenue %v exceeds LP upper bound %v", res.Revenue, res.Relaxed.Revenue)
+	}
+	if res.Revenue < 0 {
+		t.Fatalf("negative revenue %v", res.Revenue)
+	}
+}
+
+func TestAmpleCapacityAcceptsEverything(t *testing.T) {
+	inst := instance(t, wan.SubB4(), 40, 3)
+	caps := inst.UniformCaps(1000)
+	res, err := Solve(inst, caps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Schedule.NumAccepted(); got != 40 {
+		t.Fatalf("accepted %d of 40 under ample capacity", got)
+	}
+}
+
+func TestZeroCapacityAcceptsNothing(t *testing.T) {
+	inst := instance(t, wan.SubB4(), 20, 4)
+	res, err := Solve(inst, inst.UniformCaps(0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Schedule.NumAccepted(); got != 0 {
+		t.Fatalf("accepted %d with zero capacity", got)
+	}
+	if res.Mu != 0 {
+		t.Fatalf("µ = %v, want 0 when the estimator is skipped", res.Mu)
+	}
+}
+
+func TestTightCapacityDeclinesSome(t *testing.T) {
+	inst := instance(t, wan.SubB4(), 150, 5)
+	caps := inst.UniformCaps(1)
+	res, err := Solve(inst, caps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := res.Schedule.NumAccepted()
+	if accepted == 0 {
+		t.Fatal("tight capacity should still accept some requests")
+	}
+	if accepted == 150 {
+		t.Fatal("150 requests cannot all fit in 1-unit links")
+	}
+	if err := res.Schedule.FeasibleUnder(caps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMuWithinUnitInterval(t *testing.T) {
+	inst := instance(t, wan.B4(), 50, 6)
+	res, err := Solve(inst, inst.UniformCaps(10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mu <= 0 || res.Mu >= 1 {
+		t.Fatalf("µ = %v outside (0, 1)", res.Mu)
+	}
+	if res.RevenueTarget < 0 {
+		t.Fatalf("revenue target %v negative", res.RevenueTarget)
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	inst, err := sched.NewInstance(wan.SubB4(), 12, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(inst, inst.UniformCaps(5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.NumAccepted() != 0 {
+		t.Fatal("empty instance must accept nothing")
+	}
+}
+
+func TestCapsValidation(t *testing.T) {
+	inst := instance(t, wan.SubB4(), 5, 7)
+	if _, err := Solve(inst, []int{1, 2}, Options{}); err == nil {
+		t.Error("want error for wrong caps length")
+	}
+	caps := inst.UniformCaps(1)
+	caps[0] = -1
+	if _, err := Solve(inst, caps, Options{}); err == nil {
+		t.Error("want error for negative capacity")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	inst := instance(t, wan.SubB4(), 40, 8)
+	caps := inst.UniformCaps(2)
+	a, err := Solve(inst, caps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(inst, caps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < inst.NumRequests(); i++ {
+		if a.Schedule.Choice(i) != b.Schedule.Choice(i) {
+			t.Fatalf("request %d: TAA not deterministic", i)
+		}
+	}
+}
+
+// TestPrefersHighValue checks the economic sanity of the tree walk:
+// with capacity for only one of two identical-shape requests, the
+// higher-value one should win.
+func TestPrefersHighValue(t *testing.T) {
+	net := wan.SubB4()
+	reqs := []demand.Request{
+		{ID: 0, Src: 0, Dst: 1, Start: 0, End: 11, Rate: 0.8, Value: 1},
+		{ID: 1, Src: 0, Dst: 1, Start: 0, End: 11, Rate: 0.8, Value: 10},
+	}
+	inst, err := sched.NewInstance(net, 12, reqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := inst.UniformCaps(1)
+	res, err := Solve(inst, caps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Choice(1) == sched.Declined {
+		t.Fatal("high-value request declined")
+	}
+	if res.Schedule.Choice(0) != sched.Declined {
+		t.Fatal("both requests accepted despite 1-unit capacity on a shared mandatory link")
+	}
+}
+
+// TestTAAVsExactOptimum compares TAA against the proven BL-SPM optimum
+// on tiny instances: never above it, and within a reasonable factor.
+func TestTAAVsExactOptimum(t *testing.T) {
+	for _, seed := range []int64{41, 43, 47} {
+		inst := instance(t, wan.SubB4(), 12, seed)
+		caps := inst.UniformCaps(1)
+		opt, err := spm.SolveExactBL(inst, caps, spm.ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !opt.Proven {
+			continue
+		}
+		res, err := Solve(inst, caps, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Revenue > opt.Objective+1e-6 {
+			t.Fatalf("seed %d: TAA revenue %v above proven optimum %v", seed, res.Revenue, opt.Objective)
+		}
+		if res.Revenue < 0.7*opt.Objective {
+			t.Fatalf("seed %d: TAA revenue %v below 70%% of optimum %v", seed, res.Revenue, opt.Objective)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package tableio
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders grouped horizontal bar charts in plain text — enough to
+// eyeball an experiment's shape straight from the terminal.
+type Chart struct {
+	Title  string
+	Series []string // bar labels within each group
+	Groups []ChartGroup
+	// Width is the maximum bar width in characters (default 40).
+	Width int
+}
+
+// ChartGroup is one x-position (e.g. one request count) with one value
+// per series.
+type ChartGroup struct {
+	Label  string
+	Values []float64
+}
+
+// NewChart creates a chart with the given title and series names.
+func NewChart(title string, series ...string) *Chart {
+	return &Chart{Title: title, Series: series}
+}
+
+// AddGroup appends a group; the number of values must match the series.
+func (c *Chart) AddGroup(label string, values ...float64) error {
+	if len(values) != len(c.Series) {
+		return fmt.Errorf("tableio: group %q has %d values, want %d", label, len(values), len(c.Series))
+	}
+	c.Groups = append(c.Groups, ChartGroup{Label: label, Values: append([]float64(nil), values...)})
+	return nil
+}
+
+// WriteText renders the chart. Bars are scaled to the largest absolute
+// value; negative values render with a leading minus block.
+func (c *Chart) WriteText(w io.Writer) error {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	var maxAbs float64
+	for _, g := range c.Groups {
+		for _, v := range g.Values {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	labelWidth := 0
+	for _, s := range c.Series {
+		if len(s) > labelWidth {
+			labelWidth = len(s)
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for _, g := range c.Groups {
+		fmt.Fprintf(&b, "%s\n", g.Label)
+		for i, v := range g.Values {
+			bar := ""
+			if maxAbs > 0 {
+				n := int(math.Round(math.Abs(v) / maxAbs * float64(width)))
+				if n == 0 && v != 0 {
+					n = 1
+				}
+				bar = strings.Repeat("#", n)
+			}
+			sign := ""
+			if v < 0 {
+				sign = "-"
+			}
+			fmt.Fprintf(&b, "  %-*s |%s%s %s\n", labelWidth, c.Series[i], sign, bar, FormatFloat(v))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

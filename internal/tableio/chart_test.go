@@ -1,0 +1,74 @@
+package tableio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendering(t *testing.T) {
+	c := NewChart("profits", "Metis", "EcoFlow")
+	if err := c.AddGroup("K=100", 50, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddGroup("K=200", 100, 80); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "profits") || !strings.Contains(out, "K=200") {
+		t.Fatalf("missing title or group:\n%s", out)
+	}
+	// The largest value (100) fills the default width (40 '#').
+	if !strings.Contains(out, strings.Repeat("#", 40)) {
+		t.Fatalf("full-width bar missing:\n%s", out)
+	}
+	// 50 is half of the max: 20 '#'.
+	lines := strings.Split(out, "\n")
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "Metis") && strings.Contains(l, strings.Repeat("#", 20)) && !strings.Contains(l, strings.Repeat("#", 21)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("half-width bar missing:\n%s", out)
+	}
+}
+
+func TestChartNegativeValues(t *testing.T) {
+	c := NewChart("", "profit")
+	if err := c.AddGroup("x", -5); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "|-") {
+		t.Fatalf("negative bar missing sign:\n%s", b.String())
+	}
+}
+
+func TestChartGroupArityChecked(t *testing.T) {
+	c := NewChart("", "a", "b")
+	if err := c.AddGroup("x", 1); err == nil {
+		t.Fatal("want error for wrong arity")
+	}
+}
+
+func TestChartZeroValues(t *testing.T) {
+	c := NewChart("", "a")
+	if err := c.AddGroup("x", 0); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "#") {
+		t.Fatalf("zero value drew a bar:\n%s", b.String())
+	}
+}

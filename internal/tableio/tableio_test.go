@@ -1,0 +1,70 @@
+package tableio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteTextAligned(t *testing.T) {
+	tab := New("My table", "K", "profit")
+	tab.AddFloats("100", 12.5)
+	tab.AddFloats("2000", 3)
+	var b strings.Builder
+	if err := tab.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "My table") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "K     profit") {
+		t.Errorf("headers not aligned:\n%s", out)
+	}
+	if !strings.Contains(out, "12.5") || !strings.Contains(out, "2000") {
+		t.Errorf("rows missing:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := New("", "a", "b")
+	tab.AddRow("1", "x,y")
+	tab.AddRow("2")
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n2,\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tab := New("", "a", "b")
+	tab.AddRow("1", "2", "3")
+	if len(tab.Rows[0]) != 2 {
+		t.Fatalf("row not truncated: %v", tab.Rows[0])
+	}
+	tab.AddRow("only")
+	if tab.Rows[1][1] != "" {
+		t.Fatalf("row not padded: %v", tab.Rows[1])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{1.5, "1.5"},
+		{2, "2"},
+		{0.12345, "0.1235"},
+		{-3.10, "-3.1"},
+		{0, "0"},
+	}
+	for _, tt := range tests {
+		if got := FormatFloat(tt.in); got != tt.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

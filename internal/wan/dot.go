@@ -1,0 +1,71 @@
+package wan
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the network in Graphviz DOT format, one undirected
+// edge per bidirectional link pair (directed-only links render with an
+// arrow). Nodes are grouped and colored by region, and edges are
+// labelled with their per-unit price — handy for eyeballing a topology
+// with `dot -Tsvg`.
+func (n *Network) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", n.name)
+	b.WriteString("  layout=neato;\n  overlap=false;\n")
+
+	for _, dc := range n.dcs {
+		fmt.Fprintf(&b, "  %q [label=%q, style=filled, fillcolor=%q];\n",
+			dc.Name, fmt.Sprintf("%s\\n%s", dc.Name, dc.Region), regionColor(dc.Region))
+	}
+
+	// Pair up reverse links so each bidirectional pair renders once.
+	type key struct{ a, b int }
+	seen := make(map[key]bool)
+	reverse := make(map[key]bool, len(n.links))
+	for _, l := range n.links {
+		reverse[key{l.From, l.To}] = true
+	}
+	var lines []string
+	for _, l := range n.links {
+		k := key{l.From, l.To}
+		rk := key{l.To, l.From}
+		if seen[k] || seen[rk] {
+			continue
+		}
+		seen[k] = true
+		style := ""
+		if !reverse[rk] {
+			style = ", dir=forward" // one-way link
+		}
+		lines = append(lines, fmt.Sprintf("  %q -- %q [label=\"%.2f\"%s];\n",
+			n.dcs[l.From].Name, n.dcs[l.To].Name, l.Price, style))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func regionColor(r Region) string {
+	switch r {
+	case RegionNorthAmerica:
+		return "lightblue"
+	case RegionEurope:
+		return "lightgreen"
+	case RegionAsia:
+		return "lightsalmon"
+	case RegionSouthAmerica:
+		return "khaki"
+	case RegionOceania:
+		return "plum"
+	default:
+		return "white"
+	}
+}

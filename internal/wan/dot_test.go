@@ -1,0 +1,51 @@
+package wan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTB4(t *testing.T) {
+	var b strings.Builder
+	if err := B4().WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "graph \"B4\" {") {
+		t.Fatalf("bad header:\n%s", out[:60])
+	}
+	for _, name := range []string{"DC1", "DC12"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("node %s missing", name)
+		}
+	}
+	// 19 bidirectional pairs render as 19 undirected edges.
+	if got := strings.Count(out, " -- "); got != 19 {
+		t.Fatalf("rendered %d edges, want 19", got)
+	}
+	if strings.Contains(out, "dir=forward") {
+		t.Error("B4 has no one-way links")
+	}
+	if !strings.Contains(out, "lightsalmon") {
+		t.Error("Asia region color missing")
+	}
+}
+
+func TestWriteDOTOneWayLink(t *testing.T) {
+	dcs := []DC{
+		{ID: 0, Name: "a", Region: RegionEurope},
+		{ID: 1, Name: "b", Region: RegionEurope},
+	}
+	links := []Link{{From: 0, To: 1, Price: 2}}
+	n, err := NewNetwork("oneway", dcs, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := n.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "dir=forward") {
+		t.Fatalf("one-way link not marked:\n%s", b.String())
+	}
+}

@@ -1,0 +1,63 @@
+package wan
+
+// B4 returns Google's Inter-DC WAN as evaluated by the paper: 12 data
+// centers connected by 19 bidirectional links (38 directed links).
+//
+// The exact adjacency of the paper's Fig. 2 is not machine readable; the
+// edge list below is reconstructed from the B4 SIGCOMM'13 figure and
+// preserves the published scale (12 DCs, 19 bidirectional links) and its
+// path diversity. Regions follow B4's global footprint — a North
+// American cluster (DC1–DC4), European sites (DC5, DC7, DC8) and Asian
+// sites (DC6, DC9–DC12) — and link prices derive from the Cloudflare
+// relative regional prices the paper cites, so transit through Asia
+// costs several times more than within North America or Europe.
+func B4() *Network {
+	dcs := []DC{
+		{ID: 0, Name: "DC1", Region: RegionNorthAmerica},
+		{ID: 1, Name: "DC2", Region: RegionNorthAmerica},
+		{ID: 2, Name: "DC3", Region: RegionNorthAmerica},
+		{ID: 3, Name: "DC4", Region: RegionNorthAmerica},
+		{ID: 4, Name: "DC5", Region: RegionEurope},
+		{ID: 5, Name: "DC6", Region: RegionAsia},
+		{ID: 6, Name: "DC7", Region: RegionEurope},
+		{ID: 7, Name: "DC8", Region: RegionEurope},
+		{ID: 8, Name: "DC9", Region: RegionAsia},
+		{ID: 9, Name: "DC10", Region: RegionAsia},
+		{ID: 10, Name: "DC11", Region: RegionAsia},
+		{ID: 11, Name: "DC12", Region: RegionAsia},
+	}
+	pairs := [][2]int{
+		{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {2, 5},
+		{3, 4}, {3, 5}, {4, 5}, {4, 6}, {5, 7}, {6, 7},
+		{6, 8}, {7, 8}, {7, 9}, {8, 11}, {9, 10}, {9, 11}, {10, 11},
+	}
+	n, err := NewNetwork("B4", dcs, bidiLinks(dcs, pairs))
+	if err != nil {
+		// The static topology is known-valid; failure is programmer error.
+		panic("wan: building B4: " + err.Error())
+	}
+	return n
+}
+
+// SubB4 returns the paper's small-scale evaluation network: the DC1–DC6
+// sub-network of B4 with 7 bidirectional links (14 directed links). It
+// inherits B4's regions, so even the small network mixes cheap
+// North-American links with expensive Asian transit.
+func SubB4() *Network {
+	dcs := []DC{
+		{ID: 0, Name: "DC1", Region: RegionNorthAmerica},
+		{ID: 1, Name: "DC2", Region: RegionNorthAmerica},
+		{ID: 2, Name: "DC3", Region: RegionNorthAmerica},
+		{ID: 3, Name: "DC4", Region: RegionNorthAmerica},
+		{ID: 4, Name: "DC5", Region: RegionEurope},
+		{ID: 5, Name: "DC6", Region: RegionAsia},
+	}
+	pairs := [][2]int{
+		{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}, {3, 5}, {4, 5},
+	}
+	n, err := NewNetwork("SUB-B4", dcs, bidiLinks(dcs, pairs))
+	if err != nil {
+		panic("wan: building SUB-B4: " + err.Error())
+	}
+	return n
+}

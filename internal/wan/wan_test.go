@@ -1,0 +1,192 @@
+package wan
+
+import (
+	"testing"
+)
+
+func TestB4Shape(t *testing.T) {
+	n := B4()
+	if got := n.NumDCs(); got != 12 {
+		t.Errorf("NumDCs = %d, want 12", got)
+	}
+	if got := n.NumLinks(); got != 38 {
+		t.Errorf("NumLinks = %d, want 38 (19 bidirectional)", got)
+	}
+	if !n.StronglyConnected() {
+		t.Error("B4 must be strongly connected")
+	}
+}
+
+func TestSubB4Shape(t *testing.T) {
+	n := SubB4()
+	if got := n.NumDCs(); got != 6 {
+		t.Errorf("NumDCs = %d, want 6", got)
+	}
+	if got := n.NumLinks(); got != 14 {
+		t.Errorf("NumLinks = %d, want 14 (7 bidirectional)", got)
+	}
+	if !n.StronglyConnected() {
+		t.Error("SUB-B4 must be strongly connected")
+	}
+}
+
+func TestB4LinkPricesPositiveAndSymmetric(t *testing.T) {
+	n := B4()
+	// Build reverse lookup.
+	price := make(map[[2]int]float64)
+	for _, l := range n.Links() {
+		if l.Price <= 0 {
+			t.Fatalf("link %d→%d has non-positive price %v", l.From, l.To, l.Price)
+		}
+		price[[2]int{l.From, l.To}] = l.Price
+	}
+	for k, p := range price {
+		rev, ok := price[[2]int{k[1], k[0]}]
+		if !ok {
+			t.Fatalf("link %v has no reverse link", k)
+		}
+		if rev != p {
+			t.Fatalf("asymmetric price on %v: %v vs %v", k, p, rev)
+		}
+	}
+}
+
+func TestB4AsiaLinksCostMore(t *testing.T) {
+	n := B4()
+	var naPrice, asiaPrice float64
+	for _, l := range n.Links() {
+		fromR := n.DC(l.From).Region
+		toR := n.DC(l.To).Region
+		if fromR == RegionNorthAmerica && toR == RegionNorthAmerica {
+			naPrice = l.Price
+		}
+		if fromR == RegionAsia && toR == RegionAsia {
+			asiaPrice = l.Price
+		}
+	}
+	if naPrice == 0 || asiaPrice == 0 {
+		t.Fatal("expected both intra-NA and intra-Asia links in B4")
+	}
+	if asiaPrice <= naPrice {
+		t.Fatalf("asia price %v should exceed NA price %v", asiaPrice, naPrice)
+	}
+}
+
+func TestPathsAllPairs(t *testing.T) {
+	for _, n := range []*Network{B4(), SubB4()} {
+		t.Run(n.Name(), func(t *testing.T) {
+			for s := 0; s < n.NumDCs(); s++ {
+				for d := 0; d < n.NumDCs(); d++ {
+					if s == d {
+						continue
+					}
+					paths, err := n.Paths(s, d, 3)
+					if err != nil {
+						t.Fatalf("Paths(%d, %d): %v", s, d, err)
+					}
+					if len(paths) == 0 {
+						t.Fatalf("no paths %d→%d", s, d)
+					}
+					for i := 1; i < len(paths); i++ {
+						if paths[i].Price < paths[i-1].Price-1e-12 {
+							t.Fatalf("paths %d→%d out of price order", s, d)
+						}
+					}
+					// Each path must be a contiguous s→d route.
+					for _, p := range paths {
+						cur := s
+						var sum float64
+						for _, id := range p.Links {
+							l := n.Link(id)
+							if l.From != cur {
+								t.Fatalf("path %v not contiguous at link %d", p.Links, id)
+							}
+							cur = l.To
+							sum += l.Price
+						}
+						if cur != d {
+							t.Fatalf("path %v ends at %d, want %d", p.Links, cur, d)
+						}
+						if diff := sum - p.Price; diff > 1e-9 || diff < -1e-9 {
+							t.Fatalf("path price %v != link sum %v", p.Price, sum)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPathsSameEndpointRejected(t *testing.T) {
+	n := SubB4()
+	if _, err := n.Paths(2, 2, 3); err == nil {
+		t.Fatal("want error for src == dst")
+	}
+}
+
+func TestCheapestPathPriceMatchesFirstPath(t *testing.T) {
+	n := B4()
+	paths, err := n.Paths(0, 11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheapest, err := n.CheapestPathPrice(0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheapest != paths[0].Price {
+		t.Fatalf("cheapest %v != first path price %v", cheapest, paths[0].Price)
+	}
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	dcs := []DC{{ID: 0, Region: RegionEurope}, {ID: 1, Region: RegionEurope}}
+	tests := []struct {
+		name  string
+		dcs   []DC
+		links []Link
+	}{
+		{name: "no dcs", dcs: nil, links: nil},
+		{name: "negative price", dcs: dcs, links: []Link{{From: 0, To: 1, Price: -1}}},
+		{name: "bad endpoint", dcs: dcs, links: []Link{{From: 0, To: 5, Price: 1}}},
+		{name: "self loop", dcs: dcs, links: []Link{{From: 1, To: 1, Price: 1}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewNetwork("bad", tt.dcs, tt.links); err == nil {
+				t.Fatal("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestMaxFlowSanity(t *testing.T) {
+	n := SubB4()
+	caps := make([]float64, n.NumLinks())
+	for i := range caps {
+		caps[i] = 10
+	}
+	// DC1 has exactly two outgoing links, so max flow from it is 20.
+	if got := n.MaxFlow(0, 5, caps); got != 20 {
+		t.Fatalf("max flow = %v, want 20", got)
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	tests := []struct {
+		r    Region
+		want string
+	}{
+		{RegionNorthAmerica, "north-america"},
+		{RegionEurope, "europe"},
+		{RegionAsia, "asia"},
+		{RegionSouthAmerica, "south-america"},
+		{RegionOceania, "oceania"},
+		{Region(99), "region(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.r, got, tt.want)
+		}
+	}
+}

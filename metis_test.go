@@ -1,0 +1,176 @@
+package metis_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"metis"
+)
+
+func testInstance(t *testing.T, k int, seed int64) *metis.Instance {
+	t.Helper()
+	net := metis.SubB4()
+	reqs, err := metis.GenerateWorkload(net, k, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := metis.NewInstance(net, metis.DefaultSlots, reqs, metis.DefaultPathsPerRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestEndToEndSolve(t *testing.T) {
+	inst := testInstance(t, 80, 1)
+	res, err := metis.Solve(inst, metis.Config{Theta: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profit < 0 {
+		t.Fatalf("profit %v negative", res.Profit)
+	}
+	if math.Abs(res.Profit-(res.Revenue-res.Cost)) > 1e-9 {
+		t.Fatalf("profit identity violated")
+	}
+	if err := res.Schedule.FeasibleUnder(res.Charged); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicSolversCompose(t *testing.T) {
+	inst := testInstance(t, 40, 2)
+	maaRes, err := metis.SolveMAA(inst, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maaRes.Schedule.NumAccepted() != 40 {
+		t.Fatal("MAA must serve everything")
+	}
+	taaRes, err := metis.SolveTAA(inst, maaRes.Charged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := taaRes.Schedule.FeasibleUnder(maaRes.Charged); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	inst := testInstance(t, 60, 3)
+	if _, err := metis.MinCost(inst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := metis.Amoeba(inst, inst.UniformCaps(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := metis.EcoFlow(inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicOptSolvers(t *testing.T) {
+	inst := testInstance(t, 10, 4)
+	spm, err := metis.OptSPM(inst, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := metis.OptRLSPM(inst, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spm.Profit < rl.Profit-1e-6 {
+		t.Fatalf("OPT(SPM) %v below OPT(RL-SPM) %v", spm.Profit, rl.Profit)
+	}
+}
+
+func TestScenarioRoundTrip(t *testing.T) {
+	net := metis.SubB4()
+	reqs, err := metis.GenerateWorkload(net, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &metis.Scenario{Network: "SUB-B4", Requests: reqs}
+
+	var buf strings.Builder
+	if err := metis.WriteScenario(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := metis.ReadScenario(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Requests) != 10 {
+		t.Fatalf("round trip lost requests: %d", len(back.Requests))
+	}
+	inst, err := back.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumRequests() != 10 {
+		t.Fatalf("instance has %d requests", inst.NumRequests())
+	}
+}
+
+func TestScenarioCustomTopology(t *testing.T) {
+	sc := &metis.Scenario{
+		DCs: []metis.DC{
+			{ID: 0, Name: "a", Region: metis.RegionEurope},
+			{ID: 1, Name: "b", Region: metis.RegionEurope},
+		},
+		Links: []metis.Link{
+			{From: 0, To: 1, Price: 2},
+			{From: 1, To: 0, Price: 2},
+		},
+		Requests: []metis.Request{
+			{ID: 0, Src: 0, Dst: 1, Start: 0, End: 3, Rate: 0.5, Value: 4},
+		},
+	}
+	inst, err := sc.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := metis.Solve(inst, metis.Config{Theta: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One request worth 4 on a 2-price direct link: profit 2.
+	if math.Abs(res.Profit-2) > 1e-9 {
+		t.Fatalf("profit %v, want 2", res.Profit)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := (&metis.Scenario{Network: "nope"}).BuildNetwork(); err == nil {
+		t.Error("want error for unknown network name")
+	}
+	if _, err := (&metis.Scenario{}).BuildNetwork(); err == nil {
+		t.Error("want error for empty scenario")
+	}
+	if _, err := metis.ReadScenario(strings.NewReader(`{"bogus": 1}`)); err == nil {
+		t.Error("want error for unknown fields")
+	}
+}
+
+func TestDecisionSerialization(t *testing.T) {
+	inst := testInstance(t, 20, 6)
+	res, err := metis.Solve(inst, metis.Config{Theta: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := metis.NewDecision(res)
+	if len(d.Accepted)+len(d.Declined) != 20 {
+		t.Fatalf("decision covers %d+%d requests, want 20", len(d.Accepted), len(d.Declined))
+	}
+	var buf strings.Builder
+	if err := metis.WriteDecision(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"accepted", "declined", "chargedBandwidth", "profit"} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("decision JSON missing %q", key)
+		}
+	}
+}

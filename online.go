@@ -1,0 +1,40 @@
+package metis
+
+import (
+	"metis/internal/online"
+)
+
+// Online-extension re-exports: requests arrive at their start slots and
+// are decided immediately (see internal/online).
+type (
+	// OnlinePolicy decides arrival batches during an online simulation.
+	OnlinePolicy = online.Policy
+	// OnlineResult summarizes an online simulation.
+	OnlineResult = online.Result
+	// OnlineSlotStats is one slot of an online arrival trace.
+	OnlineSlotStats = online.SlotStats
+)
+
+// SimulateOnline feeds inst's requests to the policy slot by slot; a
+// request arrives at its start slot and must be decided before it
+// starts.
+func SimulateOnline(inst *Instance, p OnlinePolicy) (*OnlineResult, error) {
+	return online.Simulate(inst, p)
+}
+
+// OnlineGreedy returns the buy-as-you-go marginal-cost admission
+// policy: accept a request iff its value exceeds the price of the
+// extra bandwidth units it forces.
+func OnlineGreedy() OnlinePolicy { return online.Greedy{} }
+
+// OnlineProvisionedFirstFit returns first-fit admission into a fixed
+// upfront capacity plan (units per link) — an online Amoeba.
+func OnlineProvisionedFirstFit(plan []int) OnlinePolicy {
+	return online.ProvisionedFirstFit{Plan: plan}
+}
+
+// OnlineProvisionedTAA returns per-batch TAA admission against the
+// time-varying residual capacity of a fixed upfront plan.
+func OnlineProvisionedTAA(plan []int) OnlinePolicy {
+	return online.ProvisionedTAA{Plan: plan}
+}

@@ -1,0 +1,126 @@
+package metis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Scenario is the JSON-serializable description of one scheduling
+// problem, consumed by cmd/metis and produced by cmd/wangen.
+type Scenario struct {
+	// Network names a built-in topology ("B4" or "SUB-B4"); leave empty
+	// to supply a custom one.
+	Network string `json:"network,omitempty"`
+	// DCs and Links describe a custom topology when Network is empty.
+	DCs   []DC   `json:"dcs,omitempty"`
+	Links []Link `json:"links,omitempty"`
+	// Slots is the billing-cycle length (default DefaultSlots).
+	Slots int `json:"slots,omitempty"`
+	// Requests are the cycle's reservation requests.
+	Requests []Request `json:"requests"`
+	// PathsPerRequest sizes the candidate path sets (default
+	// DefaultPathsPerRequest).
+	PathsPerRequest int `json:"pathsPerRequest,omitempty"`
+}
+
+// BuildNetwork materializes the scenario's network.
+func (sc *Scenario) BuildNetwork() (*Network, error) {
+	switch sc.Network {
+	case "B4", "b4":
+		return B4(), nil
+	case "SUB-B4", "sub-b4", "subb4":
+		return SubB4(), nil
+	case "":
+		if len(sc.DCs) == 0 {
+			return nil, fmt.Errorf("metis: scenario has neither a network name nor a custom topology")
+		}
+		return NewNetwork("custom", sc.DCs, sc.Links)
+	default:
+		return nil, fmt.Errorf("metis: unknown network %q (built-ins: B4, SUB-B4)", sc.Network)
+	}
+}
+
+// Instance materializes the full scheduling instance.
+func (sc *Scenario) Instance() (*Instance, error) {
+	net, err := sc.BuildNetwork()
+	if err != nil {
+		return nil, err
+	}
+	slots := sc.Slots
+	if slots == 0 {
+		slots = DefaultSlots
+	}
+	paths := sc.PathsPerRequest
+	if paths == 0 {
+		paths = DefaultPathsPerRequest
+	}
+	return NewInstance(net, slots, sc.Requests, paths)
+}
+
+// ReadScenario decodes a Scenario from JSON.
+func ReadScenario(r io.Reader) (*Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("metis: decode scenario: %w", err)
+	}
+	return &sc, nil
+}
+
+// WriteScenario encodes a Scenario as indented JSON.
+func WriteScenario(w io.Writer, sc *Scenario) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sc)
+}
+
+// Decision is the JSON-serializable output of a Metis run: the
+// acceptance decision, the scheduling decision, and the bandwidth
+// purchase, as the paper's Output module emits.
+type Decision struct {
+	// Accepted maps request id → the link ids of its assigned path.
+	Accepted map[int][]int `json:"accepted"`
+	// Declined lists the ids of rejected requests.
+	Declined []int `json:"declined"`
+	// ChargedBandwidth is the integer units purchased per link id.
+	ChargedBandwidth []int `json:"chargedBandwidth"`
+	// Profit, Revenue, Cost summarize the schedule.
+	Profit  float64 `json:"profit"`
+	Revenue float64 `json:"revenue"`
+	Cost    float64 `json:"cost"`
+	// ElapsedMillis is the solver wall time.
+	ElapsedMillis int64 `json:"elapsedMillis"`
+}
+
+// NewDecision converts a solved schedule into its serializable form.
+func NewDecision(res *Result) *Decision {
+	s := res.Schedule
+	inst := s.Instance()
+	d := &Decision{
+		Accepted:         make(map[int][]int),
+		ChargedBandwidth: res.Charged,
+		Profit:           res.Profit,
+		Revenue:          res.Revenue,
+		Cost:             res.Cost,
+		ElapsedMillis:    res.Elapsed.Milliseconds(),
+	}
+	for i := 0; i < inst.NumRequests(); i++ {
+		r := inst.Request(i)
+		if c := s.Choice(i); c != Declined {
+			links := append([]int(nil), inst.Path(i, c).Links...)
+			d.Accepted[r.ID] = links
+		} else {
+			d.Declined = append(d.Declined, r.ID)
+		}
+	}
+	return d
+}
+
+// WriteDecision encodes a Decision as indented JSON.
+func WriteDecision(w io.Writer, d *Decision) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
