@@ -6,14 +6,19 @@
 //	metisbench -fig all             # the whole evaluation
 //	metisbench -fig fig5 -quick     # scaled-down scales
 //	metisbench -fig fig4a -csv      # machine-readable output
+//	metisbench -fig all -parallel 0 # scenario points on all CPUs
+//	metisbench -fig fig5 -json      # figures + per-experiment perf JSON
 //	metisbench -list                # known experiment ids
 //	metisbench -fig fig3 -seed 7 -opt-limit 30s
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,6 +32,23 @@ func main() {
 	}
 }
 
+// benchRecord is one per-experiment performance sample of the -json
+// output, shaped so future runs can be diffed mechanically.
+type benchRecord struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Config     string        `json:"config"`
+	Parallel   int           `json:"parallel"`
+	Seed       int64         `json:"seed"`
+	Figures    []*exp.Figure `json:"figures"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("metisbench", flag.ContinueOnError)
 	var (
@@ -34,9 +56,11 @@ func run(args []string) error {
 		quick    = fs.Bool("quick", false, "use scaled-down quick configuration")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		chart    = fs.Bool("chart", false, "emit text bar charts instead of tables")
+		jsonOut  = fs.Bool("json", false, "emit figures and per-experiment perf records as JSON")
 		list     = fs.Bool("list", false, "list known experiment ids and exit")
 		seed     = fs.Int64("seed", 0, "override workload seed (0 = config default)")
 		optLimit = fs.Duration("opt-limit", 0, "override exact-solver time limit (0 = config default)")
+		parallel = fs.Int("parallel", 1, "scenario-point workers per experiment (0 = all CPUs, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,14 +71,24 @@ func run(args []string) error {
 	}
 
 	cfg := exp.DefaultConfig()
+	cfgName := "default"
 	if *quick {
 		cfg = exp.QuickConfig()
+		cfgName = "quick"
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
 	if *optLimit != 0 {
 		cfg.OptTimeLimit = *optLimit
+	}
+	if *parallel <= 0 {
+		*parallel = runtime.NumCPU()
+	}
+	cfg.Parallel = *parallel
+
+	if *jsonOut {
+		return runJSON(os.Stdout, *figID, cfgName, cfg)
 	}
 
 	start := time.Now()
@@ -79,4 +113,36 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "metisbench: %d figure(s) in %v\n", len(figs), time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// runJSON regenerates each selected experiment separately, recording
+// wall time and allocation counts per experiment id, and emits one JSON
+// document with both the figure data and the perf records.
+func runJSON(w io.Writer, figID, cfgName string, cfg exp.Config) error {
+	ids := []string{figID}
+	if figID == "all" {
+		ids = exp.IDs()
+	}
+	report := jsonReport{Config: cfgName, Parallel: cfg.Parallel, Seed: cfg.Seed}
+	var ms runtime.MemStats
+	for _, id := range ids {
+		runtime.ReadMemStats(&ms)
+		allocs0 := ms.Mallocs
+		start := time.Now()
+		figs, err := exp.Run(id, cfg)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		report.Figures = append(report.Figures, figs...)
+		report.Benchmarks = append(report.Benchmarks, benchRecord{
+			Name:        id,
+			NsPerOp:     elapsed.Nanoseconds(),
+			AllocsPerOp: ms.Mallocs - allocs0,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }

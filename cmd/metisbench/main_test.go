@@ -1,7 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
+
+	"metis/internal/exp"
 )
 
 func TestRunQuickFigure(t *testing.T) {
@@ -31,5 +35,37 @@ func TestRunUnknownFigure(t *testing.T) {
 func TestRunSeedOverride(t *testing.T) {
 	if err := run([]string{"-fig", "fig4a", "-quick", "-seed", "9"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunParallelFlag(t *testing.T) {
+	if err := run([]string{"-fig", "fig4cd", "-quick", "-parallel", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	cfg := exp.QuickConfig()
+	cfg.Parallel = 2
+	var buf bytes.Buffer
+	if err := runJSON(&buf, "ablation-rounding", "quick", cfg); err != nil {
+		t.Fatal(err)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if report.Config != "quick" || report.Parallel != 2 {
+		t.Fatalf("report header = %q/%d, want quick/2", report.Config, report.Parallel)
+	}
+	if len(report.Figures) != 1 || report.Figures[0].ID != "ablation-rounding" {
+		t.Fatalf("figures = %+v, want one ablation-rounding figure", report.Figures)
+	}
+	if len(report.Benchmarks) != 1 {
+		t.Fatalf("benchmarks = %+v, want one record", report.Benchmarks)
+	}
+	rec := report.Benchmarks[0]
+	if rec.Name != "ablation-rounding" || rec.NsPerOp <= 0 || rec.AllocsPerOp == 0 {
+		t.Fatalf("benchmark record %+v: want positive ns and allocs", rec)
 	}
 }

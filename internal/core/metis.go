@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"metis/internal/lp"
@@ -55,6 +56,11 @@ type Config struct {
 	// MAARounds is the number of randomized roundings per MAA call
 	// (default 1; the best-of-R rounding is an extension knob).
 	MAARounds int
+	// Workers bounds the goroutines used for MAA's independent
+	// roundings and the greedy-seed sweeps (<=1 means sequential).
+	// Results are bit-identical for every value: all randomness is
+	// pre-drawn before fan-out and ties break deterministically.
+	Workers int
 	// LP configures all relaxation solves.
 	LP lp.Options
 	// Seed drives MAA's randomized rounding.
@@ -126,9 +132,11 @@ func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
 	// still produce a sensible schedule.
 	best := sched.NewSchedule(inst)
 	bestProfit := 0.0
-	greedySeed := greedyProfitCandidate(inst)
-	if p := pruneUnprofitable(greedySeed); p > bestProfit {
-		best, bestProfit = greedySeed, p
+	var loadsBuf [][]float64 // scratch reused by every pruning pass
+	greedySeed := greedyProfitCandidate(inst, cfg.Workers)
+	greedyProfit, loadsBuf := pruneUnprofitable(greedySeed, loadsBuf)
+	if greedyProfit > bestProfit {
+		best, bestProfit = greedySeed, greedyProfit
 	}
 
 	// Indices (into inst) of the currently accepted request set.
@@ -147,12 +155,13 @@ func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
 		}
 
 		// RL-SPM Solver.
-		maaRes, err := maa.Solve(sub, maa.Options{LP: cfg.LP, Rounds: cfg.MAARounds, RNG: rng})
+		maaRes, err := maa.Solve(sub, maa.Options{LP: cfg.LP, Rounds: cfg.MAARounds, RNG: rng, Workers: cfg.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("core: round %d: %w", round, err)
 		}
 		maaSched := liftSchedule(inst, accepted, maaRes.Schedule)
-		maaProfit := pruneUnprofitable(maaSched)
+		var maaProfit float64
+		maaProfit, loadsBuf = pruneUnprofitable(maaSched, loadsBuf)
 		if maaProfit > bestProfit {
 			best, bestProfit = maaSched, maaProfit
 		}
@@ -172,7 +181,8 @@ func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("core: round %d: %w", round, err)
 		}
 		taaSched := liftSchedule(inst, accepted, taaRes.Schedule)
-		taaProfit := pruneUnprofitable(taaSched)
+		var taaProfit float64
+		taaProfit, loadsBuf = pruneUnprofitable(taaSched, loadsBuf)
 		if taaProfit > bestProfit {
 			best, bestProfit = taaSched, taaProfit
 		}
@@ -196,12 +206,16 @@ func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
 		accepted = next
 	}
 
+	// One loads pass backs Cost and Charged both (Revenue never looks
+	// at loads), instead of recomputing the matrix per accessor.
+	loadsBuf = best.LoadsInto(loadsBuf)
+	charged := sched.ChargedOf(loadsBuf)
 	return &Result{
 		Schedule: best,
 		Profit:   bestProfit,
 		Revenue:  best.Revenue(),
-		Cost:     best.Cost(),
-		Charged:  best.ChargedBandwidth(),
+		Cost:     best.CostOfCharged(charged),
+		Charged:  charged,
 		Rounds:   rounds,
 		Elapsed:  time.Since(start),
 	}, nil
@@ -229,8 +243,12 @@ func liftSchedule(inst *sched.Instance, mapping []int, sub *sched.Schedule) *sch
 // so that headroom created by earlier acceptances admits later
 // requests. Two orderings are tried — descending value (big buyers
 // create reusable pools) and descending markup (most profitable
-// first) — and the better schedule wins.
-func greedyProfitCandidate(inst *sched.Instance) *sched.Schedule {
+// first) — and the better schedule wins. With workers > 1 the two
+// sweeps run concurrently; each sweep only reads the immutable
+// instance and owns all state it mutates, and the winner rule
+// (markup must be strictly better) is evaluated after both finish, so
+// the result is identical either way.
+func greedyProfitCandidate(inst *sched.Instance, workers int) *sched.Schedule {
 	slots := inst.Slots()
 	byValue := make([]int, inst.NumRequests())
 	byMarkup := make([]int, inst.NumRequests())
@@ -247,8 +265,21 @@ func greedyProfitCandidate(inst *sched.Instance) *sched.Schedule {
 	})
 	sort.SliceStable(byMarkup, func(a, b int) bool { return markup[byMarkup[a]] > markup[byMarkup[b]] })
 
-	best := greedySweep(inst, byValue)
-	if alt := greedySweep(inst, byMarkup); alt.Profit() > best.Profit() {
+	var best, alt *sched.Schedule
+	if workers > 1 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			alt = greedySweep(inst, byMarkup)
+		}()
+		best = greedySweep(inst, byValue)
+		wg.Wait()
+	} else {
+		best = greedySweep(inst, byValue)
+		alt = greedySweep(inst, byMarkup)
+	}
+	if alt.Profit() > best.Profit() {
 		best = alt
 	}
 	return best
@@ -325,11 +356,18 @@ func greedySweep(inst *sched.Instance, order []int) *sched.Schedule {
 // pay, and why candidates are retried until a fixpoint). Requests are
 // tried in ascending value order. It returns the schedule's profit
 // after pruning.
-func pruneUnprofitable(s *sched.Schedule) float64 {
+//
+// buf is an optional per-link load scratch matrix; the pruner runs
+// twice per alternation round, so reusing it across calls removes the
+// dominant allocation of the round loop. The (possibly re-shaped)
+// buffer is returned for the next call. Every load matrix it consumes
+// is recomputed fresh via LoadsInto, so the profit is bit-identical to
+// the allocate-per-call version.
+func pruneUnprofitable(s *sched.Schedule, buf [][]float64) (float64, [][]float64) {
 	inst := s.Instance()
 	net := inst.Network()
 	slots := inst.Slots()
-	loads := s.Loads()
+	loads := s.LoadsInto(buf)
 
 	order := s.Accepted()
 	sort.Slice(order, func(a, b int) bool {
@@ -381,7 +419,11 @@ func pruneUnprofitable(s *sched.Schedule) float64 {
 			break
 		}
 	}
-	return s.Profit()
+	// Recompute loads fresh for the final profit: the incrementally
+	// maintained matrix can differ from a from-scratch sum in the last
+	// ulp, and charged units must match what Cost() would report.
+	loads = s.LoadsInto(loads)
+	return s.Revenue() - s.CostWithLoads(loads), loads
 }
 
 // shrinkLeastUtilized implements the τ rule: reduce the capacity of the

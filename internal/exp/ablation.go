@@ -26,18 +26,31 @@ func AblationTheta(cfg Config) (*Figure, error) {
 		ID: "ablation-theta", Title: "Metis profit and time vs θ (SUB-B4, K=400)", XLabel: "theta",
 		Series: []string{"profit", "accepted", "time_s"},
 	}
-	inst, err := buildInstance(cfg, wan.SubB4(), ablationKSub)
-	if err != nil {
-		return nil, err
-	}
-	for _, theta := range []int{1, 2, 4, 8, 16} {
+	thetas := []int{1, 2, 4, 8, 16}
+	results := make([]*core.Result, len(thetas))
+	err := forEachPoint(len(thetas), cfg.Parallel, func(p int) error {
+		// Each point builds its own instance: core.Solve mutates
+		// nothing in it, but instance construction is cheap next to the
+		// solve and per-point ownership keeps the sweep trivially safe.
+		inst, err := buildInstance(cfg, wan.SubB4(), ablationKSub)
+		if err != nil {
+			return err
+		}
 		res, err := core.Solve(inst, core.Config{
-			Theta: theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
+			Theta: thetas[p], TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
 			LP: cfg.LP, Seed: cfg.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[p] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, theta := range thetas {
+		res := results[p]
 		fig.AddRow(strconv.Itoa(theta), res.Profit, float64(res.Schedule.NumAccepted()), res.Elapsed.Seconds())
 	}
 	return fig, nil
@@ -50,10 +63,6 @@ func AblationTau(cfg Config) (*Figure, error) {
 		ID: "ablation-tau", Title: "Metis profit vs τ shrink rule (SUB-B4, K=400)", XLabel: "tau",
 		Series: []string{"profit", "accepted"},
 	}
-	inst, err := buildInstance(cfg, wan.SubB4(), ablationKSub)
-	if err != nil {
-		return nil, err
-	}
 	type rule struct {
 		name string
 		step int
@@ -65,15 +74,27 @@ func AblationTau(cfg Config) (*Figure, error) {
 		{name: "frac=0.25", step: 1, frac: 0.25},
 		{name: "frac=0.5", step: 1, frac: 0.5},
 	}
-	for _, r := range rules {
+	results := make([]*core.Result, len(rules))
+	err := forEachPoint(len(rules), cfg.Parallel, func(p int) error {
+		inst, err := buildInstance(cfg, wan.SubB4(), ablationKSub)
+		if err != nil {
+			return err
+		}
 		res, err := core.Solve(inst, core.Config{
-			Theta: cfg.Theta, TauStep: r.step, TauFrac: r.frac, MAARounds: cfg.MAARounds,
+			Theta: cfg.Theta, TauStep: rules[p].step, TauFrac: rules[p].frac, MAARounds: cfg.MAARounds,
 			LP: cfg.LP, Seed: cfg.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		fig.AddRow(r.name, res.Profit, float64(res.Schedule.NumAccepted()))
+		results[p] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, r := range rules {
+		fig.AddRow(r.name, results[p].Profit, float64(results[p].Schedule.NumAccepted()))
 	}
 	return fig, nil
 }
@@ -85,21 +106,30 @@ func AblationPaths(cfg Config) (*Figure, error) {
 		ID: "ablation-paths", Title: "Metis profit vs candidate paths per request (B4, K=200)", XLabel: "paths",
 		Series: []string{"profit", "cost", "time_s"},
 	}
-	for _, k := range []int{1, 2, 3, 5} {
+	paths := []int{1, 2, 3, 5}
+	results := make([]*core.Result, len(paths))
+	err := forEachPoint(len(paths), cfg.Parallel, func(p int) error {
 		sub := cfg
-		sub.PathsPerRequest = k
+		sub.PathsPerRequest = paths[p]
 		inst, err := buildInstance(sub, wan.B4(), ablationK)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := core.Solve(inst, core.Config{
 			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
 			LP: cfg.LP, Seed: cfg.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		fig.AddRow(strconv.Itoa(k), res.Profit, res.Cost, res.Elapsed.Seconds())
+		results[p] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, k := range paths {
+		fig.AddRow(strconv.Itoa(k), results[p].Profit, results[p].Cost, results[p].Elapsed.Seconds())
 	}
 	return fig, nil
 }
@@ -111,16 +141,28 @@ func AblationRounding(cfg Config) (*Figure, error) {
 		ID: "ablation-rounding", Title: "MAA cost vs rounding repeats (B4, K=200)", XLabel: "rounds",
 		Series: []string{"cost", "cost/LP"},
 	}
-	inst, err := buildInstance(cfg, wan.B4(), ablationK)
+	sweep := []int{1, 5, 20, 100}
+	type row struct{ cost, ratio float64 }
+	rows := make([]row, len(sweep))
+	err := forEachPoint(len(sweep), cfg.Parallel, func(p int) error {
+		inst, err := buildInstance(cfg, wan.B4(), ablationK)
+		if err != nil {
+			return err
+		}
+		// Each point re-seeds its own RNG (that is the experiment:
+		// identical randomness, more rounds), so points are independent.
+		res, err := maa.Solve(inst, maa.Options{LP: cfg.LP, Rounds: sweep[p], RNG: stats.NewRNG(cfg.Seed)})
+		if err != nil {
+			return err
+		}
+		rows[p] = row{cost: res.Cost, ratio: res.Cost / res.Relaxed.Cost}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, rounds := range []int{1, 5, 20, 100} {
-		res, err := maa.Solve(inst, maa.Options{LP: cfg.LP, Rounds: rounds, RNG: stats.NewRNG(cfg.Seed)})
-		if err != nil {
-			return nil, err
-		}
-		fig.AddRow(strconv.Itoa(rounds), res.Cost, res.Cost/res.Relaxed.Cost)
+	for p, rounds := range sweep {
+		fig.AddRow(strconv.Itoa(rounds), rows[p].cost, rows[p].ratio)
 	}
 	return fig, nil
 }

@@ -56,6 +56,15 @@ type Config struct {
 	TauStep   int
 	MAARounds int
 
+	// Parallel bounds the goroutines used to evaluate independent
+	// scenario points of each figure sweep (<=1 means sequential).
+	// Points own their instances and randomness (shared-RNG sweeps
+	// pre-draw per-point blocks), so every figure is identical for any
+	// value — except the anytime-OPT references of fig3/fig4b, which
+	// are wall-clock-bounded and therefore timing-dependent even
+	// sequentially.
+	Parallel int
+
 	// LP configures every relaxation solve.
 	LP lp.Options
 }

@@ -33,13 +33,19 @@ func ExtensionMultiCycle(cfg Config) (*Figure, error) {
 		sim.AcceptAllScheduler{Rounds: cfg.MAARounds},
 		&sim.ForecastOnlineScheduler{},
 	}
+	// One point per scheduler: each sim.Run seeds its own workload and
+	// state from simCfg, so the runs are independent.
 	results := make([]*sim.Result, len(schedulers))
-	for i, sch := range schedulers {
-		res, err := sim.Run(simCfg, sch)
+	err := forEachPoint(len(schedulers), cfg.Parallel, func(p int) error {
+		res, err := sim.Run(simCfg, schedulers[p])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		results[i] = res
+		results[p] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	cum := make([]float64, len(schedulers))
 	for c := 0; c < simCfg.Cycles; c++ {
@@ -62,22 +68,24 @@ func ExtensionResilience(cfg Config) (*Figure, error) {
 		ID: "ext-resilience", Title: "Profit retention under single-link failure (SUB-B4)", XLabel: "K",
 		Series: []string{"avg retention", "min retention", "avg affected", "avg recovered"},
 	}
-	for _, k := range cfg.Fig3Ks {
+	type row struct{ avgRet, minRet, avgAffected, avgRecovered float64 }
+	rows := make([]row, len(cfg.Fig3Ks))
+	err := forEachPoint(len(cfg.Fig3Ks), cfg.Parallel, func(p int) error {
+		k := cfg.Fig3Ks[p]
 		inst, err := buildInstance(cfg, wan.SubB4(), k)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		metis, err := core.Solve(inst, core.Config{
 			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
 			LP: cfg.LP, Seed: cfg.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		base := metis.Profit
-		if base <= 0 {
-			fig.AddRow(strconv.Itoa(k), 1, 1, 0, 0)
-			continue
+		if metis.Profit <= 0 {
+			rows[p] = row{avgRet: 1, minRet: 1}
+			return nil
 		}
 
 		var (
@@ -88,7 +96,7 @@ func ExtensionResilience(cfg Config) (*Figure, error) {
 		for fail := 0; fail < links; fail++ {
 			ret, affected, recovered, err := failAndRecover(inst, metis, fail)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			sumRet += ret
 			if ret < minRet {
@@ -98,7 +106,15 @@ func ExtensionResilience(cfg Config) (*Figure, error) {
 			sumRecovd += float64(recovered)
 		}
 		n := float64(links)
-		fig.AddRow(strconv.Itoa(k), sumRet/n, minRet, sumAffected/n, sumRecovd/n)
+		rows[p] = row{avgRet: sumRet / n, minRet: minRet, avgAffected: sumAffected / n, avgRecovered: sumRecovd / n}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, k := range cfg.Fig3Ks {
+		r := rows[p]
+		fig.AddRow(strconv.Itoa(k), r.avgRet, r.minRet, r.avgAffected, r.avgRecovered)
 	}
 	return fig, nil
 }

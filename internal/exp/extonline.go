@@ -28,46 +28,56 @@ func ExtensionOnline(cfg Config) (*Figure, error) {
 		ID: "ext-online", Title: "Online arrival policies vs hindsight Metis (SUB-B4)", XLabel: "K",
 		Series: []string{"Greedy", "Prov-FirstFit", "Prov-TAA", "Offline"},
 	}
-	for _, k := range cfg.Fig3Ks {
+	type row struct{ greedy, ff, ta, offline float64 }
+	rows := make([]row, len(cfg.Fig3Ks))
+	err := forEachPoint(len(cfg.Fig3Ks), cfg.Parallel, func(p int) error {
+		k := cfg.Fig3Ks[p]
 		inst, err := buildInstance(cfg, wan.SubB4(), k)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
-		// Forecast-based capacity plan.
+		// Forecast-based capacity plan (point-local RNG).
 		fc := cfg
 		fc.Seed = cfg.Seed + 1000
 		forecast, err := buildInstance(fc, wan.SubB4(), k)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		planRes, err := maa.Solve(forecast, maa.Options{LP: cfg.LP, Rounds: cfg.MAARounds, RNG: stats.NewRNG(cfg.Seed)})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		plan := planRes.Charged
 
 		greedy, err := online.Simulate(inst, online.Greedy{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ff, err := online.Simulate(inst, online.ProvisionedFirstFit{Plan: plan})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ta, err := online.Simulate(inst, online.ProvisionedTAA{Plan: plan})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		offline, err := core.Solve(inst, core.Config{
 			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
 			LP: cfg.LP, Seed: cfg.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-
-		fig.AddRow(strconv.Itoa(k), greedy.Profit, ff.Profit, ta.Profit, offline.Profit)
+		rows[p] = row{greedy: greedy.Profit, ff: ff.Profit, ta: ta.Profit, offline: offline.Profit}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, k := range cfg.Fig3Ks {
+		r := rows[p]
+		fig.AddRow(strconv.Itoa(k), r.greedy, r.ff, r.ta, r.offline)
 	}
 	return fig, nil
 }

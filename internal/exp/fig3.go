@@ -37,28 +37,43 @@ func Fig3(cfg Config) ([]*Figure, error) {
 		},
 	}
 
-	for _, k := range cfg.Fig3Ks {
-		inst, err := buildInstance(cfg, wan.SubB4(), k)
+	type row struct {
+		metis         *core.Result
+		optSPM, optRL *opt.Result
+	}
+	rows := make([]row, len(cfg.Fig3Ks))
+	err := forEachPoint(len(cfg.Fig3Ks), cfg.Parallel, func(p int) error {
+		inst, err := buildInstance(cfg, wan.SubB4(), cfg.Fig3Ks[p])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		metis, err := core.Solve(inst, core.Config{
 			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
 			LP: cfg.LP, Seed: cfg.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		// The OPT references are anytime incumbents under a wall-clock
+		// budget; under point-level parallelism they share the machine,
+		// exactly as the paper's concurrently-running Gurobi jobs did.
 		optSPM, err := opt.SPMWithWarm(inst, cfg.OptTimeLimit, metis.Schedule)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		optRL, err := opt.RLSPM(inst, cfg.OptTimeLimit)
 		if err != nil {
-			return nil, err
+			return err
 		}
-
+		rows[p] = row{metis: metis, optSPM: optSPM, optRL: optRL}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, k := range cfg.Fig3Ks {
 		x := strconv.Itoa(k)
+		metis, optSPM, optRL := rows[p].metis, rows[p].optSPM, rows[p].optRL
 		profit.AddRow(x, optSPM.Profit, metis.Profit, optRL.Profit,
 			optSPM.Elapsed.Seconds()+optRL.Elapsed.Seconds(), metis.Elapsed.Seconds())
 		accepted.AddRow(x, float64(optSPM.Accepted), float64(metis.Schedule.NumAccepted()), float64(optRL.Accepted))

@@ -19,21 +19,48 @@ func Fig4a(cfg Config) (*Figure, error) {
 		ID: "fig4a", Title: "Service cost vs request count (B4)", XLabel: "K",
 		Series: []string{"MAA", "MinCost", "LP bound", "MinCost/MAA"},
 	}
+	// The sweep shares one RNG across points, so the rounding uniforms
+	// of every point are pre-drawn here in sweep order — one block of
+	// MAARounds×k per point, exactly what each maa.Solve will consume —
+	// making the points independent of execution order.
 	rng := stats.NewRNG(cfg.Seed)
-	for _, k := range cfg.Fig4aKs {
-		inst, err := buildInstance(cfg, wan.B4(), k)
-		if err != nil {
-			return nil, err
+	rounds := cfg.MAARounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+	blocks := make([][]float64, len(cfg.Fig4aKs))
+	for p, k := range cfg.Fig4aKs {
+		block := make([]float64, rounds*k)
+		for i := range block {
+			block[i] = rng.Float64()
 		}
-		res, err := maa.Solve(inst, maa.Options{LP: cfg.LP, Rounds: cfg.MAARounds, RNG: rng})
+		blocks[p] = block
+	}
+
+	type row struct{ maaCost, mcCost, lpCost float64 }
+	rows := make([]row, len(cfg.Fig4aKs))
+	err := forEachPoint(len(cfg.Fig4aKs), cfg.Parallel, func(p int) error {
+		inst, err := buildInstance(cfg, wan.B4(), cfg.Fig4aKs[p])
 		if err != nil {
-			return nil, err
+			return err
+		}
+		res, err := maa.Solve(inst, maa.Options{LP: cfg.LP, Rounds: cfg.MAARounds, Uniforms: blocks[p]})
+		if err != nil {
+			return err
 		}
 		mc, err := baseline.MinCost(inst)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		fig.AddRow(strconv.Itoa(k), res.Cost, mc.Cost(), res.Relaxed.Cost, mc.Cost()/res.Cost)
+		rows[p] = row{maaCost: res.Cost, mcCost: mc.Cost(), lpCost: res.Relaxed.Cost}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, k := range cfg.Fig4aKs {
+		r := rows[p]
+		fig.AddRow(strconv.Itoa(k), r.maaCost, r.mcCost, r.lpCost, r.mcCost/r.maaCost)
 	}
 	return fig, nil
 }
@@ -48,30 +75,46 @@ func Fig4b(cfg Config) (*Figure, error) {
 		ID: "fig4b", Title: "Randomized-rounding cost ratio vs best integral cost", XLabel: "network",
 		Series: []string{"mean", "p95", "max"},
 	}
-	for _, net := range []*wan.Network{wan.SubB4(), wan.B4()} {
+	nets := []*wan.Network{wan.SubB4(), wan.B4()}
+	type row struct {
+		name             string
+		mean, p95, worst float64
+	}
+	rows := make([]row, len(nets))
+	err := forEachPoint(len(nets), cfg.Parallel, func(p int) error {
+		net := nets[p]
 		inst, err := buildInstance(cfg, net, cfg.Fig4bK)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rel, err := spm.SolveRLRelaxation(inst, cfg.LP)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ref, err := opt.RLSPM(inst, cfg.OptTimeLimit)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		// Each network's roundings draw from their own seeded RNG, so
+		// the points are already execution-order independent.
 		rng := stats.NewRNG(cfg.Seed)
 		ratios := make([]float64, 0, cfg.Fig4bRepeats)
 		for r := 0; r < cfg.Fig4bRepeats; r++ {
 			s, err := maa.Round(inst, rel, rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			ratios = append(ratios, s.Cost()/ref.Cost)
 		}
 		sum := stats.Summarize(ratios)
-		fig.AddRow(net.Name(), sum.Mean, stats.Percentile(ratios, 95), sum.Max)
+		rows[p] = row{name: net.Name(), mean: sum.Mean, p95: stats.Percentile(ratios, 95), worst: sum.Max}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		fig.AddRow(r.name, r.mean, r.p95, r.worst)
 	}
 	return fig, nil
 }
@@ -88,26 +131,42 @@ func Fig4cd(cfg Config) ([]*Figure, error) {
 		ID: "fig4d", Title: "Accepted requests vs request count (B4, fixed bandwidth)", XLabel: "K",
 		Series: []string{"TAA", "Amoeba"},
 	}
-	for _, k := range cfg.Fig4cKs {
-		inst, err := buildInstance(cfg, wan.B4(), k)
+	type row struct {
+		taRevenue, amRevenue, lpRevenue float64
+		taAccepted, amAccepted          int
+	}
+	rows := make([]row, len(cfg.Fig4cKs))
+	err := forEachPoint(len(cfg.Fig4cKs), cfg.Parallel, func(p int) error {
+		inst, err := buildInstance(cfg, wan.B4(), cfg.Fig4cKs[p])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		caps := inst.UniformCaps(cfg.UniformCapUnits)
 		ta, err := taa.Solve(inst, caps, taa.Options{LP: cfg.LP})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		am, err := baseline.Amoeba(inst, caps)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := am.FeasibleUnder(caps); err != nil {
-			return nil, err
+			return err
 		}
+		rows[p] = row{
+			taRevenue: ta.Revenue, amRevenue: am.Revenue(), lpRevenue: ta.Relaxed.Revenue,
+			taAccepted: ta.Schedule.NumAccepted(), amAccepted: am.NumAccepted(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, k := range cfg.Fig4cKs {
 		x := strconv.Itoa(k)
-		revenue.AddRow(x, ta.Revenue, am.Revenue(), ta.Relaxed.Revenue)
-		accepted.AddRow(x, float64(ta.Schedule.NumAccepted()), float64(am.NumAccepted()))
+		r := rows[p]
+		revenue.AddRow(x, r.taRevenue, r.amRevenue, r.lpRevenue)
+		accepted.AddRow(x, float64(r.taAccepted), float64(r.amAccepted))
 	}
 	return []*Figure{revenue, accepted}, nil
 }

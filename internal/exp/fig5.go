@@ -28,26 +28,44 @@ func Fig5(cfg Config) ([]*Figure, error) {
 		ID: "fig5c", Title: "Average link utilization vs request count (B4)", XLabel: "K",
 		Series: []string{"Metis", "EcoFlow"},
 	}
-	for _, k := range cfg.Fig5Ks {
-		inst, err := buildInstance(cfg, wan.B4(), k)
+	type row struct {
+		metisProfit, ecoProfit   float64
+		metisAccepted, ecoAccept int
+		metisUtil, ecoUtil       float64
+	}
+	rows := make([]row, len(cfg.Fig5Ks))
+	err := forEachPoint(len(cfg.Fig5Ks), cfg.Parallel, func(p int) error {
+		inst, err := buildInstance(cfg, wan.B4(), cfg.Fig5Ks[p])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		metis, err := core.Solve(inst, core.Config{
 			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
 			LP: cfg.LP, Seed: cfg.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		eco, err := baseline.EcoFlow(inst)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		rows[p] = row{
+			metisProfit: metis.Profit, ecoProfit: eco.Profit,
+			metisAccepted: metis.Schedule.NumAccepted(), ecoAccept: eco.NumAccepted,
+			metisUtil: metis.Schedule.ChargedUtilization().Avg, ecoUtil: eco.Utilization.Avg,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, k := range cfg.Fig5Ks {
 		x := strconv.Itoa(k)
-		profit.AddRow(x, metis.Profit, eco.Profit)
-		accepted.AddRow(x, float64(metis.Schedule.NumAccepted()), float64(eco.NumAccepted))
-		util.AddRow(x, metis.Schedule.ChargedUtilization().Avg, eco.Utilization.Avg)
+		r := rows[p]
+		profit.AddRow(x, r.metisProfit, r.ecoProfit)
+		accepted.AddRow(x, float64(r.metisAccepted), float64(r.ecoAccept))
+		util.AddRow(x, r.metisUtil, r.ecoUtil)
 	}
 	return []*Figure{profit, accepted, util}, nil
 }

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// forEachPoint evaluates fn(0) … fn(n−1), sequentially when workers <= 1
+// and on min(workers, n) goroutines otherwise. Every figure sweep runs
+// its scenario points through this helper: each point owns all state it
+// mutates (instances are built per point and randomness is derived per
+// point or pre-drawn), so the schedule of execution cannot change any
+// result — callers collect per-point outputs by index and assemble rows
+// in sweep order afterwards. If any point fails, the error of the
+// lowest-index failing point is returned.
+func forEachPoint(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachPointVisitsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 50} {
+		const n = 17
+		var hits [n]atomic.Int32
+		err := forEachPoint(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: point %d evaluated %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachPointReturnsLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	err := forEachPoint(10, 4, func(i int) error {
+		switch i {
+		case 3:
+			return errLow
+		case 7:
+			return errHigh
+		}
+		return nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("err = %v, want the lowest-index failure", err)
+	}
+}
+
+func TestForEachPointZeroPoints(t *testing.T) {
+	if err := forEachPoint(0, 4, func(int) error { t.Fatal("fn called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// timingSeries are figure columns that measure wall-clock time and are
+// therefore allowed — expected, even — to differ across worker counts.
+func timingSeries(name string) bool {
+	return name == "time_s" || strings.HasSuffix(name, "_s")
+}
+
+// TestParallelFiguresMatchSequential is the harness-layer determinism
+// contract: running the scenario points of an experiment on a worker
+// pool must reproduce the sequential figures exactly, except for
+// wall-clock columns.
+func TestParallelFiguresMatchSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-experiment sweep")
+	}
+	// fig4a shares one RNG across points (pre-drawn per-point blocks),
+	// ablation-rounding re-seeds per point, fig5 is RNG-free per point
+	// beyond the solver seed, ablation-theta carries a timing column.
+	for _, id := range []string{"fig4a", "ablation-rounding", "fig5", "ablation-theta"} {
+		t.Run(id, func(t *testing.T) {
+			cfg := QuickConfig()
+			cfg.Parallel = 1
+			seq, err := Run(id, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Parallel = 4
+			par, err := Run(id, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par) != len(seq) {
+				t.Fatalf("parallel produced %d figures, sequential %d", len(par), len(seq))
+			}
+			for f := range seq {
+				sf, pf := seq[f], par[f]
+				if pf.ID != sf.ID || len(pf.X) != len(sf.X) {
+					t.Fatalf("figure %d: ID/rows %s/%d != sequential %s/%d", f, pf.ID, len(pf.X), sf.ID, len(sf.X))
+				}
+				for r := range sf.X {
+					if pf.X[r] != sf.X[r] {
+						t.Fatalf("%s row %d: label %q != sequential %q", sf.ID, r, pf.X[r], sf.X[r])
+					}
+					for c, series := range sf.Series {
+						if timingSeries(series) {
+							continue
+						}
+						if pf.Y[r][c] != sf.Y[r][c] {
+							t.Fatalf("%s row %s series %s: parallel %v != sequential %v",
+								sf.ID, sf.X[r], series, pf.Y[r][c], sf.Y[r][c])
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -68,6 +68,10 @@ type entry struct {
 
 // Problem is an LP under construction: min/max c·x subject to row
 // relations and variable bounds lo <= x <= hi (lo finite, hi may be +Inf).
+//
+// A Problem is not safe for concurrent use: Solve lazily builds (and
+// caches) the compressed constraint matrix, so even read-only-looking
+// concurrent Solve calls race. Give each goroutine its own Problem.
 type Problem struct {
 	sense Sense
 	obj   []float64
@@ -79,6 +83,48 @@ type Problem struct {
 
 	varNames []string
 	rowNames []string
+
+	// matrix is the CSC view of cols: per-column row-sorted nonzero
+	// lists in three flat arrays. It is built once on first Solve and
+	// reused until AddTerm/AddVariable change the matrix — SetBounds
+	// does not invalidate it, so branch & bound re-solves skip the
+	// merge/sort entirely.
+	matrix *csc
+}
+
+// csc is a compressed-sparse-column matrix: column j's nonzeros are
+// rows[colPtr[j]:colPtr[j+1]] / vals[colPtr[j]:colPtr[j+1]], sorted by
+// row with duplicates summed and exact zeros dropped.
+type csc struct {
+	colPtr []int32
+	rows   []int32
+	vals   []float64
+}
+
+// matrixCSC returns the cached CSC form of the constraint matrix,
+// building it if needed.
+func (p *Problem) matrixCSC() *csc {
+	if p.matrix != nil {
+		return p.matrix
+	}
+	nnz := 0
+	for _, col := range p.cols {
+		nnz += len(col)
+	}
+	m := &csc{
+		colPtr: make([]int32, len(p.cols)+1),
+		rows:   make([]int32, 0, nnz),
+		vals:   make([]float64, 0, nnz),
+	}
+	for j := range p.cols {
+		for _, e := range p.mergedColumn(j) {
+			m.rows = append(m.rows, int32(e.row))
+			m.vals = append(m.vals, e.val)
+		}
+		m.colPtr[j+1] = int32(len(m.rows))
+	}
+	p.matrix = m
+	return m
 }
 
 // NewProblem creates an empty problem with the given sense.
@@ -108,6 +154,7 @@ func (p *Problem) AddVariable(obj, lo, hi float64, name string) (int, error) {
 	p.hi = append(p.hi, hi)
 	p.cols = append(p.cols, nil)
 	p.varNames = append(p.varNames, name)
+	p.matrix = nil
 	return j, nil
 }
 
@@ -143,6 +190,7 @@ func (p *Problem) AddTerm(row, col int, coef float64) error {
 		return nil
 	}
 	p.cols[col] = append(p.cols[col], entry{row: row, val: coef})
+	p.matrix = nil
 	return nil
 }
 
@@ -190,7 +238,7 @@ func (p *Problem) mergedColumn(j int) []entry {
 	}
 	sorted := make([]entry, len(col))
 	copy(sorted, col)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a].row < sorted[b].row })
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].row < sorted[b].row })
 	out := sorted[:0]
 	for _, e := range sorted {
 		if len(out) > 0 && out[len(out)-1].row == e.row {

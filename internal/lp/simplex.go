@@ -5,6 +5,33 @@ import (
 	"math"
 )
 
+// PivotMode selects how the simplex stores and prices columns.
+type PivotMode int
+
+// Pivot modes.
+const (
+	// PivotAuto picks PivotDense when the working matrix is dense
+	// enough for contiguous dense columns to beat index chasing, and
+	// PivotSparse otherwise (the common case for the path-formulation
+	// LPs, whose columns hold a handful of nonzeros).
+	PivotAuto PivotMode = iota
+	// PivotSparse walks per-column CSC nonzero lists in pricing and in
+	// the direction solve.
+	PivotSparse
+	// PivotDense scans contiguous dense columns. Only sensible when
+	// most coefficients are nonzero; kept as the fallback for dense
+	// inputs.
+	PivotDense
+)
+
+// denseDensityThreshold is the nonzero fraction above which PivotAuto
+// switches to dense columns.
+const denseDensityThreshold = 0.4
+
+// maxDenseCells caps the dense-path working matrix (n·m cells) so huge
+// sparse problems can never be blown up into dense storage by accident.
+const maxDenseCells = 1 << 22
+
 // Options tunes the simplex solver.
 type Options struct {
 	// Tol is the feasibility/optimality tolerance (default 1e-7).
@@ -12,6 +39,10 @@ type Options struct {
 	// MaxIters bounds total simplex iterations across both phases
 	// (default 200 + 40·(rows+cols)).
 	MaxIters int
+	// Pivot selects sparse or dense column handling (default
+	// PivotAuto). Both paths compute identical floating-point results;
+	// the switch is purely a storage/speed trade.
+	Pivot PivotMode
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -35,11 +66,20 @@ const (
 //
 //	min cost·x   s.t.  A x = b,  0 <= x_j <= up_j
 //
-// with columns stored sparsely and a dense basis inverse.
+// with columns stored in flat CSC arrays (optionally mirrored densely)
+// and a dense basis inverse in one contiguous row-major block.
 type simplex struct {
 	m, n int // rows, total columns (structural + slack + artificial)
 
-	cols [][]entry // full matrix columns, row-sorted
+	// Working matrix, CSC: column j is rowIdx/vals[colPtr[j]:colPtr[j+1]],
+	// row-sorted. Always present.
+	colPtr []int32
+	rowIdx []int32
+	vals   []float64
+	// dense mirrors the matrix column-major (column j at [j·m, (j+1)·m))
+	// when the dense pivot path is selected; nil otherwise.
+	dense []float64
+
 	b    []float64 // rhs (>= 0 after normalization)
 	cost []float64 // phase-2 costs
 	up   []float64 // upper bounds (+Inf allowed); 0 = fixed
@@ -50,7 +90,7 @@ type simplex struct {
 	state []int     // per column: atLower / atUpper / isBasic
 	basic []int     // per row: basic column
 	xB    []float64 // basic variable values
-	binv  [][]float64
+	binv  []float64 // m×m row-major basis inverse
 
 	opts  Options
 	iters int
@@ -70,6 +110,7 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	nStruct := len(p.obj)
 	m := len(p.rel)
 	s := &simplex{m: m, opts: opts.withDefaults(m, nStruct)}
+	mat := p.matrixCSC()
 
 	// Shift structural variables to lower bound 0 and compute the
 	// adjusted rhs: b_i' = b_i − Σ_j a_ij·lo_j.
@@ -80,8 +121,8 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 		if p.lo[j] == 0 {
 			continue
 		}
-		for _, e := range p.mergedColumn(j) {
-			rhs[e.row] -= e.val * p.lo[j]
+		for q := mat.colPtr[j]; q < mat.colPtr[j+1]; q++ {
+			rhs[mat.rows[q]] -= mat.vals[q] * p.lo[j]
 		}
 		shiftObj += p.objCoef(j) * p.lo[j]
 	}
@@ -98,26 +139,34 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	}
 	s.b = rhs
 
-	// Structural columns.
-	s.cols = make([][]entry, 0, nStruct+m)
-	s.cost = make([]float64, 0, nStruct+m)
-	s.up = make([]float64, 0, nStruct+m)
-	for j := 0; j < nStruct; j++ {
-		col := p.mergedColumn(j)
-		adj := make([]entry, len(col))
-		for k, e := range col {
-			adj[k] = entry{row: e.row, val: e.val * sign[e.row]}
+	// Slack layout; remember which rows get a +1 slack (initial basic).
+	slackBasic := make([]int, m) // column id of the +1 slack, or -1
+	nSlack := 0
+	for i := 0; i < m; i++ {
+		slackBasic[i] = -1
+		if p.rel[i] == LE || p.rel[i] == GE {
+			nSlack++
 		}
-		s.cols = append(s.cols, adj)
+	}
+	nnzStruct := len(mat.vals)
+	s.colPtr = make([]int32, 1, nStruct+2*m+1)
+	s.rowIdx = make([]int32, nnzStruct, nnzStruct+2*m)
+	s.vals = make([]float64, nnzStruct, nnzStruct+2*m)
+	s.cost = make([]float64, 0, nStruct+nSlack+m)
+	s.up = make([]float64, 0, nStruct+nSlack+m)
+
+	// Structural columns: CSC values with normalized row signs.
+	copy(s.rowIdx, mat.rows)
+	for q, r := range mat.rows {
+		s.vals[q] = mat.vals[q] * sign[r]
+	}
+	for j := 0; j < nStruct; j++ {
+		s.colPtr = append(s.colPtr, mat.colPtr[j+1])
 		s.cost = append(s.cost, p.objCoef(j))
 		s.up = append(s.up, p.hi[j]-p.lo[j])
 	}
 
-	// Slack columns; remember which rows get a +1 slack (initial basic).
-	slackBasic := make([]int, m) // column id of the +1 slack, or -1
-	for i := range slackBasic {
-		slackBasic[i] = -1
-	}
+	// Slack columns.
 	for i := 0; i < m; i++ {
 		var coef float64
 		switch p.rel[i] {
@@ -129,8 +178,10 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 			continue // EQ: no slack
 		}
 		coef *= sign[i]
-		j := len(s.cols)
-		s.cols = append(s.cols, []entry{{row: i, val: coef}})
+		j := len(s.cost)
+		s.rowIdx = append(s.rowIdx, int32(i))
+		s.vals = append(s.vals, coef)
+		s.colPtr = append(s.colPtr, int32(len(s.rowIdx)))
 		s.cost = append(s.cost, 0)
 		s.up = append(s.up, math.Inf(1))
 		if coef > 0 {
@@ -139,23 +190,29 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	}
 
 	// Artificial columns for rows without a +1 slack.
-	s.artStart = len(s.cols)
+	s.artStart = len(s.cost)
 	for i := 0; i < m; i++ {
 		if slackBasic[i] != -1 {
 			continue
 		}
-		s.cols = append(s.cols, []entry{{row: i, val: 1}})
+		s.rowIdx = append(s.rowIdx, int32(i))
+		s.vals = append(s.vals, 1)
+		s.colPtr = append(s.colPtr, int32(len(s.rowIdx)))
 		s.cost = append(s.cost, 0)
 		s.up = append(s.up, math.Inf(1))
 		s.nArt++
 	}
-	s.n = len(s.cols)
+	s.n = len(s.cost)
+	s.buildDense()
 
 	// Initial basis: +1 slacks and artificials, everything else at lower.
 	s.state = make([]int, s.n)
 	s.basic = make([]int, m)
 	s.xB = make([]float64, m)
-	s.binv = identity(m)
+	s.binv = make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		s.binv[i*m+i] = 1
+	}
 	art := s.artStart
 	for i := 0; i < m; i++ {
 		j := slackBasic[i]
@@ -217,7 +274,7 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 		var y float64
 		for r, j := range s.basic {
 			if cj := s.cost[j]; cj != 0 {
-				y += cj * s.binv[r][i]
+				y += cj * s.binv[r*m+i]
 			}
 		}
 		y *= sign[i]
@@ -227,6 +284,33 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 		duals[i] = y
 	}
 	return &Solution{Status: StatusOptimal, Objective: obj, X: x, Duals: duals, Iters: s.iters}, nil
+}
+
+// buildDense decides the pivot path and, for the dense path, mirrors
+// the working matrix into contiguous column-major storage. The dense
+// and sparse paths visit each column's nonzeros in the same row order,
+// so they produce bit-identical pivot sequences.
+func (s *simplex) buildDense() {
+	mode := s.opts.Pivot
+	if mode == PivotAuto {
+		cells := s.m * s.n
+		if cells > 0 && cells <= maxDenseCells &&
+			float64(len(s.vals)) > denseDensityThreshold*float64(cells) {
+			mode = PivotDense
+		} else {
+			mode = PivotSparse
+		}
+	}
+	if mode != PivotDense || s.m == 0 {
+		return
+	}
+	s.dense = make([]float64, s.n*s.m)
+	for j := 0; j < s.n; j++ {
+		col := s.dense[j*s.m : (j+1)*s.m]
+		for q := s.colPtr[j]; q < s.colPtr[j+1]; q++ {
+			col[s.rowIdx[q]] = s.vals[q]
+		}
+	}
 }
 
 // objCoef returns the internal (minimization) objective coefficient.
@@ -270,20 +354,21 @@ func (s *simplex) objective(cost []float64) float64 {
 // refreshXB recomputes basic values from scratch to shed accumulated
 // floating-point drift: xB = Binv·(b − Σ_{j at upper} A_j·up_j).
 func (s *simplex) refreshXB() {
-	rhs := make([]float64, s.m)
+	m := s.m
+	rhs := make([]float64, m)
 	copy(rhs, s.b)
 	for j := 0; j < s.n; j++ {
 		if s.state[j] == atUpper && s.up[j] > 0 {
-			for _, e := range s.cols[j] {
-				rhs[e.row] -= e.val * s.up[j]
+			for q := s.colPtr[j]; q < s.colPtr[j+1]; q++ {
+				rhs[s.rowIdx[q]] -= s.vals[q] * s.up[j]
 			}
 		}
 	}
-	for i := 0; i < s.m; i++ {
+	for i := 0; i < m; i++ {
 		var v float64
-		row := s.binv[i]
-		for r := 0; r < s.m; r++ {
-			v += row[r] * rhs[r]
+		row := s.binv[i*m : i*m+m]
+		for r, bv := range row {
+			v += bv * rhs[r]
 		}
 		if v < 0 && v > -s.opts.Tol {
 			v = 0
@@ -295,42 +380,95 @@ func (s *simplex) refreshXB() {
 // iterate runs primal simplex iterations with the given cost vector
 // until optimality, unboundedness, or the iteration limit. It returns
 // StatusOptimal when no improving entering variable exists.
+//
+// The hot loops are laid out for memory behavior: the dual update
+// streams over contiguous Binv rows, pricing walks flat CSC arrays (or
+// contiguous dense columns on the dense path), and the direction solve
+// accumulates per row so Binv is read in row order instead of striding
+// down a column.
 func (s *simplex) iterate(cost []float64) Status {
+	m := s.m
 	if s.y == nil {
-		s.y = make([]float64, s.m)
-		s.w = make([]float64, s.m)
+		s.y = make([]float64, m)
+		s.w = make([]float64, m)
 	}
 	tol := s.opts.Tol
 	degenerate := 0
 	bland := false
 
-	for ; s.iters < s.opts.MaxIters; s.iters++ {
-		// Dual values y = c_B^T · Binv.
-		for i := range s.y {
-			s.y[i] = 0
+	y, w := s.y, s.w
+	colPtr, rowIdx, vals := s.colPtr, s.rowIdx, s.vals
+	state, up := s.state, s.up
+	costRows := make([]int, 0, m) // rows whose basic variable has nonzero cost
+	nzL := make([]int32, 0, m)    // nonzero positions of the pivot row
+
+	// Pricing candidates: nonbasic columns that can move (up > 0),
+	// ascending. Kept sorted across pivots so both Dantzig ties and
+	// Bland's rule see columns in exactly the order the full scan did;
+	// columns not on the list would be skipped by that scan anyway.
+	cands := make([]int32, 0, s.n)
+	for j := 0; j < s.n; j++ {
+		if state[j] != isBasic && up[j] != 0 {
+			cands = append(cands, int32(j))
 		}
+	}
+
+	for ; s.iters < s.opts.MaxIters; s.iters++ {
+		// Dual values y = c_B^T · Binv: one contiguous Binv row per
+		// basic variable with a nonzero cost. Rows are processed in
+		// blocks of four so y is loaded/stored once per block; the
+		// adds onto y[i] stay in ascending row order, so the result is
+		// bit-identical to the row-at-a-time loop.
+		for i := range y {
+			y[i] = 0
+		}
+		costRows = costRows[:0]
 		for r, j := range s.basic {
-			cj := cost[j]
-			if cj == 0 {
-				continue
+			if cost[j] != 0 {
+				costRows = append(costRows, r)
 			}
-			row := s.binv[r]
-			for i := 0; i < s.m; i++ {
-				s.y[i] += cj * row[i]
+		}
+		r := 0
+		for ; r+4 <= len(costRows); r += 4 {
+			r0, r1, r2, r3 := costRows[r], costRows[r+1], costRows[r+2], costRows[r+3]
+			c0, c1, c2, c3 := cost[s.basic[r0]], cost[s.basic[r1]], cost[s.basic[r2]], cost[s.basic[r3]]
+			row0 := s.binv[r0*m : r0*m+m]
+			row1 := s.binv[r1*m : r1*m+m]
+			row2 := s.binv[r2*m : r2*m+m]
+			row3 := s.binv[r3*m : r3*m+m]
+			for i := range y {
+				acc := y[i] + c0*row0[i]
+				acc = acc + c1*row1[i]
+				acc = acc + c2*row2[i]
+				y[i] = acc + c3*row3[i]
+			}
+		}
+		for ; r < len(costRows); r++ {
+			r0 := costRows[r]
+			cj := cost[s.basic[r0]]
+			row := s.binv[r0*m : r0*m+m]
+			for i, bv := range row {
+				y[i] += cj * bv
 			}
 		}
 
-		// Entering variable.
+		// Entering variable: most negative (Dantzig) reduced cost, or
+		// first improving column under Bland's rule.
 		enter := -1
 		var enterD, enterDir float64
-		for j := 0; j < s.n; j++ {
-			st := s.state[j]
-			if st == isBasic || s.up[j] == 0 {
-				continue
-			}
+		for _, j32 := range cands {
+			j := int(j32)
+			st := state[j]
 			d := cost[j]
-			for _, e := range s.cols[j] {
-				d -= s.y[e.row] * e.val
+			if s.dense != nil {
+				col := s.dense[j*m : j*m+m]
+				for i, v := range col {
+					d -= y[i] * v
+				}
+			} else {
+				for q := colPtr[j]; q < colPtr[j+1]; q++ {
+					d -= y[rowIdx[q]] * vals[q]
+				}
 			}
 			var improving bool
 			var dir float64
@@ -354,36 +492,80 @@ func (s *simplex) iterate(cost []float64) Status {
 			return StatusOptimal
 		}
 
-		// Direction w = Binv · A_enter.
-		for i := range s.w {
-			s.w[i] = 0
-		}
-		for _, e := range s.cols[enter] {
-			v := e.val
-			for i := 0; i < s.m; i++ {
-				s.w[i] += s.binv[i][e.row] * v
+		// Direction w = Binv · A_enter, accumulated row by row so Binv
+		// is traversed in storage order.
+		if s.dense != nil {
+			col := s.dense[enter*m : enter*m+m]
+			for i := 0; i < m; i++ {
+				row := s.binv[i*m : i*m+m]
+				var acc float64
+				for k, v := range col {
+					if v != 0 {
+						acc += row[k] * v
+					}
+				}
+				w[i] = acc
+			}
+		} else {
+			start, end := colPtr[enter], colPtr[enter+1]
+			if end-start == 1 {
+				// Slack/artificial fast path: w is one Binv column.
+				r := int(rowIdx[start])
+				v := vals[start]
+				for i := 0; i < m; i++ {
+					w[i] = s.binv[i*m+r] * v
+				}
+			} else {
+				// Two Binv rows per pass share one walk of the column's
+				// index/value lists; each w[i] still accumulates its own
+				// terms in entry order.
+				i := 0
+				for ; i+2 <= m; i += 2 {
+					row0 := s.binv[i*m : i*m+m]
+					row1 := s.binv[(i+1)*m : (i+1)*m+m]
+					var a0, a1 float64
+					for q := start; q < end; q++ {
+						r := rowIdx[q]
+						v := vals[q]
+						a0 += row0[r] * v
+						a1 += row1[r] * v
+					}
+					w[i] = a0
+					w[i+1] = a1
+				}
+				for ; i < m; i++ {
+					row := s.binv[i*m : i*m+m]
+					var acc float64
+					for q := start; q < end; q++ {
+						acc += row[rowIdx[q]] * vals[q]
+					}
+					w[i] = acc
+				}
 			}
 		}
 
 		// Ratio test.
-		theta := s.up[enter] // bound-flip limit (may be +Inf)
+		theta := up[enter] // bound-flip limit (may be +Inf)
 		leave := -1
 		leaveTo := atLower
 		const pivTol = 1e-9
-		for i := 0; i < s.m; i++ {
-			g := enterDir * s.w[i]
+		for i := 0; i < m; i++ {
+			if w[i] == 0 {
+				continue
+			}
+			g := enterDir * w[i]
 			if g > pivTol {
 				limit := s.xB[i] / g
-				if limit < theta-1e-12 || (limit < theta+1e-12 && leave != -1 && math.Abs(g) > math.Abs(enterDir*s.w[leave])) {
+				if limit < theta-1e-12 || (limit < theta+1e-12 && leave != -1 && math.Abs(g) > math.Abs(enterDir*w[leave])) {
 					theta, leave, leaveTo = limit, i, atLower
 				}
 			} else if g < -pivTol {
-				ub := s.up[s.basic[i]]
+				ub := up[s.basic[i]]
 				if math.IsInf(ub, 1) {
 					continue
 				}
 				limit := (ub - s.xB[i]) / -g
-				if limit < theta-1e-12 || (limit < theta+1e-12 && leave != -1 && math.Abs(g) > math.Abs(enterDir*s.w[leave])) {
+				if limit < theta-1e-12 || (limit < theta+1e-12 && leave != -1 && math.Abs(g) > math.Abs(enterDir*w[leave])) {
 					theta, leave, leaveTo = limit, i, atUpper
 				}
 			}
@@ -407,67 +589,143 @@ func (s *simplex) iterate(cost []float64) Status {
 			bland = false
 		}
 
-		// Move basic variables.
-		for i := 0; i < s.m; i++ {
-			s.xB[i] -= enterDir * theta * s.w[i]
-			if s.xB[i] < 0 && s.xB[i] > -tol {
-				s.xB[i] = 0
+		// Move basic variables. A degenerate step (theta == 0) moves
+		// nothing, and rows with w[i] == 0 are unchanged, so both are
+		// skipped; every skipped entry was clamped when it was last
+		// written, so the clamp below cannot fire on it either.
+		if theta != 0 {
+			for i := 0; i < m; i++ {
+				wv := w[i]
+				if wv == 0 {
+					continue
+				}
+				s.xB[i] -= enterDir * theta * wv
+				if s.xB[i] < 0 && s.xB[i] > -tol {
+					s.xB[i] = 0
+				}
 			}
 		}
 
 		if leave == -1 {
 			// Bound flip: the entering variable crosses its whole range.
-			if s.state[enter] == atLower {
-				s.state[enter] = atUpper
+			if state[enter] == atLower {
+				state[enter] = atUpper
 			} else {
-				s.state[enter] = atLower
+				state[enter] = atLower
 			}
 			continue
 		}
 
 		// Pivot: basic[leave] exits, enter becomes basic.
 		exit := s.basic[leave]
-		s.state[exit] = leaveTo
+		state[exit] = leaveTo
 		var enterVal float64
 		if enterDir > 0 {
 			enterVal = theta
 		} else {
-			enterVal = s.up[enter] - theta
+			enterVal = up[enter] - theta
 		}
 		s.basic[leave] = enter
-		s.state[enter] = isBasic
+		state[enter] = isBasic
 		s.xB[leave] = enterVal
 
-		piv := s.w[leave]
-		rowL := s.binv[leave]
-		inv := 1 / piv
-		for k := 0; k < s.m; k++ {
-			rowL[k] *= inv
+		// Candidate bookkeeping: enter left the pool, exit rejoined it
+		// (unless permanently fixed at zero).
+		cands = removeSorted(cands, int32(enter))
+		if up[exit] != 0 {
+			cands = insertSorted(cands, int32(exit))
 		}
-		for i := 0; i < s.m; i++ {
-			if i == leave {
-				continue
+
+		piv := w[leave]
+		rowL := s.binv[leave*m : leave*m+m]
+		inv := 1 / piv
+		nzL = nzL[:0]
+		for k := range rowL {
+			if rowL[k] != 0 {
+				rowL[k] *= inv
+				nzL = append(nzL, int32(k))
 			}
-			f := s.w[i]
-			if f == 0 {
-				continue
+		}
+		if len(nzL)*4 < m*3 {
+			// Sparse pivot row: touch only its nonzero positions. The
+			// skipped positions would subtract f·0, which changes
+			// nothing (at most the sign of a zero, which no comparison
+			// downstream distinguishes).
+			for i := 0; i < m; i++ {
+				if i == leave {
+					continue
+				}
+				f := w[i]
+				if f == 0 {
+					continue
+				}
+				row := s.binv[i*m : i*m+m]
+				for _, k := range nzL {
+					row[k] -= f * rowL[k]
+				}
 			}
-			row := s.binv[i]
-			for k := 0; k < s.m; k++ {
-				row[k] -= f * rowL[k]
+		} else {
+			for i := 0; i < m; i++ {
+				if i == leave {
+					continue
+				}
+				f := w[i]
+				if f == 0 {
+					continue
+				}
+				row := s.binv[i*m : i*m+m]
+				// Unrolled axpy row -= f·rowL; each element is
+				// independent, so the result matches the scalar loop.
+				k := 0
+				for ; k+4 <= m; k += 4 {
+					row[k] -= f * rowL[k]
+					row[k+1] -= f * rowL[k+1]
+					row[k+2] -= f * rowL[k+2]
+					row[k+3] -= f * rowL[k+3]
+				}
+				for ; k < m; k++ {
+					row[k] -= f * rowL[k]
+				}
 			}
 		}
 	}
 	return StatusIterLimit
 }
 
-func identity(m int) [][]float64 {
-	b := make([][]float64, m)
-	for i := range b {
-		b[i] = make([]float64, m)
-		b[i][i] = 1
+// searchInt32 returns the first index in xs (ascending) not less than v.
+func searchInt32(xs []int32, v int32) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	return b
+	return lo
+}
+
+// insertSorted inserts v into ascending xs if absent.
+func insertSorted(xs []int32, v int32) []int32 {
+	i := searchInt32(xs, v)
+	if i < len(xs) && xs[i] == v {
+		return xs
+	}
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}
+
+// removeSorted removes v from ascending xs if present.
+func removeSorted(xs []int32, v int32) []int32 {
+	i := searchInt32(xs, v)
+	if i >= len(xs) || xs[i] != v {
+		return xs
+	}
+	copy(xs[i:], xs[i+1:])
+	return xs[:len(xs)-1]
 }
 
 func norm1(xs []float64) float64 {

@@ -425,3 +425,104 @@ func TestStatusString(t *testing.T) {
 		}
 	}
 }
+
+// randomBoundedLP builds a feasible randomized max-LP (A >= 0, b > 0,
+// boxed variables) whose constraint matrix has roughly the given
+// nonzero density.
+func randomBoundedLP(t *testing.T, rng *stats.RNG, m, n int, density float64) *Problem {
+	t.Helper()
+	p := NewProblem(Maximize)
+	for j := 0; j < n; j++ {
+		mustVar(t, p, rng.Uniform(0.1, 5), 0, rng.Uniform(0.5, 3), "")
+	}
+	for i := 0; i < m; i++ {
+		mustCon(t, p, LE, rng.Uniform(1, 6), "")
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				mustTerm(t, p, i, j, rng.Uniform(0.1, 2))
+			}
+		}
+	}
+	return p
+}
+
+// TestPivotModesBitIdentical: the sparse and dense pivot paths must
+// produce byte-for-byte identical solutions — same status, objective,
+// primal values, duals, and iteration count — because they perform the
+// same floating-point operations in the same order.
+func TestPivotModesBitIdentical(t *testing.T) {
+	rng := stats.NewRNG(91)
+	for trial := 0; trial < 8; trial++ {
+		m := 5 + rng.Intn(20)
+		n := 5 + rng.Intn(40)
+		density := rng.Uniform(0.05, 0.9)
+		p := randomBoundedLP(t, rng, m, n, density)
+
+		sparse, err := p.Solve(Options{Pivot: PivotSparse})
+		if err != nil {
+			t.Fatalf("trial %d sparse: %v", trial, err)
+		}
+		dense, err := p.Solve(Options{Pivot: PivotDense})
+		if err != nil {
+			t.Fatalf("trial %d dense: %v", trial, err)
+		}
+		auto, err := p.Solve(Options{})
+		if err != nil {
+			t.Fatalf("trial %d auto: %v", trial, err)
+		}
+		for _, pair := range []struct {
+			name string
+			got  *Solution
+		}{{"dense", dense}, {"auto", auto}} {
+			if pair.got.Status != sparse.Status || pair.got.Iters != sparse.Iters {
+				t.Fatalf("trial %d (m=%d n=%d ρ=%.2f): %s status/iters %v/%d != sparse %v/%d",
+					trial, m, n, density, pair.name, pair.got.Status, pair.got.Iters, sparse.Status, sparse.Iters)
+			}
+			if pair.got.Objective != sparse.Objective {
+				t.Fatalf("trial %d: %s objective %v != sparse %v", trial, pair.name, pair.got.Objective, sparse.Objective)
+			}
+			for j := range sparse.X {
+				if pair.got.X[j] != sparse.X[j] {
+					t.Fatalf("trial %d: %s x[%d] = %v != sparse %v", trial, pair.name, j, pair.got.X[j], sparse.X[j])
+				}
+			}
+			for i := range sparse.Duals {
+				if pair.got.Duals[i] != sparse.Duals[i] {
+					t.Fatalf("trial %d: %s dual[%d] = %v != sparse %v", trial, pair.name, i, pair.got.Duals[i], sparse.Duals[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCSCCacheInvalidation: growing the problem after a solve must
+// rebuild the cached column form; a stale cache would silently solve
+// the old problem.
+func TestCSCCacheInvalidation(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := mustVar(t, p, 1, 0, 10, "x")
+	c := mustCon(t, p, LE, 4, "cap")
+	mustTerm(t, p, c, x, 1)
+	sol := solveOptimal(t, p)
+	if sol.Objective != 4 {
+		t.Fatalf("objective %v, want 4", sol.Objective)
+	}
+	// New variable and term after the first solve.
+	y := mustVar(t, p, 2, 0, 10, "y")
+	c2 := mustCon(t, p, LE, 3, "cap2")
+	mustTerm(t, p, c2, y, 1)
+	sol = solveOptimal(t, p)
+	if sol.Objective != 10 {
+		t.Fatalf("after growth: objective %v, want 10 (x=4, y=3)", sol.Objective)
+	}
+	// SetBounds must take effect without an explicit cache rebuild.
+	if err := p.SetBounds(x, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sol = solveOptimal(t, p)
+	if sol.Objective != 7 {
+		t.Fatalf("after SetBounds: objective %v, want 7 (x=1, y=3)", sol.Objective)
+	}
+}

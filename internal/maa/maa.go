@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"metis/internal/lp"
 	"metis/internal/sched"
@@ -28,8 +30,21 @@ type Options struct {
 	// Rounds is the number of independent randomized roundings; the
 	// cheapest rounded schedule wins (default 1, the paper's algorithm).
 	Rounds int
-	// RNG supplies the rounding randomness (required).
+	// RNG supplies the rounding randomness (required unless Uniforms
+	// is set).
 	RNG *stats.RNG
+	// Uniforms optionally replaces RNG draws with a pre-drawn block of
+	// unit uniforms, consumed in the order the RNG would have been:
+	// Rounds × (requests with positive fractional mass) values. Sweeps
+	// that share one RNG across many Solve calls pre-draw one block per
+	// call so the calls can run concurrently.
+	Uniforms []float64
+	// Workers bounds the goroutines used to evaluate independent
+	// roundings when Rounds > 1 (<=1 means sequential). All rounding
+	// uniforms are pre-drawn from RNG before any goroutine starts, so
+	// the chosen schedule — and the RNG state left behind — are
+	// bit-identical for every Workers value.
+	Workers int
 }
 
 // Result is MAA's output.
@@ -88,8 +103,8 @@ func Solve(inst *sched.Instance, opts Options) (*Result, error) {
 	if inst.NumRequests() == 0 {
 		return nil, ErrNoRequests
 	}
-	if opts.RNG == nil {
-		return nil, errors.New("maa: options require an RNG")
+	if opts.RNG == nil && opts.Uniforms == nil {
+		return nil, errors.New("maa: options require an RNG (or pre-drawn Uniforms)")
 	}
 	rounds := opts.Rounds
 	if rounds <= 0 {
@@ -101,26 +116,119 @@ func Solve(inst *sched.Instance, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("maa: %w", err)
 	}
 
-	var (
-		best     *sched.Schedule
-		bestCost float64
-	)
-	for r := 0; r < rounds; r++ {
-		s, err := Round(inst, rel, opts.RNG)
-		if err != nil {
-			return nil, err
-		}
-		cost := s.Cost()
-		if best == nil || cost < bestCost {
-			best, bestCost = s, cost
+	// Pre-draw every rounding uniform sequentially. Round consumes one
+	// uniform per request whose fractional row has positive mass (rows
+	// with no mass skip the draw, matching PickWeighted), and that set
+	// depends only on rel — shared by all rounds. Drawing rounds×drawn
+	// uniforms here leaves opts.RNG in exactly the state the sequential
+	// draw-inside-the-loop code did, and makes the roundings themselves
+	// order-independent so they can run on any number of workers.
+	k := inst.NumRequests()
+	drawn := 0
+	for i := 0; i < k; i++ {
+		if stats.HasPositiveWeight(rel.X[i]) {
+			drawn++
 		}
 	}
+	var uniforms []float64
+	if opts.Uniforms != nil {
+		if len(opts.Uniforms) < rounds*drawn {
+			return nil, fmt.Errorf("maa: %d pre-drawn uniforms, need %d (%d rounds × %d positive rows)",
+				len(opts.Uniforms), rounds*drawn, rounds, drawn)
+		}
+		uniforms = opts.Uniforms[:rounds*drawn]
+	} else {
+		uniforms = make([]float64, rounds*drawn)
+		for i := range uniforms {
+			uniforms[i] = opts.RNG.Float64()
+		}
+	}
+
+	type rounding struct {
+		s    *sched.Schedule
+		cost float64
+		err  error
+	}
+	results := make([]rounding, rounds)
+	evalRound := func(r int) {
+		s, err := roundWith(inst, rel, uniforms[r*drawn:(r+1)*drawn])
+		if err != nil {
+			results[r] = rounding{err: err}
+			return
+		}
+		results[r] = rounding{s: s, cost: s.Cost()}
+	}
+
+	workers := opts.Workers
+	if workers > rounds {
+		workers = rounds
+	}
+	if workers <= 1 {
+		for r := 0; r < rounds; r++ {
+			evalRound(r)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					r := int(next.Add(1)) - 1
+					if r >= rounds {
+						return
+					}
+					evalRound(r)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Lowest cost wins; ties break toward the earliest round, exactly
+	// like the sequential "strictly cheaper replaces" scan.
+	bestIdx := -1
+	for r := 0; r < rounds; r++ {
+		if results[r].err != nil {
+			return nil, results[r].err
+		}
+		if bestIdx == -1 || results[r].cost < results[bestIdx].cost {
+			bestIdx = r
+		}
+	}
+	best := results[bestIdx]
 	return &Result{
-		Schedule: best,
-		Charged:  best.ChargedBandwidth(),
-		Cost:     bestCost,
+		Schedule: best.s,
+		Charged:  best.s.ChargedBandwidth(),
+		Cost:     best.cost,
 		Relaxed:  rel,
 	}, nil
+}
+
+// roundWith is Round driven by pre-drawn uniforms, one per request with
+// positive fractional mass, in request order. It produces exactly the
+// schedule Round would for uniforms drawn from an RNG in the same
+// order.
+func roundWith(inst *sched.Instance, rel *spm.RelaxedRL, uniforms []float64) (*sched.Schedule, error) {
+	s := sched.NewSchedule(inst)
+	pos := 0
+	for i := 0; i < inst.NumRequests(); i++ {
+		j := -1
+		if stats.HasPositiveWeight(rel.X[i]) {
+			j = stats.PickWeightedWith(uniforms[pos], rel.X[i])
+			pos++
+		}
+		if j < 0 {
+			// The relaxation serves every request, so a vanishing row
+			// is numerical noise; fall back to the cheapest path.
+			j = 0
+		}
+		if err := s.Assign(i, j); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Round performs one randomized rounding of the relaxed solution:

@@ -83,9 +83,41 @@ func (s *Schedule) Clone() *Schedule {
 // Loads returns the per-link, per-slot bandwidth load implied by the
 // schedule: loads[e][t] = Σ_i r_{i,t}·x_{i,j}·I_{i,j,e}.
 func (s *Schedule) Loads() [][]float64 {
-	loads := make([][]float64, s.inst.Network().NumLinks())
-	for e := range loads {
-		loads[e] = make([]float64, s.inst.Slots())
+	return s.LoadsInto(nil)
+}
+
+// LoadsInto is Loads with buffer reuse: when loads has the right shape
+// (NumLinks rows of Slots columns) it is zeroed and refilled in place,
+// otherwise a new matrix is allocated. The accumulation order is
+// identical to Loads, so the results are bit-for-bit the same; the
+// returned matrix is the one that was filled. Hot callers that
+// recompute loads repeatedly (the profit pruner, the experiment
+// harness) use it to avoid re-allocating per call.
+func (s *Schedule) LoadsInto(loads [][]float64) [][]float64 {
+	links := s.inst.Network().NumLinks()
+	slots := s.inst.Slots()
+	if len(loads) == links {
+		for e := range loads {
+			if len(loads[e]) != slots {
+				loads = nil
+				break
+			}
+		}
+	} else {
+		loads = nil
+	}
+	if loads == nil {
+		loads = make([][]float64, links)
+		for e := range loads {
+			loads[e] = make([]float64, slots)
+		}
+	} else {
+		for e := range loads {
+			ts := loads[e]
+			for t := range ts {
+				ts[t] = 0
+			}
+		}
 	}
 	for i, c := range s.choice {
 		if c == Declined {
@@ -101,11 +133,11 @@ func (s *Schedule) Loads() [][]float64 {
 	return loads
 }
 
-// ChargedBandwidth returns the integer bandwidth to purchase on each
-// link: the ceiling of the link's peak load over the billing cycle
-// (Algorithm 1, lines 6–8).
-func (s *Schedule) ChargedBandwidth() []int {
-	loads := s.Loads()
+// ChargedOf returns the integer bandwidth purchase implied by per-link
+// loads: the ceiling of each link's peak. It is the loads→charging step
+// of ChargedBandwidth, split out so callers holding a loads matrix can
+// avoid recomputing it.
+func ChargedOf(loads [][]float64) []int {
 	charged := make([]int, len(loads))
 	for e, ts := range loads {
 		var peak float64
@@ -119,14 +151,45 @@ func (s *Schedule) ChargedBandwidth() []int {
 	return charged
 }
 
-// Cost returns the service cost Σ_e u_e·c_e with c_e = ChargedBandwidth.
-func (s *Schedule) Cost() float64 {
-	charged := s.ChargedBandwidth()
+// ChargedBandwidth returns the integer bandwidth to purchase on each
+// link: the ceiling of the link's peak load over the billing cycle
+// (Algorithm 1, lines 6–8).
+func (s *Schedule) ChargedBandwidth() []int {
+	return ChargedOf(s.Loads())
+}
+
+// CostOfCharged returns the service cost Σ_e u_e·c_e for an explicit
+// integer purchase vector (indexed by link id).
+func (s *Schedule) CostOfCharged(charged []int) float64 {
 	var cost float64
 	for e, c := range charged {
 		cost += s.inst.Network().Link(e).Price * float64(c)
 	}
 	return cost
+}
+
+// CostWithLoads returns the service cost implied by a loads matrix (as
+// produced by Loads/LoadsInto for this schedule) without allocating the
+// intermediate charged vector. Peaks, ceilings and the price sum follow
+// exactly the ChargedBandwidth/Cost order, so the result is bit-for-bit
+// what Cost would return for the same loads.
+func (s *Schedule) CostWithLoads(loads [][]float64) float64 {
+	var cost float64
+	for e, ts := range loads {
+		var peak float64
+		for _, v := range ts {
+			if v > peak {
+				peak = v
+			}
+		}
+		cost += s.inst.Network().Link(e).Price * float64(CeilUnits(peak))
+	}
+	return cost
+}
+
+// Cost returns the service cost Σ_e u_e·c_e with c_e = ChargedBandwidth.
+func (s *Schedule) Cost() float64 {
+	return s.CostOfCharged(s.ChargedBandwidth())
 }
 
 // Revenue returns the service revenue Σ of accepted request values.

@@ -14,6 +14,11 @@ import (
 // RNG is a seeded source of the random primitives used across the project.
 // It wraps math/rand.Rand rather than exposing it so call sites stay
 // restricted to the distributions we actually rely on.
+//
+// An RNG is NOT safe for concurrent use: every draw mutates the
+// underlying generator state. Concurrent code must give each goroutine
+// its own substream — see Split — or pre-draw the values it needs while
+// still single-threaded.
 type RNG struct {
 	r *rand.Rand
 }
@@ -21,6 +26,37 @@ type RNG struct {
 // NewRNG returns a deterministic generator for the given seed.
 func NewRNG(seed int64) *RNG {
 	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// splitmix64 is the SplitMix64 output function: a bijective avalanche
+// mix, the standard way to derive well-separated child seeds from
+// sequential inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Split derives n deterministic, statistically independent substreams
+// from this generator. It consumes exactly one draw from the parent to
+// obtain a base seed, then hash-mixes (base, child index) through
+// SplitMix64 so sibling streams are decorrelated even for adjacent
+// indices. The same parent state always yields the same substreams, so
+// work fanned out across goroutines stays reproducible; the substreams
+// themselves are independent RNGs and may be used from different
+// goroutines (one goroutine per substream).
+func (g *RNG) Split(n int) []*RNG {
+	if n <= 0 {
+		return nil
+	}
+	base := g.r.Uint64()
+	out := make([]*RNG, n)
+	for i := range out {
+		child := splitmix64(base + uint64(i)*0x9e3779b97f4a7c15)
+		out[i] = NewRNG(int64(child))
+	}
+	return out
 }
 
 // Float64 returns a uniform sample from [0, 1).
@@ -64,8 +100,35 @@ func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 
 // PickWeighted returns an index in [0, len(weights)) chosen with
 // probability proportional to weights[i]. Non-positive weights are
-// treated as zero. If all weights are zero it returns -1.
+// treated as zero. If all weights are zero it returns -1 without
+// consuming a draw.
 func (g *RNG) PickWeighted(weights []float64) int {
+	if !HasPositiveWeight(weights) {
+		return -1
+	}
+	return PickWeightedWith(g.r.Float64(), weights)
+}
+
+// HasPositiveWeight reports whether any weight is strictly positive —
+// exactly the condition under which PickWeighted consumes one uniform.
+// Callers that pre-draw uniforms for PickWeightedWith use it to
+// replicate PickWeighted's stream consumption.
+func HasPositiveWeight(weights []float64) bool {
+	for _, w := range weights {
+		if w > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// PickWeightedWith is PickWeighted driven by an externally supplied
+// uniform u ∈ [0, 1) instead of the generator's own stream. For u drawn
+// from an RNG it returns exactly what PickWeighted would have: the same
+// total, the same scan, the same fallback. It lets callers pre-draw one
+// uniform per pick sequentially and then evaluate the picks in
+// parallel without changing any outcome.
+func PickWeightedWith(u float64, weights []float64) int {
 	var total float64
 	for _, w := range weights {
 		if w > 0 {
@@ -75,7 +138,7 @@ func (g *RNG) PickWeighted(weights []float64) int {
 	if total <= 0 {
 		return -1
 	}
-	u := g.r.Float64() * total
+	u *= total
 	var acc float64
 	for i, w := range weights {
 		if w <= 0 {
