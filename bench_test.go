@@ -12,6 +12,7 @@ import (
 
 	"metis"
 	"metis/internal/exp"
+	"metis/internal/spm"
 )
 
 func benchFigure(b *testing.B, id string, metric func([]*exp.Figure) (string, float64)) {
@@ -162,6 +163,45 @@ func BenchmarkMetisSolveK100(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMetisSolveK100Cold is the same solve with ColdLP set: no
+// incremental relaxation models, every LP from scratch — the seed
+// code path, kept benchmarked so the warm-start win stays visible.
+func BenchmarkMetisSolveK100Cold(b *testing.B) {
+	inst := benchInstance(b, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metis.Solve(inst, metis.Config{Theta: 4, Seed: 1, ColdLP: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Exact-baseline benchmarks: OPT(SPM) branch & bound with per-node
+// simplex warm starts (the default) against ColdLP, which re-solves
+// every node's relaxation by two-phase simplex from the all-slack
+// basis. Both searches prove the same optimum; the trees may differ
+// (equal-objective relaxations can sit at different vertices, steering
+// the fractional branching elsewhere), so the reported node count
+// keeps the per-node repair win separable from tree-shape luck.
+func benchExactSPM(b *testing.B, cold bool) {
+	b.Helper()
+	inst := benchInstance(b, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := spm.SolveExactSPM(inst, spm.ExactOptions{ColdLP: cold})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Proven {
+			b.Fatal("exact SPM did not prove optimality")
+		}
+		b.ReportMetric(float64(res.Nodes), "nodes")
+	}
+}
+
+func BenchmarkExactSPMWarmK32(b *testing.B) { benchExactSPM(b, false) }
+func BenchmarkExactSPMColdK32(b *testing.B) { benchExactSPM(b, true) }
 
 func BenchmarkMAASolveK200(b *testing.B) {
 	inst := benchInstance(b, 200)

@@ -10,6 +10,8 @@
 //	metisbench -fig fig5 -json      # figures + per-experiment perf JSON
 //	metisbench -list                # known experiment ids
 //	metisbench -fig fig3 -seed 7 -opt-limit 30s
+//	metisbench -fig fig5 -warm off  # disable LP warm starts (seed path)
+//	metisbench -fig fig5 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -45,6 +48,7 @@ type jsonReport struct {
 	Config     string        `json:"config"`
 	Parallel   int           `json:"parallel"`
 	Seed       int64         `json:"seed"`
+	Warm       bool          `json:"warm"`
 	Figures    []*exp.Figure `json:"figures"`
 	Benchmarks []benchRecord `json:"benchmarks"`
 }
@@ -61,6 +65,9 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 0, "override workload seed (0 = config default)")
 		optLimit = fs.Duration("opt-limit", 0, "override exact-solver time limit (0 = config default)")
 		parallel = fs.Int("parallel", 1, "scenario-point workers per experiment (0 = all CPUs, 1 = sequential)")
+		warm     = fs.String("warm", "on", "LP warm starts: on (incremental relaxation models) or off (every LP solved cold; bit-identical to the pre-warm-start code path)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memProf  = fs.String("memprofile", "", "write an allocation profile (after the run) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +75,9 @@ func run(args []string) error {
 	if *list {
 		fmt.Println(strings.Join(append(exp.IDs(), "all"), "\n"))
 		return nil
+	}
+	if *warm != "on" && *warm != "off" {
+		return fmt.Errorf("-warm must be \"on\" or \"off\", got %q", *warm)
 	}
 
 	cfg := exp.DefaultConfig()
@@ -86,6 +96,33 @@ func run(args []string) error {
 		*parallel = runtime.NumCPU()
 	}
 	cfg.Parallel = *parallel
+	cfg.ColdLP = *warm == "off"
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "metisbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "metisbench:", err)
+			}
+		}()
+	}
 
 	if *jsonOut {
 		return runJSON(os.Stdout, *figID, cfgName, cfg)
@@ -123,7 +160,7 @@ func runJSON(w io.Writer, figID, cfgName string, cfg exp.Config) error {
 	if figID == "all" {
 		ids = exp.IDs()
 	}
-	report := jsonReport{Config: cfgName, Parallel: cfg.Parallel, Seed: cfg.Seed}
+	report := jsonReport{Config: cfgName, Parallel: cfg.Parallel, Seed: cfg.Seed, Warm: !cfg.ColdLP}
 	var ms runtime.MemStats
 	for _, id := range ids {
 		runtime.ReadMemStats(&ms)

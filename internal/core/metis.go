@@ -25,6 +25,7 @@ import (
 	"metis/internal/lp"
 	"metis/internal/maa"
 	"metis/internal/sched"
+	"metis/internal/spm"
 	"metis/internal/stats"
 	"metis/internal/taa"
 )
@@ -65,6 +66,15 @@ type Config struct {
 	LP lp.Options
 	// Seed drives MAA's randomized rounding.
 	Seed int64
+	// ColdLP disables the round-to-round LP reuse: every round rebuilds
+	// its relaxations on a fresh sub-instance and solves them cold,
+	// restoring the pre-warm-start behavior bit-for-bit. By default the
+	// BL-SPM LP is built once per run and each round applies only its
+	// subset/capacity delta, warm-starting from the previous round's
+	// simplex basis, while MAA's RL-SPM relaxation (whose vertex the
+	// rounding consumes) is reused only when a stalled round repeats the
+	// exact accepted set — see the model-construction comment in Solve.
+	ColdLP bool
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +155,36 @@ func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
 		accepted[i] = i
 	}
 
+	// Incremental BL relaxation model: the BL-SPM LP is built once over
+	// the full instance; each round applies the accepted subset and the
+	// shrunk capacities as bound/rhs deltas and warm-starts from the
+	// previous round's basis instead of rebuilding and solving cold. TAA
+	// only reads the fractional X through its derandomized Chernoff
+	// estimator, so its decisions are pinned by the (identical) optimal
+	// objective rather than by which optimal vertex the solver lands on.
+	//
+	// MAA deliberately gets no such model: randomized rounding consumes
+	// the vertex itself — every fractional coordinate shifts the path
+	// picks — and these relaxations are massively degenerate, so a warm
+	// solve is free to return a different optimal vertex and silently
+	// change the rounded schedule. MAA's relaxation therefore always
+	// comes from the cold solve of the round's sub-instance. What *is*
+	// reused there, bit for bit, is the previous round's relaxation
+	// whenever TAA declined nothing: the accepted set, and hence the
+	// RL-SPM LP, is then identical (RL-SPM depends only on the request
+	// set, not on capacities).
+	var blModel *spm.BLModel
+	if !cfg.ColdLP {
+		var err error
+		if blModel, err = spm.NewBLModel(inst, cfg.LP); err != nil {
+			return nil, fmt.Errorf("core: build BL model: %w", err)
+		}
+	}
+	var (
+		lastAccepted []int
+		lastRel      *spm.RelaxedRL
+	)
+
 	var rounds []RoundStats
 	stall := 0 // consecutive rounds in which TAA declined nothing
 	for round := 1; round <= cfg.Theta && len(accepted) > 0; round++ {
@@ -155,10 +195,19 @@ func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
 		}
 
 		// RL-SPM Solver.
-		maaRes, err := maa.Solve(sub, maa.Options{LP: cfg.LP, Rounds: cfg.MAARounds, RNG: rng, Workers: cfg.Workers})
+		maaOpts := maa.Options{LP: cfg.LP, Rounds: cfg.MAARounds, RNG: rng, Workers: cfg.Workers}
+		if !cfg.ColdLP && lastRel != nil && equalInts(lastAccepted, accepted) {
+			// Identical accepted set ⇒ identical RL-SPM LP ⇒ the cold
+			// solve would reproduce last round's relaxation bit for bit;
+			// skip it.
+			maaOpts.Relaxed = lastRel
+		}
+		maaRes, err := maa.Solve(sub, maaOpts)
 		if err != nil {
 			return nil, fmt.Errorf("core: round %d: %w", round, err)
 		}
+		lastAccepted = append(lastAccepted[:0], accepted...)
+		lastRel = maaRes.Relaxed
 		maaSched := liftSchedule(inst, accepted, maaRes.Schedule)
 		var maaProfit float64
 		maaProfit, loadsBuf = pruneUnprofitable(maaSched, loadsBuf)
@@ -173,10 +222,18 @@ func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
 		// trading requests for bandwidth.
 		caps := maaRes.Charged
 		step := cfg.TauStep << uint(min(stall, 20))
-		shrinkLeastUtilized(maaRes.Schedule, caps, step, cfg.TauFrac)
+		loadsBuf = shrinkLeastUtilized(maaRes.Schedule, caps, step, cfg.TauFrac, loadsBuf)
 
 		// BL-SPM Solver.
-		taaRes, err := taa.Solve(sub, caps, taa.Options{LP: cfg.LP})
+		taaOpts := taa.Options{LP: cfg.LP}
+		if blModel != nil {
+			rel, err := blModel.SolveSubset(accepted, caps)
+			if err != nil {
+				return nil, fmt.Errorf("core: round %d: %w", round, err)
+			}
+			taaOpts.Relaxed = rel
+		}
+		taaRes, err := taa.Solve(sub, caps, taaOpts)
 		if err != nil {
 			return nil, fmt.Errorf("core: round %d: %w", round, err)
 		}
@@ -429,9 +486,10 @@ func pruneUnprofitable(s *sched.Schedule, buf [][]float64) (float64, [][]float64
 // shrinkLeastUtilized implements the τ rule: reduce the capacity of the
 // link with the minimum average utilization among links with positive
 // capacity, by max(step, ceil(frac·units)) units. Ties break toward the
-// lower link id.
-func shrinkLeastUtilized(s *sched.Schedule, caps []int, step int, frac float64) {
-	loads := s.Loads()
+// lower link id. buf is the round loop's load scratch matrix (see
+// pruneUnprofitable); the refilled matrix is returned for the next use.
+func shrinkLeastUtilized(s *sched.Schedule, caps []int, step int, frac float64, buf [][]float64) [][]float64 {
+	loads := s.LoadsInto(buf)
 	slots := s.Instance().Slots()
 	target := -1
 	bestUtil := math.Inf(1)
@@ -449,7 +507,7 @@ func shrinkLeastUtilized(s *sched.Schedule, caps []int, step int, frac float64) 
 		}
 	}
 	if target < 0 {
-		return
+		return loads
 	}
 	if frac > 0 {
 		if byFrac := int(math.Ceil(frac * float64(caps[target]))); byFrac > step {
@@ -460,4 +518,18 @@ func shrinkLeastUtilized(s *sched.Schedule, caps []int, step int, frac float64) 
 	if caps[target] < 0 {
 		caps[target] = 0
 	}
+	return loads
+}
+
+// equalInts reports whether a and b hold the same values.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
 }

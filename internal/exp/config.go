@@ -67,6 +67,11 @@ type Config struct {
 
 	// LP configures every relaxation solve.
 	LP lp.Options
+
+	// ColdLP disables simplex warm starts and incremental relaxation
+	// models in every Metis run (see core.Config.ColdLP), restoring the
+	// pre-warm-start behavior bit-for-bit.
+	ColdLP bool
 }
 
 // DefaultConfig returns paper-scale settings (a full run takes a few

@@ -49,7 +49,7 @@ func Fig3(cfg Config) ([]*Figure, error) {
 		}
 		metis, err := core.Solve(inst, core.Config{
 			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
-			LP: cfg.LP, Seed: cfg.Seed,
+			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP,
 		})
 		if err != nil {
 			return err

@@ -229,6 +229,25 @@ func (p *Problem) SetBounds(j int, lo, hi float64) error {
 	return nil
 }
 
+// SetRHS replaces constraint row's right-hand side. Like SetBounds it
+// does not invalidate the cached CSC matrix — the constraint matrix is
+// untouched — so incremental re-solves (warm-started alternation rounds,
+// capacity shrinks) skip the merge/sort entirely. The same validity
+// rules as AddConstraint apply.
+func (p *Problem) SetRHS(row int, b float64) error {
+	if row < 0 || row >= len(p.rel) {
+		return fmt.Errorf("lp: SetRHS: row %d out of range", row)
+	}
+	if math.IsNaN(b) || math.IsInf(b, 0) {
+		return fmt.Errorf("lp: SetRHS: invalid rhs %v", b)
+	}
+	p.rhs[row] = b
+	return nil
+}
+
+// RHS returns the current right-hand side of constraint row.
+func (p *Problem) RHS(row int) float64 { return p.rhs[row] }
+
 // mergedColumn returns column j with duplicate rows summed and zeros
 // dropped, sorted by row.
 func (p *Problem) mergedColumn(j int) []entry {
@@ -266,4 +285,19 @@ type Solution struct {
 	// Populated only for StatusOptimal.
 	Duals []float64
 	Iters int // simplex iterations performed
+	// Warm reports whether the solve was completed by the warm-start
+	// path (dual-simplex repair or primal cleanup of a reused basis)
+	// rather than two-phase simplex from the all-slack basis.
+	Warm bool
+	// Basis is the warm-start handle holding the final basis; it is the
+	// same handle passed via Options.Warm (nil when none was given).
+	Basis *Basis
+	// Degenerate reports that the optimum may not be a unique vertex: a
+	// movable nonbasic column priced out at (near-)zero reduced cost, so
+	// an alternative optimal basis with a different X can exist, and warm
+	// and cold solves are free to disagree on which vertex they return.
+	// Computed only for warm-capable optimal solves (Options.Warm != nil);
+	// always false otherwise. Consumers that need the exact vertex a cold
+	// solve would pick must re-solve cold when this is set.
+	Degenerate bool
 }

@@ -3,6 +3,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // PivotMode selects how the simplex stores and prices columns.
@@ -43,6 +44,16 @@ type Options struct {
 	// PivotAuto). Both paths compute identical floating-point results;
 	// the switch is purely a storage/speed trade.
 	Pivot PivotMode
+	// Warm is an optional warm-start handle. When non-nil, Solve first
+	// tries to repair the handle's retained basis with bounded-variable
+	// dual simplex (or a primal cleanup) instead of running two-phase
+	// simplex from scratch, falling back to the cold path whenever the
+	// basis is stale or the repair stalls; either way the handle is
+	// updated to the final basis for the next solve. Statuses and
+	// objective values are identical to the cold solve (same optimum —
+	// the vertex may differ). A nil Warm restores the exact cold-path
+	// behavior, bit for bit.
+	Warm *Basis
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -96,8 +107,68 @@ type simplex struct {
 	iters int
 
 	// scratch buffers reused across iterations.
-	y []float64
-	w []float64
+	y  []float64
+	w  []float64
+	nz []int32
+
+	// Cold-solve scratch recycled through simplexPool: the phase-1 cost
+	// vector, the slack-layout map, the row-sign vector and the pricing
+	// cache. Like every other working array they are fully rewritten (or
+	// explicitly cleared) by Solve before use, so pooled garbage can
+	// never leak into a solve.
+	phase1  []float64
+	slackNB []int
+	signBuf []float64
+	dCache  []float64
+}
+
+// simplexPool recycles simplex working arrays across cold solves. The
+// arrays of one K=100 RL-SPM solve run to megabytes (Binv alone is m²
+// floats), and Metis performs thousands of cold solves per run, so
+// reuse removes a large slice of allocation and GC cost. A simplex that
+// was captured into a warm-start Basis must never be released: the
+// handle keeps using its arrays.
+var simplexPool = sync.Pool{New: func() any { return new(simplex) }}
+
+// release returns s's arrays to the pool. Callers must copy out
+// anything they still need first and must not touch s afterwards.
+func (s *simplex) release() {
+	simplexPool.Put(s)
+}
+
+// growFloats returns a slice of length n, reusing buf's backing array
+// when it is large enough. The contents are unspecified — unlike make,
+// the reuse path does NOT zero — so callers must fully initialize.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+// growFloatsCap is growFloats with an independent capacity request for
+// append-style fills.
+func growFloatsCap(buf []float64, n, c int) []float64 {
+	if cap(buf) >= c {
+		return buf[:n]
+	}
+	return make([]float64, n, c)
+}
+
+// growInts is growFloats for int slices.
+func growInts(buf []int, n int) []int {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int, n)
+}
+
+// growInt32s is growFloatsCap for int32 slices.
+func growInt32s(buf []int32, n, c int) []int32 {
+	if cap(buf) >= c {
+		return buf[:n]
+	}
+	return make([]int32, n, c)
 }
 
 // Solve optimizes the problem. It returns a Solution whose Status is
@@ -107,14 +178,24 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	if p.sense != Minimize && p.sense != Maximize {
 		return nil, fmt.Errorf("lp: invalid sense %d", p.sense)
 	}
+	if opts.Warm != nil {
+		if sol := p.solveWarm(opts); sol != nil {
+			return sol, nil
+		}
+		// Stale basis or stalled repair: fall through to the cold path,
+		// which recaptures a fresh basis into the handle below.
+	}
 	nStruct := len(p.obj)
 	m := len(p.rel)
-	s := &simplex{m: m, opts: opts.withDefaults(m, nStruct)}
+	s := simplexPool.Get().(*simplex)
+	s.m, s.opts = m, opts.withDefaults(m, nStruct)
+	s.nArt, s.iters = 0, 0
 	mat := p.matrixCSC()
 
 	// Shift structural variables to lower bound 0 and compute the
 	// adjusted rhs: b_i' = b_i − Σ_j a_ij·lo_j.
-	rhs := make([]float64, m)
+	s.b = growFloats(s.b, m)
+	rhs := s.b
 	copy(rhs, p.rhs)
 	shiftObj := 0.0
 	for j := 0; j < nStruct; j++ {
@@ -128,7 +209,8 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	}
 
 	// Row normalization signs: rows with negative adjusted rhs flip.
-	sign := make([]float64, m)
+	s.signBuf = growFloats(s.signBuf, m)
+	sign := s.signBuf
 	for i := range sign {
 		if rhs[i] < 0 {
 			sign[i] = -1
@@ -137,10 +219,10 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 			sign[i] = 1
 		}
 	}
-	s.b = rhs
 
 	// Slack layout; remember which rows get a +1 slack (initial basic).
-	slackBasic := make([]int, m) // column id of the +1 slack, or -1
+	s.slackNB = growInts(s.slackNB, m)
+	slackBasic := s.slackNB // column id of the +1 slack, or -1
 	nSlack := 0
 	for i := 0; i < m; i++ {
 		slackBasic[i] = -1
@@ -149,11 +231,11 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 		}
 	}
 	nnzStruct := len(mat.vals)
-	s.colPtr = make([]int32, 1, nStruct+2*m+1)
-	s.rowIdx = make([]int32, nnzStruct, nnzStruct+2*m)
-	s.vals = make([]float64, nnzStruct, nnzStruct+2*m)
-	s.cost = make([]float64, 0, nStruct+nSlack+m)
-	s.up = make([]float64, 0, nStruct+nSlack+m)
+	s.colPtr = append(growInt32s(s.colPtr, 0, nStruct+2*m+1), 0)
+	s.rowIdx = growInt32s(s.rowIdx, nnzStruct, nnzStruct+2*m)
+	s.vals = growFloatsCap(s.vals, nnzStruct, nnzStruct+2*m)
+	s.cost = growFloatsCap(s.cost, 0, nStruct+nSlack+m)
+	s.up = growFloatsCap(s.up, 0, nStruct+nSlack+m)
 
 	// Structural columns: CSC values with normalized row signs.
 	copy(s.rowIdx, mat.rows)
@@ -206,13 +288,18 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	s.buildDense()
 
 	// Initial basis: +1 slacks and artificials, everything else at lower.
-	s.state = make([]int, s.n)
-	s.basic = make([]int, m)
-	s.xB = make([]float64, m)
-	s.binv = make([]float64, m*m)
+	s.state = growInts(s.state, s.n)
+	clear(s.state) // atLower == 0
+	s.basic = growInts(s.basic, m)
+	s.xB = growFloats(s.xB, m)
+	s.binv = growFloats(s.binv, m*m)
+	clear(s.binv)
 	for i := 0; i < m; i++ {
 		s.binv[i*m+i] = 1
 	}
+	s.y = growFloats(s.y, m)
+	s.w = growFloats(s.w, m)
+	s.nz = growInt32s(s.nz, 0, m)
 	art := s.artStart
 	for i := 0; i < m; i++ {
 		j := slackBasic[i]
@@ -227,16 +314,24 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 
 	// Phase 1: minimize the sum of artificials (skipped when none).
 	if s.nArt > 0 {
-		phase1 := make([]float64, s.n)
+		s.phase1 = growFloats(s.phase1, s.n)
+		phase1 := s.phase1
+		clear(phase1)
 		for j := s.artStart; j < s.n; j++ {
 			phase1[j] = 1
 		}
 		st := s.iterate(phase1)
 		if st == StatusIterLimit {
-			return &Solution{Status: StatusIterLimit, Iters: s.iters}, nil
+			iters := s.iters
+			opts.Warm.invalidate()
+			s.release()
+			return &Solution{Status: StatusIterLimit, Iters: iters}, nil
 		}
 		if s.objective(phase1) > s.opts.Tol*(1+norm1(s.b)) {
-			return &Solution{Status: StatusInfeasible, Iters: s.iters}, nil
+			iters := s.iters
+			opts.Warm.invalidate()
+			s.release()
+			return &Solution{Status: StatusInfeasible, Iters: iters}, nil
 		}
 		// Lock artificials at zero so phase 2 cannot reuse them.
 		for j := s.artStart; j < s.n; j++ {
@@ -251,39 +346,77 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	st := s.iterate(s.cost)
 	switch st {
 	case StatusIterLimit, StatusUnbounded:
-		return &Solution{Status: st, Iters: s.iters}, nil
+		iters := s.iters
+		opts.Warm.invalidate()
+		s.release()
+		return &Solution{Status: st, Iters: iters}, nil
 	}
 
 	s.refreshXB()
+	sol := p.extract(s, sign, shiftObj)
+	if opts.Warm != nil {
+		opts.Warm.capture(p, s, sign)
+		sol.Basis = opts.Warm
+		sol.Degenerate = s.degenerateOptimum()
+	} else {
+		s.release()
+	}
+	return sol, nil
+}
+
+// extract decodes the optimal working basis into a Solution: structural
+// values shifted back by the lower bounds, the objective in the original
+// sense, and shadow prices y = c_B^T·Binv mapped back through the row
+// signs (and the sense flip for Maximize).
+func (p *Problem) extract(s *simplex, sign []float64, shiftObj float64) *Solution {
+	nStruct := len(p.obj)
+	m := s.m
+	// Structural values: seed basic entries from the basis map (one pass
+	// instead of an O(m) scan per basic column), then shift and sum. The
+	// per-column values and the objective's accumulation order match
+	// value()-based extraction exactly.
 	x := make([]float64, nStruct)
-	for j := 0; j < nStruct; j++ {
-		x[j] = p.lo[j] + s.value(j)
+	for i, j := range s.basic {
+		if j < nStruct {
+			x[j] = s.xB[i]
+		}
 	}
 	obj := shiftObj
 	for j := 0; j < nStruct; j++ {
-		obj += p.objCoef(j) * s.value(j)
+		v := x[j]
+		if s.state[j] == atUpper {
+			v = s.up[j]
+		}
+		x[j] = p.lo[j] + v
+		obj += p.objCoef(j) * v
 	}
 	if p.sense == Maximize {
 		obj = -obj
 	}
 
-	// Shadow prices: y = c_B^T·Binv in the normalized row space, mapped
-	// back through the row signs (and the sense flip for Maximize).
+	// Duals y = c_B^T·Binv accumulated row-major: each duals[i] receives
+	// the same terms in the same ascending-row order as the column-wise
+	// loop, so the result is bit-identical, but Binv streams in storage
+	// order instead of striding down columns.
 	duals := make([]float64, m)
-	for i := 0; i < m; i++ {
-		var y float64
-		for r, j := range s.basic {
-			if cj := s.cost[j]; cj != 0 {
-				y += cj * s.binv[r*m+i]
-			}
+	for r, j := range s.basic {
+		cj := s.cost[j]
+		if cj == 0 {
+			continue
 		}
-		y *= sign[i]
+		row := s.binv[r*m : r*m+m]
+		for i, bv := range row {
+			duals[i] += cj * bv
+		}
+	}
+	for i := 0; i < m; i++ {
+		y := duals[i] * sign[i]
 		if p.sense == Maximize {
 			y = -y
 		}
 		duals[i] = y
 	}
-	return &Solution{Status: StatusOptimal, Objective: obj, X: x, Duals: duals, Iters: s.iters}, nil
+	return &Solution{Status: StatusOptimal, Objective: obj, X: x, Duals: duals, Iters: s.iters}
 }
 
 // buildDense decides the pivot path and, for the dense path, mirrors
@@ -302,9 +435,11 @@ func (s *simplex) buildDense() {
 		}
 	}
 	if mode != PivotDense || s.m == 0 {
+		s.dense = nil // drop any pooled mirror from a previous dense solve
 		return
 	}
-	s.dense = make([]float64, s.n*s.m)
+	s.dense = growFloats(s.dense, s.n*s.m)
+	clear(s.dense)
 	for j := 0; j < s.n; j++ {
 		col := s.dense[j*s.m : (j+1)*s.m]
 		for q := s.colPtr[j]; q < s.colPtr[j+1]; q++ {
@@ -355,7 +490,14 @@ func (s *simplex) objective(cost []float64) float64 {
 // floating-point drift: xB = Binv·(b − Σ_{j at upper} A_j·up_j).
 func (s *simplex) refreshXB() {
 	m := s.m
-	rhs := make([]float64, m)
+	// s.w is free here — refreshXB only runs between iterate/dualIterate
+	// passes, and direction fully rewrites w before every use — so borrow
+	// it instead of allocating (it is nil on a freshly cloned basis).
+	rhs := s.w
+	if len(rhs) < m {
+		rhs = make([]float64, m)
+	}
+	rhs = rhs[:m]
 	copy(rhs, s.b)
 	for j := 0; j < s.n; j++ {
 		if s.state[j] == atUpper && s.up[j] > 0 {
@@ -377,6 +519,74 @@ func (s *simplex) refreshXB() {
 	}
 }
 
+// buildDuals fills y = c_B^T · Binv: one contiguous Binv row per basic
+// variable with a nonzero cost. costRows is scratch for the list of
+// contributing rows; the (possibly regrown) list is returned so callers
+// can keep reusing it. Rows are processed in blocks of eight then four
+// so y is loaded/stored once per block; the adds onto each y[i] stay in
+// ascending row order, so the result is bit-identical to the
+// row-at-a-time loop.
+func (s *simplex) buildDuals(cost, y []float64, costRows []int) []int {
+	m := s.m
+	for i := range y {
+		y[i] = 0
+	}
+	costRows = costRows[:0]
+	for r, j := range s.basic {
+		if cost[j] != 0 {
+			costRows = append(costRows, r)
+		}
+	}
+	r := 0
+	for ; r+8 <= len(costRows); r += 8 {
+		r0, r1, r2, r3 := costRows[r], costRows[r+1], costRows[r+2], costRows[r+3]
+		r4, r5, r6, r7 := costRows[r+4], costRows[r+5], costRows[r+6], costRows[r+7]
+		c0, c1, c2, c3 := cost[s.basic[r0]], cost[s.basic[r1]], cost[s.basic[r2]], cost[s.basic[r3]]
+		c4, c5, c6, c7 := cost[s.basic[r4]], cost[s.basic[r5]], cost[s.basic[r6]], cost[s.basic[r7]]
+		row0 := s.binv[r0*m : r0*m+m]
+		row1 := s.binv[r1*m : r1*m+m]
+		row2 := s.binv[r2*m : r2*m+m]
+		row3 := s.binv[r3*m : r3*m+m]
+		row4 := s.binv[r4*m : r4*m+m]
+		row5 := s.binv[r5*m : r5*m+m]
+		row6 := s.binv[r6*m : r6*m+m]
+		row7 := s.binv[r7*m : r7*m+m]
+		for i := range y {
+			acc := y[i] + c0*row0[i]
+			acc = acc + c1*row1[i]
+			acc = acc + c2*row2[i]
+			acc = acc + c3*row3[i]
+			acc = acc + c4*row4[i]
+			acc = acc + c5*row5[i]
+			acc = acc + c6*row6[i]
+			y[i] = acc + c7*row7[i]
+		}
+	}
+	for ; r+4 <= len(costRows); r += 4 {
+		r0, r1, r2, r3 := costRows[r], costRows[r+1], costRows[r+2], costRows[r+3]
+		c0, c1, c2, c3 := cost[s.basic[r0]], cost[s.basic[r1]], cost[s.basic[r2]], cost[s.basic[r3]]
+		row0 := s.binv[r0*m : r0*m+m]
+		row1 := s.binv[r1*m : r1*m+m]
+		row2 := s.binv[r2*m : r2*m+m]
+		row3 := s.binv[r3*m : r3*m+m]
+		for i := range y {
+			acc := y[i] + c0*row0[i]
+			acc = acc + c1*row1[i]
+			acc = acc + c2*row2[i]
+			y[i] = acc + c3*row3[i]
+		}
+	}
+	for ; r < len(costRows); r++ {
+		r0 := costRows[r]
+		cj := cost[s.basic[r0]]
+		row := s.binv[r0*m : r0*m+m]
+		for i, bv := range row {
+			y[i] += cj * bv
+		}
+	}
+	return costRows
+}
+
 // iterate runs primal simplex iterations with the given cost vector
 // until optimality, unboundedness, or the iteration limit. It returns
 // StatusOptimal when no improving entering variable exists.
@@ -391,6 +601,7 @@ func (s *simplex) iterate(cost []float64) Status {
 	if s.y == nil {
 		s.y = make([]float64, m)
 		s.w = make([]float64, m)
+		s.nz = make([]int32, 0, m)
 	}
 	tol := s.opts.Tol
 	degenerate := 0
@@ -400,7 +611,6 @@ func (s *simplex) iterate(cost []float64) Status {
 	colPtr, rowIdx, vals := s.colPtr, s.rowIdx, s.vals
 	state, up := s.state, s.up
 	costRows := make([]int, 0, m) // rows whose basic variable has nonzero cost
-	nzL := make([]int32, 0, m)    // nonzero positions of the pivot row
 
 	// Pricing candidates: nonbasic columns that can move (up > 0),
 	// ascending. Kept sorted across pivots so both Dantzig ties and
@@ -413,136 +623,101 @@ func (s *simplex) iterate(cost []float64) Status {
 		}
 	}
 
+	// Reduced-cost cache for bound-flip iterations. A flip changes only
+	// state[enter] — the basis, Binv, y and every d_j are untouched — so
+	// the iteration after a flip can reuse the cached d values verbatim
+	// and skip both the y-build and the CSC pricing scan. dValid means
+	// dCache[i] holds d for cands[i] for the whole list; any pivot
+	// invalidates it (y changes and cands is reindexed). The replayed
+	// selection sees bit-identical d values in the identical order, so
+	// the chosen column matches a full rescan exactly.
+	s.dCache = growFloats(s.dCache, len(cands))
+	dCache := s.dCache
+	dValid := false
+
 	for ; s.iters < s.opts.MaxIters; s.iters++ {
-		// Dual values y = c_B^T · Binv: one contiguous Binv row per
-		// basic variable with a nonzero cost. Rows are processed in
-		// blocks of four so y is loaded/stored once per block; the
-		// adds onto y[i] stay in ascending row order, so the result is
-		// bit-identical to the row-at-a-time loop.
-		for i := range y {
-			y[i] = 0
-		}
-		costRows = costRows[:0]
-		for r, j := range s.basic {
-			if cost[j] != 0 {
-				costRows = append(costRows, r)
-			}
-		}
-		r := 0
-		for ; r+4 <= len(costRows); r += 4 {
-			r0, r1, r2, r3 := costRows[r], costRows[r+1], costRows[r+2], costRows[r+3]
-			c0, c1, c2, c3 := cost[s.basic[r0]], cost[s.basic[r1]], cost[s.basic[r2]], cost[s.basic[r3]]
-			row0 := s.binv[r0*m : r0*m+m]
-			row1 := s.binv[r1*m : r1*m+m]
-			row2 := s.binv[r2*m : r2*m+m]
-			row3 := s.binv[r3*m : r3*m+m]
-			for i := range y {
-				acc := y[i] + c0*row0[i]
-				acc = acc + c1*row1[i]
-				acc = acc + c2*row2[i]
-				y[i] = acc + c3*row3[i]
-			}
-		}
-		for ; r < len(costRows); r++ {
-			r0 := costRows[r]
-			cj := cost[s.basic[r0]]
-			row := s.binv[r0*m : r0*m+m]
-			for i, bv := range row {
-				y[i] += cj * bv
-			}
+		if !dValid {
+			costRows = s.buildDuals(cost, y, costRows)
 		}
 
 		// Entering variable: most negative (Dantzig) reduced cost, or
-		// first improving column under Bland's rule.
+		// first improving column under Bland's rule. The cached branch
+		// replays the same selection over stored d values; the pricing
+		// branch computes them and fills the cache as it goes (a Bland
+		// early-out leaves the tail unwritten, so it marks the cache
+		// incomplete).
 		enter := -1
 		var enterD, enterDir float64
-		for _, j32 := range cands {
-			j := int(j32)
-			st := state[j]
-			d := cost[j]
-			if s.dense != nil {
-				col := s.dense[j*m : j*m+m]
-				for i, v := range col {
-					d -= y[i] * v
+		if dValid {
+			for idx, j32 := range cands {
+				j := int(j32)
+				st := state[j]
+				d := dCache[idx]
+				var improving bool
+				var dir float64
+				if st == atLower && d < -tol {
+					improving, dir = true, 1
+				} else if st == atUpper && d > tol {
+					improving, dir = true, -1
 				}
-			} else {
-				for q := colPtr[j]; q < colPtr[j+1]; q++ {
-					d -= y[rowIdx[q]] * vals[q]
+				if !improving {
+					continue
+				}
+				if bland {
+					enter, enterD, enterDir = j, d, dir
+					break
+				}
+				if enter == -1 || math.Abs(d) > math.Abs(enterD) {
+					enter, enterD, enterDir = j, d, dir
 				}
 			}
-			var improving bool
-			var dir float64
-			if st == atLower && d < -tol {
-				improving, dir = true, 1
-			} else if st == atUpper && d > tol {
-				improving, dir = true, -1
+		} else {
+			filled := true
+			dense := s.dense
+			for idx, j32 := range cands {
+				j := int(j32)
+				st := state[j]
+				d := cost[j]
+				if dense != nil {
+					col := dense[j*m : j*m+m]
+					for i, v := range col {
+						d -= y[i] * v
+					}
+				} else {
+					start, end := colPtr[j], colPtr[j+1]
+					ri := rowIdx[start:end]
+					vv := vals[start:end][:len(ri)]
+					for k, rq := range ri {
+						d -= y[rq] * vv[k]
+					}
+				}
+				dCache[idx] = d
+				var improving bool
+				var dir float64
+				if st == atLower && d < -tol {
+					improving, dir = true, 1
+				} else if st == atUpper && d > tol {
+					improving, dir = true, -1
+				}
+				if !improving {
+					continue
+				}
+				if bland {
+					enter, enterD, enterDir = j, d, dir
+					filled = idx == len(cands)-1
+					break
+				}
+				if enter == -1 || math.Abs(d) > math.Abs(enterD) {
+					enter, enterD, enterDir = j, d, dir
+				}
 			}
-			if !improving {
-				continue
-			}
-			if bland {
-				enter, enterD, enterDir = j, d, dir
-				break
-			}
-			if enter == -1 || math.Abs(d) > math.Abs(enterD) {
-				enter, enterD, enterDir = j, d, dir
-			}
+			dValid = filled
 		}
 		if enter == -1 {
 			return StatusOptimal
 		}
 
-		// Direction w = Binv · A_enter, accumulated row by row so Binv
-		// is traversed in storage order.
-		if s.dense != nil {
-			col := s.dense[enter*m : enter*m+m]
-			for i := 0; i < m; i++ {
-				row := s.binv[i*m : i*m+m]
-				var acc float64
-				for k, v := range col {
-					if v != 0 {
-						acc += row[k] * v
-					}
-				}
-				w[i] = acc
-			}
-		} else {
-			start, end := colPtr[enter], colPtr[enter+1]
-			if end-start == 1 {
-				// Slack/artificial fast path: w is one Binv column.
-				r := int(rowIdx[start])
-				v := vals[start]
-				for i := 0; i < m; i++ {
-					w[i] = s.binv[i*m+r] * v
-				}
-			} else {
-				// Two Binv rows per pass share one walk of the column's
-				// index/value lists; each w[i] still accumulates its own
-				// terms in entry order.
-				i := 0
-				for ; i+2 <= m; i += 2 {
-					row0 := s.binv[i*m : i*m+m]
-					row1 := s.binv[(i+1)*m : (i+1)*m+m]
-					var a0, a1 float64
-					for q := start; q < end; q++ {
-						r := rowIdx[q]
-						v := vals[q]
-						a0 += row0[r] * v
-						a1 += row1[r] * v
-					}
-					w[i] = a0
-					w[i+1] = a1
-				}
-				for ; i < m; i++ {
-					row := s.binv[i*m : i*m+m]
-					var acc float64
-					for q := start; q < end; q++ {
-						acc += row[rowIdx[q]] * vals[q]
-					}
-					w[i] = acc
-				}
-			}
-		}
+		s.direction(enter, w)
 
 		// Ratio test.
 		theta := up[enter] // bound-flip limit (may be +Inf)
@@ -608,6 +783,8 @@ func (s *simplex) iterate(cost []float64) Status {
 
 		if leave == -1 {
 			// Bound flip: the entering variable crosses its whole range.
+			// The basis is untouched, so the reduced-cost cache (when
+			// complete) stays valid for the next iteration.
 			if state[enter] == atLower {
 				state[enter] = atUpper
 			} else {
@@ -615,6 +792,7 @@ func (s *simplex) iterate(cost []float64) Status {
 			}
 			continue
 		}
+		dValid = false
 
 		// Pivot: basic[leave] exits, enter becomes basic.
 		exit := s.basic[leave]
@@ -636,60 +814,132 @@ func (s *simplex) iterate(cost []float64) Status {
 			cands = insertSorted(cands, int32(exit))
 		}
 
-		piv := w[leave]
-		rowL := s.binv[leave*m : leave*m+m]
-		inv := 1 / piv
-		nzL = nzL[:0]
-		for k := range rowL {
-			if rowL[k] != 0 {
-				rowL[k] *= inv
-				nzL = append(nzL, int32(k))
-			}
-		}
-		if len(nzL)*4 < m*3 {
-			// Sparse pivot row: touch only its nonzero positions. The
-			// skipped positions would subtract f·0, which changes
-			// nothing (at most the sign of a zero, which no comparison
-			// downstream distinguishes).
-			for i := 0; i < m; i++ {
-				if i == leave {
-					continue
-				}
-				f := w[i]
-				if f == 0 {
-					continue
-				}
-				row := s.binv[i*m : i*m+m]
-				for _, k := range nzL {
-					row[k] -= f * rowL[k]
-				}
-			}
-		} else {
-			for i := 0; i < m; i++ {
-				if i == leave {
-					continue
-				}
-				f := w[i]
-				if f == 0 {
-					continue
-				}
-				row := s.binv[i*m : i*m+m]
-				// Unrolled axpy row -= f·rowL; each element is
-				// independent, so the result matches the scalar loop.
-				k := 0
-				for ; k+4 <= m; k += 4 {
-					row[k] -= f * rowL[k]
-					row[k+1] -= f * rowL[k+1]
-					row[k+2] -= f * rowL[k+2]
-					row[k+3] -= f * rowL[k+3]
-				}
-				for ; k < m; k++ {
-					row[k] -= f * rowL[k]
-				}
-			}
-		}
+		s.pivotBinv(leave, w)
 	}
 	return StatusIterLimit
+}
+
+// direction computes w = Binv · A_enter, accumulated row by row so Binv
+// is traversed in storage order.
+func (s *simplex) direction(enter int, w []float64) {
+	m := s.m
+	colPtr, rowIdx, vals := s.colPtr, s.rowIdx, s.vals
+	if s.dense != nil {
+		col := s.dense[enter*m : enter*m+m]
+		for i := 0; i < m; i++ {
+			row := s.binv[i*m : i*m+m]
+			var acc float64
+			for k, v := range col {
+				if v != 0 {
+					acc += row[k] * v
+				}
+			}
+			w[i] = acc
+		}
+		return
+	}
+	start, end := colPtr[enter], colPtr[enter+1]
+	if end-start == 1 {
+		// Slack/artificial fast path: w is one Binv column.
+		r := int(rowIdx[start])
+		v := vals[start]
+		for i := 0; i < m; i++ {
+			w[i] = s.binv[i*m+r] * v
+		}
+		return
+	}
+	// Four Binv rows per pass share one walk of the column's
+	// index/value lists; each w[i] still accumulates its own
+	// terms in entry order.
+	ri := rowIdx[start:end]
+	vv := vals[start:end][:len(ri)]
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		row0 := s.binv[i*m : i*m+m]
+		row1 := s.binv[(i+1)*m : (i+1)*m+m]
+		row2 := s.binv[(i+2)*m : (i+2)*m+m]
+		row3 := s.binv[(i+3)*m : (i+3)*m+m]
+		var a0, a1, a2, a3 float64
+		for k, r := range ri {
+			v := vv[k]
+			a0 += row0[r] * v
+			a1 += row1[r] * v
+			a2 += row2[r] * v
+			a3 += row3[r] * v
+		}
+		w[i] = a0
+		w[i+1] = a1
+		w[i+2] = a2
+		w[i+3] = a3
+	}
+	for ; i < m; i++ {
+		row := s.binv[i*m : i*m+m]
+		var acc float64
+		for k, r := range ri {
+			acc += row[r] * vv[k]
+		}
+		w[i] = acc
+	}
+}
+
+// pivotBinv applies the basis-change row reduction to Binv: the pivot
+// row `leave` is scaled by 1/w[leave] and eliminated from every other
+// row with a nonzero multiplier.
+func (s *simplex) pivotBinv(leave int, w []float64) {
+	m := s.m
+	piv := w[leave]
+	rowL := s.binv[leave*m : leave*m+m]
+	inv := 1 / piv
+	nzL := s.nz[:0]
+	for k := range rowL {
+		if rowL[k] != 0 {
+			rowL[k] *= inv
+			nzL = append(nzL, int32(k))
+		}
+	}
+	s.nz = nzL
+	if len(nzL)*4 < m*3 {
+		// Sparse pivot row: touch only its nonzero positions. The
+		// skipped positions would subtract f·0, which changes
+		// nothing (at most the sign of a zero, which no comparison
+		// downstream distinguishes).
+		for i := 0; i < m; i++ {
+			if i == leave {
+				continue
+			}
+			f := w[i]
+			if f == 0 {
+				continue
+			}
+			row := s.binv[i*m : i*m+m]
+			for _, k := range nzL {
+				row[k] -= f * rowL[k]
+			}
+		}
+		return
+	}
+	for i := 0; i < m; i++ {
+		if i == leave {
+			continue
+		}
+		f := w[i]
+		if f == 0 {
+			continue
+		}
+		row := s.binv[i*m : i*m+m]
+		// Unrolled axpy row -= f·rowL; each element is
+		// independent, so the result matches the scalar loop.
+		k := 0
+		for ; k+4 <= m; k += 4 {
+			row[k] -= f * rowL[k]
+			row[k+1] -= f * rowL[k+1]
+			row[k+2] -= f * rowL[k+2]
+			row[k+3] -= f * rowL[k+3]
+		}
+		for ; k < m; k++ {
+			row[k] -= f * rowL[k]
+		}
+	}
 }
 
 // searchInt32 returns the first index in xs (ascending) not less than v.

@@ -1,0 +1,483 @@
+package lp
+
+import "math"
+
+// Basis is an opaque warm-start handle: it retains the final simplex
+// basis of a Solve (basic set, nonbasic at-lower/at-upper statuses, and
+// the factorized basis inverse) together with the working-problem
+// layout it was built for. Passing the handle back via Options.Warm
+// lets the next Solve on the same Problem repair that basis with
+// bounded-variable dual simplex after SetBounds/SetRHS deltas instead
+// of re-running two-phase simplex from the all-slack basis.
+//
+// A Basis is bound to the Problem's cached constraint matrix: any
+// AddVariable/AddTerm call invalidates the cache and silently demotes
+// the next warm solve to a cold one (which refreshes the handle). The
+// zero handle from NewBasis is valid input — the first solve runs cold
+// and captures.
+//
+// A Basis is not safe for concurrent use, and must only be passed to
+// the Problem whose Solve produced it.
+type Basis struct {
+	matrix  *csc // fingerprint: the Problem's cached CSC at capture time
+	m       int
+	nStruct int
+	sign    []float64 // row normalization signs of the capture solve
+	sx      *simplex  // retained working problem; nil when invalid
+	ok      bool
+}
+
+// NewBasis returns an empty handle: the first Solve using it runs cold
+// and captures its final basis for subsequent warm solves.
+func NewBasis() *Basis { return &Basis{} }
+
+// Valid reports whether the handle holds a reusable basis.
+func (w *Basis) Valid() bool { return w != nil && w.ok && w.sx != nil }
+
+// Reset drops the retained basis; the next solve runs cold.
+func (w *Basis) Reset() { w.invalidate() }
+
+func (w *Basis) invalidate() {
+	if w == nil {
+		return
+	}
+	w.ok = false
+	w.sx = nil
+	w.matrix = nil
+	w.sign = nil
+}
+
+// capture takes ownership of the cold solve's final working state. The
+// simplex arrays are moved, not copied — the cold path discards them
+// anyway — so capturing is O(1).
+func (w *Basis) capture(p *Problem, s *simplex, sign []float64) {
+	w.matrix = p.matrix
+	w.m = s.m
+	w.nStruct = len(p.obj)
+	w.sign = sign
+	w.sx = s
+	w.ok = true
+}
+
+// Clone returns an independent copy of the handle for branch & bound
+// diving: the child may warm-solve and pivot freely without disturbing
+// the parent's basis. Immutable layout arrays (constraint matrix,
+// costs, dense mirror) are shared; basis state (Binv, statuses, values)
+// is copied.
+func (w *Basis) Clone() *Basis {
+	if !w.Valid() {
+		return NewBasis()
+	}
+	s := *w.sx
+	s.b = append([]float64(nil), w.sx.b...)
+	s.up = append([]float64(nil), w.sx.up...)
+	s.state = append([]int(nil), w.sx.state...)
+	s.basic = append([]int(nil), w.sx.basic...)
+	s.xB = append([]float64(nil), w.sx.xB...)
+	s.binv = append([]float64(nil), w.sx.binv...)
+	s.y, s.w, s.nz = nil, nil, nil
+	s.phase1, s.slackNB, s.signBuf, s.dCache = nil, nil, nil, nil
+	return &Basis{matrix: w.matrix, m: w.m, nStruct: w.nStruct, sign: w.sign, sx: &s, ok: true}
+}
+
+// dual simplex outcomes (internal to the warm path).
+const (
+	dualDone       = iota // primal feasibility restored
+	dualInfeasible        // a row proves the primal problem infeasible
+	dualStalled           // iteration cap or numerical trouble: fall back cold
+)
+
+// solveWarm attempts to solve p from the retained basis in opts.Warm.
+// It returns nil whenever the cold path must take over: stale basis
+// (matrix or dimensions changed), a basis that is neither primal nor
+// dual feasible after the deltas, a stalled repair, or a failed
+// accuracy check. On success the returned Solution is status- and
+// objective-identical to what the cold solve would produce (the optimal
+// vertex may differ under degeneracy).
+func (p *Problem) solveWarm(opts Options) *Solution {
+	w := opts.Warm
+	if !w.Valid() {
+		return nil
+	}
+	nStruct := len(p.obj)
+	mat := p.matrixCSC()
+	if mat != w.matrix || nStruct != w.nStruct || len(p.rel) != w.m {
+		return nil
+	}
+	s := w.sx
+	s.opts = opts.withDefaults(s.m, nStruct)
+	s.iters = 0
+	m := s.m
+	sign := w.sign
+
+	// Rebuild the working rhs and structural upper bounds from the
+	// Problem's current SetRHS/SetBounds state, in the capture solve's
+	// sign convention: b_i = sign_i·(rhs_i − Σ_j a_ij·lo_j).
+	b := s.b
+	copy(b, p.rhs)
+	shiftObj := 0.0
+	for j := 0; j < nStruct; j++ {
+		lo := p.lo[j]
+		if lo != 0 {
+			for q := mat.colPtr[j]; q < mat.colPtr[j+1]; q++ {
+				b[mat.rows[q]] -= mat.vals[q] * lo
+			}
+			shiftObj += p.objCoef(j) * lo
+		}
+		up := p.hi[j] - lo
+		s.up[j] = up
+		// A nonbasic variable keeps its bound status, re-read at the new
+		// bound value; "at upper" is meaningless for a now-unbounded or
+		// fixed variable, so those snap to lower.
+		if s.state[j] == atUpper && (math.IsInf(up, 1) || up == 0) {
+			s.state[j] = atLower
+		}
+	}
+	for i := 0; i < m; i++ {
+		if sign[i] < 0 {
+			b[i] = -b[i]
+		}
+	}
+
+	s.refreshXB()
+	if !s.primalFeasible() {
+		// Bound/rhs deltas keep the basis dual feasible (costs are
+		// immutable); only status snaps above can break that, and then
+		// the basis is useless — repair primal feasibility with dual
+		// simplex, or hand over to the cold path.
+		if !s.dualFeasible() {
+			return nil
+		}
+		switch s.dualIterate() {
+		case dualInfeasible:
+			// The basis itself is still dual feasible and reusable once
+			// the caller relaxes the offending bounds again.
+			return &Solution{Status: StatusInfeasible, Iters: s.iters, Warm: true, Basis: w}
+		case dualStalled:
+			w.invalidate()
+			return nil
+		}
+		s.refreshXB()
+		if !s.primalFeasible() {
+			w.invalidate()
+			return nil
+		}
+	}
+
+	// Primal cleanup: certifies optimality from the repaired basis (zero
+	// pivots when the dual repair kept reduced costs optimal) and mops
+	// up any tolerance-level dual infeasibility from status snaps.
+	switch s.iterate(s.cost) {
+	case StatusIterLimit:
+		// Give the cold path its own full iteration budget.
+		w.invalidate()
+		return nil
+	case StatusUnbounded:
+		w.invalidate()
+		return &Solution{Status: StatusUnbounded, Iters: s.iters, Warm: true}
+	}
+
+	s.refreshXB()
+	if !s.residualOK() {
+		// Accumulated factorization drift: refactorize via a cold solve.
+		w.invalidate()
+		return nil
+	}
+	sol := p.extract(s, sign, shiftObj)
+	sol.Warm = true
+	sol.Basis = w
+	sol.Degenerate = s.degenerateOptimum()
+	return sol
+}
+
+// degenerateOptimum reports whether the current optimal basis admits an
+// alternative optimum: some movable nonbasic column prices out at
+// (near-)zero reduced cost, so pivoting it in would move to a different
+// vertex of equal objective. Callers use this to tell "warm and cold
+// must agree on X (unique vertex)" apart from "only the objective is
+// pinned".
+func (s *simplex) degenerateOptimum() bool {
+	m := s.m
+	if s.y == nil {
+		s.y = make([]float64, m)
+		s.w = make([]float64, m)
+		s.nz = make([]int32, 0, m)
+	}
+	y := s.y
+	s.buildDuals(s.cost, y, make([]int, 0, m))
+	tol := s.opts.Tol
+	for j := 0; j < s.n; j++ {
+		if s.state[j] == isBasic || s.up[j] == 0 {
+			continue
+		}
+		if math.Abs(s.reducedCost(j, y)) <= tol {
+			return true
+		}
+	}
+	return false
+}
+
+// primalFeasible reports whether every basic value lies within its
+// variable's bounds (up to tolerance).
+func (s *simplex) primalFeasible() bool {
+	tol := s.opts.Tol
+	for i, xv := range s.xB {
+		if xv < -tol {
+			return false
+		}
+		if ub := s.up[s.basic[i]]; !math.IsInf(ub, 1) && xv > ub+tol*(1+ub) {
+			return false
+		}
+	}
+	return true
+}
+
+// dualFeasible reports whether every movable nonbasic variable's
+// reduced cost has the optimal sign for its bound status.
+func (s *simplex) dualFeasible() bool {
+	m := s.m
+	if s.y == nil {
+		s.y = make([]float64, m)
+		s.w = make([]float64, m)
+		s.nz = make([]int32, 0, m)
+	}
+	y := s.y
+	s.buildDuals(s.cost, y, make([]int, 0, m))
+	tol := s.opts.Tol
+	for j := 0; j < s.n; j++ {
+		st := s.state[j]
+		if st == isBasic || s.up[j] == 0 {
+			continue
+		}
+		d := s.reducedCost(j, y)
+		if st == atLower && d < -tol {
+			return false
+		}
+		if st == atUpper && d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// reducedCost returns d_j = c_j − y·A_j.
+func (s *simplex) reducedCost(j int, y []float64) float64 {
+	d := s.cost[j]
+	if s.dense != nil {
+		col := s.dense[j*s.m : (j+1)*s.m]
+		for i, v := range col {
+			d -= y[i] * v
+		}
+		return d
+	}
+	for q := s.colPtr[j]; q < s.colPtr[j+1]; q++ {
+		d -= y[s.rowIdx[q]] * s.vals[q]
+	}
+	return d
+}
+
+// dualIterate runs bounded-variable dual simplex from a dual-feasible
+// basis until every basic value is back within its bounds. Each pivot
+// picks the most-violated basic variable to leave (Bland-style smallest
+// index after a degenerate streak, which guarantees termination) and
+// the entering variable by the dual ratio test over the pivot row, so
+// dual feasibility — and thus the optimality certificate — is
+// preserved throughout.
+func (s *simplex) dualIterate() int {
+	m := s.m
+	if s.y == nil {
+		s.y = make([]float64, m)
+		s.w = make([]float64, m)
+		s.nz = make([]int32, 0, m)
+	}
+	tol := s.opts.Tol
+	const pivTol = 1e-9
+	y, w := s.y, s.w
+	state, up := s.state, s.up
+	degenerate := 0
+	bland := false
+
+	// Entering candidates: movable nonbasic columns, ascending.
+	cands := make([]int32, 0, s.n)
+	for j := 0; j < s.n; j++ {
+		if state[j] != isBasic && up[j] != 0 {
+			cands = append(cands, int32(j))
+		}
+	}
+	costRows := make([]int, 0, m)
+
+	for ; s.iters < s.opts.MaxIters; s.iters++ {
+		// Leaving row: the basic variable farthest outside its bounds.
+		// viol is signed: negative below zero, positive above upper.
+		leave := -1
+		var viol float64
+		worst := tol
+		for i := 0; i < m; i++ {
+			xv := s.xB[i]
+			if xv < -worst {
+				leave, viol = i, xv
+				if bland {
+					break
+				}
+				worst = -xv
+				continue
+			}
+			ub := up[s.basic[i]]
+			if !math.IsInf(ub, 1) && xv > ub+worst {
+				leave, viol = i, xv-ub
+				if bland {
+					break
+				}
+				worst = xv - ub
+			}
+		}
+		if leave == -1 {
+			return dualDone
+		}
+
+		// Duals y = c_B^T·Binv for the ratio test's reduced costs.
+		costRows = s.buildDuals(s.cost, y, costRows)
+
+		// Dual ratio test over the pivot row ρ = e_leave^T·Binv: among
+		// eligible entering columns, the smallest |d_j|/|α_j| keeps every
+		// reduced cost on the right side after the pivot. Ties prefer the
+		// larger |α| (numerical stability); Bland's rule takes the first
+		// eligible column.
+		rho := s.binv[leave*m : leave*m+m]
+		enter := -1
+		var bestRatio, bestAlpha float64
+		for _, j32 := range cands {
+			j := int(j32)
+			var alpha float64
+			if s.dense != nil {
+				col := s.dense[j*m : j*m+m]
+				for i, v := range col {
+					alpha += rho[i] * v
+				}
+			} else {
+				for q := s.colPtr[j]; q < s.colPtr[j+1]; q++ {
+					alpha += rho[s.rowIdx[q]] * s.vals[q]
+				}
+			}
+			if math.Abs(alpha) <= pivTol {
+				continue
+			}
+			// Eligibility: moving x_j off its bound must push the leaving
+			// variable back toward its violated bound.
+			if viol < 0 {
+				if !(state[j] == atLower && alpha < 0 || state[j] == atUpper && alpha > 0) {
+					continue
+				}
+			} else {
+				if !(state[j] == atLower && alpha > 0 || state[j] == atUpper && alpha < 0) {
+					continue
+				}
+			}
+			if bland {
+				enter, bestAlpha = j, alpha
+				break
+			}
+			d := s.reducedCost(j, y)
+			// Dual feasibility bounds |d| from the feasible side; clamp
+			// tolerance-level excursions to zero.
+			var dabs float64
+			if state[j] == atLower {
+				dabs = math.Max(d, 0)
+			} else {
+				dabs = math.Max(-d, 0)
+			}
+			ratio := dabs / math.Abs(alpha)
+			if enter == -1 || ratio < bestRatio-1e-12 ||
+				(ratio < bestRatio+1e-12 && math.Abs(alpha) > math.Abs(bestAlpha)) {
+				enter, bestRatio, bestAlpha = j, ratio, alpha
+			}
+		}
+		if enter == -1 {
+			// No column can push the leaving variable back: the row
+			// proves there is no primal feasible point.
+			return dualInfeasible
+		}
+
+		// Anti-cycling: a zero dual step leaves the objective unchanged;
+		// after a run of those, Bland's rule guarantees progress.
+		if !bland && bestRatio <= 1e-12 {
+			degenerate++
+			if degenerate > 40 {
+				bland = true
+			}
+		} else if !bland {
+			degenerate = 0
+		}
+
+		s.direction(enter, w)
+		piv := w[leave]
+		if math.Abs(piv) < pivTol {
+			return dualStalled
+		}
+		t := viol / piv
+
+		var enterBase float64
+		if state[enter] == atUpper {
+			enterBase = up[enter]
+		}
+		for i := 0; i < m; i++ {
+			if wv := w[i]; wv != 0 {
+				s.xB[i] -= t * wv
+			}
+		}
+		exit := s.basic[leave]
+		if viol < 0 {
+			state[exit] = atLower
+		} else {
+			state[exit] = atUpper
+		}
+		s.basic[leave] = enter
+		state[enter] = isBasic
+		s.xB[leave] = enterBase + t
+
+		cands = removeSorted(cands, int32(enter))
+		if up[exit] != 0 {
+			cands = insertSorted(cands, int32(exit))
+		}
+		s.pivotBinv(leave, w)
+	}
+	return dualStalled
+}
+
+// residualOK verifies the repaired basis against the original equations
+// A·x = b: factorization drift accumulated across many warm pivots
+// shows up here, triggering a cold refactorization instead of a wrong
+// objective.
+func (s *simplex) residualOK() bool {
+	m := s.m
+	r := make([]float64, m)
+	copy(r, s.b)
+	maxB := 0.0
+	for _, bv := range s.b {
+		if a := math.Abs(bv); a > maxB {
+			maxB = a
+		}
+	}
+	sub := func(j int, v float64) {
+		for q := s.colPtr[j]; q < s.colPtr[j+1]; q++ {
+			r[s.rowIdx[q]] -= s.vals[q] * v
+		}
+	}
+	for j := 0; j < s.n; j++ {
+		if s.state[j] == atUpper && s.up[j] != 0 {
+			sub(j, s.up[j])
+		}
+	}
+	for i, j := range s.basic {
+		if v := s.xB[i]; v != 0 {
+			sub(j, v)
+		}
+	}
+	lim := 1e2 * s.opts.Tol * (1 + maxB)
+	for _, rv := range r {
+		if math.Abs(rv) > lim {
+			return false
+		}
+	}
+	return true
+}

@@ -27,6 +27,11 @@ var ErrNoRequests = errors.New("maa: instance has no requests")
 type Options struct {
 	// LP configures the relaxation solve.
 	LP lp.Options
+	// Relaxed optionally supplies a pre-solved RL-SPM relaxation for the
+	// instance (e.g. from an incremental spm.RLModel that warm-starts
+	// across Metis rounds); when set, the internal LP solve is skipped.
+	// Its X must cover exactly the instance's requests.
+	Relaxed *spm.RelaxedRL
 	// Rounds is the number of independent randomized roundings; the
 	// cheapest rounded schedule wins (default 1, the paper's algorithm).
 	Rounds int
@@ -111,9 +116,16 @@ func Solve(inst *sched.Instance, opts Options) (*Result, error) {
 		rounds = 1
 	}
 
-	rel, err := spm.SolveRLRelaxation(inst, opts.LP)
-	if err != nil {
-		return nil, fmt.Errorf("maa: %w", err)
+	rel := opts.Relaxed
+	if rel == nil {
+		var err error
+		rel, err = spm.SolveRLRelaxation(inst, opts.LP)
+		if err != nil {
+			return nil, fmt.Errorf("maa: %w", err)
+		}
+	} else if len(rel.X) != inst.NumRequests() {
+		return nil, fmt.Errorf("maa: supplied relaxation covers %d requests, instance has %d",
+			len(rel.X), inst.NumRequests())
 	}
 
 	// Pre-draw every rounding uniform sequentially. Round consumes one

@@ -70,6 +70,13 @@ type Options struct {
 	// which keeps time-limited solves from returning nothing and
 	// tightens the search.
 	WarmStart []float64
+	// ColdLP disables simplex warm starts: every node's relaxation is
+	// solved cold from the all-slack basis, restoring the pre-warm-start
+	// behavior exactly. By default each child node repairs its parent's
+	// optimal basis with dual simplex after the single branching bound
+	// flip, which typically takes a handful of pivots instead of a full
+	// two-phase solve.
+	ColdLP bool
 	// now is injectable for tests.
 	now func() time.Time
 }
@@ -103,6 +110,7 @@ type Solution struct {
 // bounds during the search and restores them before returning.
 func Solve(prob *lp.Problem, sense lp.Sense, integerCols []int, opts Options) (*Solution, error) {
 	o := opts.withDefaults()
+	o.LP.Warm = nil // Solve manages warm-start handles per node
 	for _, j := range integerCols {
 		if j < 0 || j >= prob.NumVariables() {
 			return nil, fmt.Errorf("mip: integer column %d out of range", j)
@@ -114,8 +122,18 @@ func Solve(prob *lp.Problem, sense lp.Sense, integerCols []int, opts Options) (*
 		deadline = start.Add(o.TimeLimit)
 	}
 
-	// Root relaxation.
-	root, err := prob.Solve(o.LP)
+	// Root relaxation. In warm mode the root solve runs cold but captures
+	// its basis; every descendant then dives from its parent's basis.
+	// Solve manages Options.LP.Warm itself, overriding any caller value.
+	rootOpts := o.LP
+	var rootBasis *lp.Basis
+	if o.ColdLP {
+		rootOpts.Warm = nil
+	} else {
+		rootBasis = lp.NewBasis()
+		rootOpts.Warm = rootBasis
+	}
+	root, err := prob.Solve(rootOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +164,7 @@ func Solve(prob *lp.Problem, sense lp.Sense, integerCols []int, opts Options) (*
 		s.bestX = append([]float64(nil), o.WarmStart...)
 		s.bestObj = prob.ObjectiveValue(o.WarmStart)
 	}
-	s.branch(root)
+	s.branch(root, rootBasis)
 
 	sol := &Solution{
 		Bound: s.rootBound,
@@ -196,7 +214,11 @@ func (s *searcher) better(a, b float64) bool {
 
 // branch recursively explores the subtree rooted at the node whose LP
 // relaxation is rel (already solved under the current bounds of s.prob).
-func (s *searcher) branch(rel *lp.Solution) {
+// basis is the warm-start handle holding that relaxation's final basis
+// (nil in cold mode): the first child dives with a clone so the second
+// can reuse the parent basis itself — each child is then exactly one
+// bound flip away from the basis it repairs.
+func (s *searcher) branch(rel *lp.Solution, basis *lp.Basis) {
 	s.nodes++
 	if s.nodes >= s.opts.MaxNodes || s.deadline() {
 		s.limited = true
@@ -252,9 +274,19 @@ func (s *searcher) branch(rel *lp.Solution) {
 			// Empty child interval (e.g. floor below lower bound): skip.
 			continue
 		}
-		child, solveErr := s.prob.Solve(s.opts.LP)
+		childOpts := s.opts.LP
+		var childBasis *lp.Basis
+		if basis != nil {
+			if pass == 0 {
+				childBasis = basis.Clone()
+			} else {
+				childBasis = basis
+			}
+			childOpts.Warm = childBasis
+		}
+		child, solveErr := s.prob.Solve(childOpts)
 		if solveErr == nil && child.Status == lp.StatusOptimal {
-			s.branch(child)
+			s.branch(child, childBasis)
 		} else if solveErr == nil && child.Status == lp.StatusIterLimit {
 			s.limited = true
 		}

@@ -265,3 +265,48 @@ func TestStatusStringMIP(t *testing.T) {
 		}
 	}
 }
+
+// TestWarmColdSameIncumbentAndBound: warm-started branch & bound (the
+// default) must reach the same incumbent objective and prove the same
+// bound as a fully cold search. Node counts are not compared: a warm
+// relaxation may sit on a different optimal vertex, legitimately
+// changing the branching order.
+func TestWarmColdSameIncumbentAndBound(t *testing.T) {
+	rng := stats.NewRNG(77)
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + rng.Intn(8)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		var total float64
+		for i := 0; i < n; i++ {
+			values[i] = rng.Uniform(1, 20)
+			weights[i] = rng.Uniform(1, 10)
+			total += weights[i]
+		}
+		capacity := rng.Uniform(0.3, 0.7) * total
+
+		pw, colsW := buildKnapsack(t, values, weights, capacity)
+		warm, err := Solve(pw, lp.Maximize, colsW, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, colsC := buildKnapsack(t, values, weights, capacity)
+		cold, err := Solve(pc, lp.Maximize, colsC, Options{ColdLP: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("trial %d: warm status %v != cold %v", trial, warm.Status, cold.Status)
+		}
+		if math.Abs(warm.Objective-cold.Objective) > 1e-9 {
+			t.Fatalf("trial %d: warm incumbent %v != cold %v", trial, warm.Objective, cold.Objective)
+		}
+		if math.Abs(warm.Bound-cold.Bound) > 1e-9 {
+			t.Fatalf("trial %d: warm bound %v != cold %v", trial, warm.Bound, cold.Bound)
+		}
+		want := bruteKnapsack(values, weights, capacity)
+		if math.Abs(warm.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: warm objective %v != brute force %v", trial, warm.Objective, want)
+		}
+	}
+}

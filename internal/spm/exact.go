@@ -23,6 +23,9 @@ type ExactOptions struct {
 	// (e.g. a Metis or MAA result), guaranteeing the anytime result is
 	// never worse than the heuristic.
 	Warm *sched.Schedule
+	// ColdLP disables simplex warm starts in the branch & bound dive
+	// (see mip.Options.ColdLP).
+	ColdLP bool
 }
 
 // warmVector encodes a schedule as a MILP point over the given routing
@@ -85,7 +88,7 @@ func SolveExactSPM(inst *sched.Instance, opts ExactOptions) (*ExactResult, error
 			}
 		}
 	}
-	if err := addCapacityRows(p, inst, xCols,
+	if _, err := addCapacityRows(p, inst, xCols,
 		func(e int) int { return cCols[e] },
 		func(e, t int) float64 { return 0 },
 	); err != nil {
@@ -98,7 +101,8 @@ func SolveExactSPM(inst *sched.Instance, opts ExactOptions) (*ExactResult, error
 		warm = warmVector(p.NumVariables(), inst, xCols, cCols, opts.Warm)
 	}
 	sol, err := mip.Solve(p, lp.Maximize, intCols, mip.Options{
-		LP: opts.LP, TimeLimit: opts.TimeLimit, MaxNodes: opts.MaxNodes, WarmStart: warm,
+		LP: opts.LP, TimeLimit: opts.TimeLimit, MaxNodes: opts.MaxNodes,
+		WarmStart: warm, ColdLP: opts.ColdLP,
 	})
 	if err != nil {
 		return nil, err
@@ -146,7 +150,7 @@ func SolveExactRL(inst *sched.Instance, opts ExactOptions) (*ExactResult, error)
 			}
 		}
 	}
-	if err := addCapacityRows(p, inst, xCols,
+	if _, err := addCapacityRows(p, inst, xCols,
 		func(e int) int { return cCols[e] },
 		func(e, t int) float64 { return 0 },
 	); err != nil {
@@ -159,7 +163,8 @@ func SolveExactRL(inst *sched.Instance, opts ExactOptions) (*ExactResult, error)
 		warm = warmVector(p.NumVariables(), inst, xCols, cCols, opts.Warm)
 	}
 	sol, err := mip.Solve(p, lp.Minimize, intCols, mip.Options{
-		LP: opts.LP, TimeLimit: opts.TimeLimit, MaxNodes: opts.MaxNodes, WarmStart: warm,
+		LP: opts.LP, TimeLimit: opts.TimeLimit, MaxNodes: opts.MaxNodes,
+		WarmStart: warm, ColdLP: opts.ColdLP,
 	})
 	if err != nil {
 		return nil, err
@@ -191,7 +196,7 @@ func SolveExactBL(inst *sched.Instance, caps []int, opts ExactOptions) (*ExactRe
 			}
 		}
 	}
-	if err := addCapacityRows(p, inst, xCols,
+	if _, err := addCapacityRows(p, inst, xCols,
 		func(e int) int { return -1 },
 		func(e, t int) float64 { return float64(caps[e]) },
 	); err != nil {
@@ -212,7 +217,8 @@ func SolveExactBL(inst *sched.Instance, caps []int, opts ExactOptions) (*ExactRe
 		}
 	}
 	sol, err := mip.Solve(p, lp.Maximize, intCols, mip.Options{
-		LP: opts.LP, TimeLimit: opts.TimeLimit, MaxNodes: opts.MaxNodes, WarmStart: warm,
+		LP: opts.LP, TimeLimit: opts.TimeLimit, MaxNodes: opts.MaxNodes,
+		WarmStart: warm, ColdLP: opts.ColdLP,
 	})
 	if err != nil {
 		return nil, err

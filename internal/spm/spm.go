@@ -26,6 +26,11 @@ type RelaxedRL struct {
 	C []float64
 	// Cost is the optimal relaxed bandwidth cost Σ_e u_e·C[e].
 	Cost float64
+	// Ambiguous reports that the LP admits alternative optimal vertices
+	// (set only by the incremental RLModel): the objective is exact but X
+	// may differ from what a cold sub-instance solve would return, so
+	// consumers that replay cold behavior bit-for-bit should re-solve.
+	Ambiguous bool
 }
 
 // SolveRLRelaxation solves the relaxed RL-SPM for inst: every request
@@ -60,7 +65,7 @@ func SolveRLRelaxation(inst *sched.Instance, opts lp.Options) (*RelaxedRL, error
 	}
 
 	// Σ load(e, t) − c_e <= 0 for every (link, slot) that can carry load.
-	if err := addCapacityRows(p, inst, xCols,
+	if _, err := addCapacityRows(p, inst, xCols,
 		func(e int) int { return cCols[e] },
 		func(e, t int) float64 { return 0 },
 	); err != nil {
@@ -93,6 +98,11 @@ type RelaxedBL struct {
 	X [][]float64
 	// Revenue is the optimal relaxed service revenue.
 	Revenue float64
+	// Ambiguous reports that the LP admits alternative optimal vertices
+	// (set only by the incremental BLModel): the objective is exact but X
+	// may differ from what a cold sub-instance solve would return, so
+	// consumers that replay cold behavior bit-for-bit should re-solve.
+	Ambiguous bool
 }
 
 // SolveBLRelaxation solves the relaxed BL-SPM for inst under the given
@@ -198,8 +208,11 @@ func addRoutingVars(p *lp.Problem, inst *sched.Instance, objMode int) ([][]int, 
 
 // addCapacityRows adds one row per (link, slot) pair that can carry
 // load: Σ_{i,j} r_i·x[i][j]·I − (bandwidth var, optional) <= rhs(e, t).
-// bwVar returns, per link, the bandwidth column or -1 for none.
-func addCapacityRows(p *lp.Problem, inst *sched.Instance, xCols [][]int, bwVar func(e int) int, rhs func(e, t int) float64) error {
+// bwVar returns, per link, the bandwidth column or -1 for none. The
+// returned index is rows[e][t] = the row added for that pair, or -1
+// where no request can load the link — incremental models use it to
+// retarget capacities via SetRHS.
+func addCapacityRows(p *lp.Problem, inst *sched.Instance, xCols [][]int, bwVar func(e int) int, rhs func(e, t int) float64) ([][]int, error) {
 	net := inst.Network()
 	slots := inst.Slots()
 
@@ -223,38 +236,43 @@ func addCapacityRows(p *lp.Problem, inst *sched.Instance, xCols [][]int, bwVar f
 		}
 	}
 
+	rows := make([][]int, net.NumLinks())
 	for e := range terms {
 		col := bwVar(e)
+		rows[e] = make([]int, slots)
 		for t := 0; t < slots; t++ {
+			rows[e][t] = -1
 			if len(terms[e][t]) == 0 {
 				continue
 			}
 			row, err := p.AddConstraint(lp.LE, rhs(e, t), fmt.Sprintf("cap[%d][%d]", e, t))
 			if err != nil {
-				return err
+				return nil, err
 			}
+			rows[e][t] = row
 			for _, tm := range terms[e][t] {
 				if err := p.AddTerm(row, tm.col, tm.rate); err != nil {
-					return err
+					return nil, err
 				}
 			}
 			if col >= 0 {
 				if err := p.AddTerm(row, col, -1); err != nil {
-					return err
+					return nil, err
 				}
 			}
 		}
 	}
-	return nil
+	return rows, nil
 }
 
 // addCapacityRowsVar adds Σ load(e, t) <= caps[e][t] rows for every
 // (link, slot) that can carry load.
 func addCapacityRowsVar(p *lp.Problem, inst *sched.Instance, xCols [][]int, caps [][]float64) error {
-	return addCapacityRows(p, inst, xCols,
+	_, err := addCapacityRows(p, inst, xCols,
 		func(e int) int { return -1 },
 		func(e, t int) float64 { return caps[e][t] },
 	)
+	return err
 }
 
 func extractX(x []float64, xCols [][]int) [][]float64 {

@@ -28,6 +28,12 @@ import (
 type Options struct {
 	// LP configures the relaxation solve.
 	LP lp.Options
+	// Relaxed optionally supplies a pre-solved BL-SPM relaxation for the
+	// instance and capacities (e.g. from an incremental spm.BLModel that
+	// warm-starts across Metis rounds); when set, the internal LP solve
+	// is skipped. Its X must cover exactly the instance's requests, and
+	// it must have been solved under the same capacities.
+	Relaxed *spm.RelaxedBL
 }
 
 // Result is TAA's output.
@@ -83,9 +89,16 @@ func SolveVar(inst *sched.Instance, caps [][]float64, opts Options) (*Result, er
 		return &Result{Schedule: sched.NewSchedule(inst)}, nil
 	}
 
-	rel, err := spm.SolveBLRelaxationVar(inst, caps, opts.LP)
-	if err != nil {
-		return nil, fmt.Errorf("taa: %w", err)
+	rel := opts.Relaxed
+	if rel == nil {
+		var err error
+		rel, err = spm.SolveBLRelaxationVar(inst, caps, opts.LP)
+		if err != nil {
+			return nil, fmt.Errorf("taa: %w", err)
+		}
+	} else if len(rel.X) != inst.NumRequests() {
+		return nil, fmt.Errorf("taa: supplied relaxation covers %d requests, instance has %d",
+			len(rel.X), inst.NumRequests())
 	}
 
 	// Minimum positive capacity, normalized by the maximum rate
