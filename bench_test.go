@@ -8,10 +8,12 @@ package metis_test
 // produces the paper-scale tables.
 
 import (
+	"io"
 	"testing"
 
 	"metis"
 	"metis/internal/exp"
+	"metis/internal/obs"
 	"metis/internal/spm"
 )
 
@@ -159,6 +161,21 @@ func BenchmarkMetisSolveK100(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := metis.Solve(inst, metis.Config{Theta: 4, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetisSolveK100Traced is the same solve with a live JSONL
+// tracer attached (sink discarded): the cost of span emission on every
+// LP/MAA/TAA/round boundary, benchmarked so the tracing overhead stays
+// visible next to the untraced number.
+func BenchmarkMetisSolveK100Traced(b *testing.B) {
+	inst := benchInstance(b, 100)
+	tracer := obs.NewJSONLTracer(io.Discard)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metis.Solve(inst, metis.Config{Theta: 4, Seed: 1, Tracer: tracer}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,153 @@
+// Command benchgate compares a `go test -bench` run against a recorded
+// baseline JSON and fails (exit 1) when a benchmark regresses beyond the
+// allowed slack. CI uses it to keep the instrumentation layer's
+// disabled-path overhead inside the noise band of BENCH_PR2.json.
+//
+// Usage:
+//
+//	go test -run xxx -bench 'MetisSolveK100$' -benchtime 3x -count 3 . |
+//	  benchgate -baseline BENCH_PR2.json -bench BenchmarkMetisSolveK100 -slack 1.5
+//
+// The baseline file must contain {"after": {"ns_per_op": N}} (the shape
+// of BENCH_PR*.json). The measured value is the minimum ns/op across all
+// matching result lines, which filters scheduling noise on shared CI
+// runners; -count 3 or more is recommended.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		baselinePath = fs.String("baseline", "", "baseline JSON path (required; needs after.ns_per_op)")
+		benchName    = fs.String("bench", "", "benchmark name to gate (required, without the -N CPU suffix)")
+		slack        = fs.Float64("slack", 1.5, "fail when measured > slack * baseline ns/op")
+		inPath       = fs.String("in", "-", "bench output path (\"-\" = stdin)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baselinePath == "" || *benchName == "" {
+		return fmt.Errorf("-baseline and -bench are required")
+	}
+	if *slack <= 0 {
+		return fmt.Errorf("-slack must be positive, got %v", *slack)
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		return err
+	}
+
+	in := stdin
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, runs, err := minNsPerOp(in, *benchName)
+	if err != nil {
+		return err
+	}
+
+	limit := *slack * float64(base)
+	ratio := float64(measured) / float64(base)
+	fmt.Fprintf(stdout, "benchgate: %s measured %d ns/op (min of %d run(s)), baseline %d ns/op, ratio %.3f, limit %.2fx\n",
+		*benchName, measured, runs, base, ratio, *slack)
+	if float64(measured) > limit {
+		return fmt.Errorf("%s regressed: %d ns/op > %.0f ns/op (%.2fx baseline %d)",
+			*benchName, measured, limit, ratio, base)
+	}
+	return nil
+}
+
+// readBaseline extracts after.ns_per_op from a BENCH_PR*.json file.
+func readBaseline(path string) (int64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc struct {
+		After struct {
+			NsPerOp int64 `json:"ns_per_op"`
+		} `json:"after"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.After.NsPerOp <= 0 {
+		return 0, fmt.Errorf("%s: missing or non-positive after.ns_per_op", path)
+	}
+	return doc.After.NsPerOp, nil
+}
+
+// minNsPerOp scans `go test -bench` output for result lines of the
+// named benchmark (any -N CPU suffix) and returns the minimum ns/op and
+// the number of matching lines.
+func minNsPerOp(r io.Reader, name string) (int64, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var best int64
+	runs := 0
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// "BenchmarkX-8   3   43726248 ns/op   ..."
+		if len(fields) < 4 {
+			continue
+		}
+		got := fields[0]
+		if i := strings.LastIndexByte(got, '-'); i > 0 {
+			if _, err := strconv.Atoi(got[i+1:]); err == nil {
+				got = got[:i]
+			}
+		}
+		if got != name {
+			continue
+		}
+		var ns float64
+		var nsIdx = -1
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return 0, 0, fmt.Errorf("bad ns/op value %q in line %q", fields[i], sc.Text())
+				}
+				ns, nsIdx = v, i
+				break
+			}
+		}
+		if nsIdx < 0 {
+			continue
+		}
+		runs++
+		if v := int64(ns); runs == 1 || v < best {
+			best = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	if runs == 0 {
+		return 0, 0, fmt.Errorf("no result lines for %s in bench output", name)
+	}
+	return best, runs, nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: metis
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkMetisSolveK100-8   	       3	  45000000 ns/op	 8841618 B/op	   39090 allocs/op
+BenchmarkMetisSolveK100-8   	       3	  44000000 ns/op	 8841618 B/op	   39090 allocs/op
+BenchmarkMetisSolveK100Cold-8   	       3	  99000000 ns/op
+PASS
+ok  	metis	1.234s
+`
+
+func writeBaseline(t *testing.T, nsPerOp string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	doc := `{"after": {"ns_per_op": ` + nsPerOp + `}}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMinNsPerOp(t *testing.T) {
+	ns, runs, err := minNsPerOp(strings.NewReader(benchOutput), "BenchmarkMetisSolveK100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns != 44000000 || runs != 2 {
+		t.Fatalf("got %d ns/op over %d runs, want 44000000 over 2", ns, runs)
+	}
+	// The Cold variant must not be swallowed by the prefix match.
+	ns, runs, err = minNsPerOp(strings.NewReader(benchOutput), "BenchmarkMetisSolveK100Cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns != 99000000 || runs != 1 {
+		t.Fatalf("cold: got %d ns/op over %d runs, want 99000000 over 1", ns, runs)
+	}
+	if _, _, err := minNsPerOp(strings.NewReader(benchOutput), "BenchmarkNope"); err == nil {
+		t.Fatal("missing benchmark accepted, want error")
+	}
+}
+
+func TestGatePassAndFail(t *testing.T) {
+	base := writeBaseline(t, "43726248")
+	var out strings.Builder
+	err := run([]string{"-baseline", base, "-bench", "BenchmarkMetisSolveK100", "-slack", "1.5"},
+		strings.NewReader(benchOutput), &out)
+	if err != nil {
+		t.Fatalf("within-slack run failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "ratio 1.006") {
+		t.Errorf("report missing ratio: %s", out.String())
+	}
+
+	err = run([]string{"-baseline", base, "-bench", "BenchmarkMetisSolveK100", "-slack", "1.0001"},
+		strings.NewReader(benchOutput), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("tight-slack run: err = %v, want regression error", err)
+	}
+}
+
+func TestBadBaseline(t *testing.T) {
+	base := writeBaseline(t, "0")
+	err := run([]string{"-baseline", base, "-bench", "BenchmarkMetisSolveK100"},
+		strings.NewReader(benchOutput), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "ns_per_op") {
+		t.Fatalf("zero baseline: err = %v, want ns_per_op error", err)
+	}
+	err = run([]string{"-bench", "BenchmarkMetisSolveK100"}, strings.NewReader(""), &strings.Builder{})
+	if err == nil {
+		t.Fatal("missing -baseline accepted, want error")
+	}
+}
+
+// TestRealBaselineFile gates against the repo's checked-in baseline to
+// keep its schema and this tool in sync.
+func TestRealBaselineFile(t *testing.T) {
+	ns, err := readBaseline(filepath.Join("..", "..", "BENCH_PR2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns != 43726248 {
+		t.Fatalf("BENCH_PR2.json after.ns_per_op = %d, want 43726248", ns)
+	}
+}

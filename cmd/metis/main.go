@@ -7,6 +7,8 @@
 //	wangen -network B4 -k 200 -seed 7 > scenario.json
 //	metis -in scenario.json -out decision.json
 //	metis -in scenario.json -theta 12 -maa-rounds 3
+//	metis -in scenario.json -trace trace.jsonl      # see cmd/metistrace
+//	metis -in scenario.json -metrics-addr :9090     # live /metrics + pprof
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"os"
 
 	"metis"
+	"metis/internal/obs"
 )
 
 func main() {
@@ -25,18 +28,43 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("metis", flag.ContinueOnError)
 	var (
-		inPath    = fs.String("in", "-", "scenario JSON path (\"-\" = stdin)")
-		outPath   = fs.String("out", "-", "decision JSON path (\"-\" = stdout)")
-		theta     = fs.Int("theta", 0, "alternation rounds θ (0 = default)")
-		tauStep   = fs.Int("tau-step", 0, "BW-limiter shrink units (0 = default)")
-		maaRounds = fs.Int("maa-rounds", 0, "randomized roundings per MAA call (0 = default)")
-		seed      = fs.Int64("seed", 1, "randomized-rounding seed")
+		inPath      = fs.String("in", "-", "scenario JSON path (\"-\" = stdin)")
+		outPath     = fs.String("out", "-", "decision JSON path (\"-\" = stdout)")
+		theta       = fs.Int("theta", 0, "alternation rounds θ (0 = default)")
+		tauStep     = fs.Int("tau-step", 0, "BW-limiter shrink units (0 = default)")
+		maaRounds   = fs.Int("maa-rounds", 0, "randomized roundings per MAA call (0 = default)")
+		seed        = fs.Int64("seed", 1, "randomized-rounding seed")
+		traceOut    = fs.String("trace", "", "write a JSONL trace of the solve to this file (summarize with cmd/metistrace)")
+		metricsAddr = fs.String("metrics-addr", "", "serve live metrics on this address: /metrics (Prometheus), /debug/vars, /debug/pprof")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var tracer obs.Tracer
+	if *metricsAddr != "" {
+		srv, err := obs.ServeMetrics(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metis: serving metrics on http://%s/metrics\n", srv.Addr)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		jt := obs.NewJSONLTracer(f)
+		defer func() {
+			if cerr := jt.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		tracer = jt
 	}
 
 	in := io.Reader(os.Stdin)
@@ -62,6 +90,7 @@ func run(args []string) error {
 		TauStep:   *tauStep,
 		MAARounds: *maaRounds,
 		Seed:      *seed,
+		Tracer:    tracer,
 	})
 	if err != nil {
 		return err

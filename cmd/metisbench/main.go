@@ -12,6 +12,8 @@
 //	metisbench -fig fig3 -seed 7 -opt-limit 30s
 //	metisbench -fig fig5 -warm off  # disable LP warm starts (seed path)
 //	metisbench -fig fig5 -cpuprofile cpu.out -memprofile mem.out
+//	metisbench -fig fig5 -trace trace.jsonl      # structured solve trace (see cmd/metistrace)
+//	metisbench -fig all -metrics-addr :9090      # live /metrics, /debug/vars, /debug/pprof
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"time"
 
 	"metis/internal/exp"
+	"metis/internal/obs"
 )
 
 func main() {
@@ -51,23 +54,32 @@ type jsonReport struct {
 	Warm       bool          `json:"warm"`
 	Figures    []*exp.Figure `json:"figures"`
 	Benchmarks []benchRecord `json:"benchmarks"`
+	// SolverStats carries the per-point solver statistics collected
+	// during the run: exact B&B nodes/status/gap and Metis round
+	// histories.
+	SolverStats exp.RunStatsReport `json:"solver_stats"`
+	// Counters is the obs registry snapshot after the run (simplex
+	// iterations, warm-start hits/stalls, B&B nodes, ...).
+	Counters map[string]float64 `json:"counters"`
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("metisbench", flag.ContinueOnError)
 	var (
-		figID    = fs.String("fig", "all", "experiment id (see -list) or \"all\"")
-		quick    = fs.Bool("quick", false, "use scaled-down quick configuration")
-		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		chart    = fs.Bool("chart", false, "emit text bar charts instead of tables")
-		jsonOut  = fs.Bool("json", false, "emit figures and per-experiment perf records as JSON")
-		list     = fs.Bool("list", false, "list known experiment ids and exit")
-		seed     = fs.Int64("seed", 0, "override workload seed (0 = config default)")
-		optLimit = fs.Duration("opt-limit", 0, "override exact-solver time limit (0 = config default)")
-		parallel = fs.Int("parallel", 1, "scenario-point workers per experiment (0 = all CPUs, 1 = sequential)")
-		warm     = fs.String("warm", "on", "LP warm starts: on (incremental relaxation models) or off (every LP solved cold; bit-identical to the pre-warm-start code path)")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
-		memProf  = fs.String("memprofile", "", "write an allocation profile (after the run) to this file")
+		figID       = fs.String("fig", "all", "experiment id (see -list) or \"all\"")
+		quick       = fs.Bool("quick", false, "use scaled-down quick configuration")
+		csv         = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		chart       = fs.Bool("chart", false, "emit text bar charts instead of tables")
+		jsonOut     = fs.Bool("json", false, "emit figures and per-experiment perf records as JSON")
+		list        = fs.Bool("list", false, "list known experiment ids and exit")
+		seed        = fs.Int64("seed", 0, "override workload seed (0 = config default)")
+		optLimit    = fs.Duration("opt-limit", 0, "override exact-solver time limit (0 = config default)")
+		parallel    = fs.Int("parallel", 1, "scenario-point workers per experiment (0 = all CPUs, 1 = sequential)")
+		warm        = fs.String("warm", "on", "LP warm starts: on (incremental relaxation models) or off (every LP solved cold; bit-identical to the pre-warm-start code path)")
+		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memProf     = fs.String("memprofile", "", "write an allocation profile (after the run) to this file")
+		traceOut    = fs.String("trace", "", "write a JSONL trace of every solve to this file (summarize with cmd/metistrace)")
+		metricsAddr = fs.String("metrics-addr", "", "serve live metrics on this address: /metrics (Prometheus), /debug/vars, /debug/pprof")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +110,9 @@ func run(args []string) error {
 	cfg.Parallel = *parallel
 	cfg.ColdLP = *warm == "off"
 
+	// Profile files are created up front so a bad path fails the run
+	// immediately instead of silently after minutes of experiments; both
+	// are closed on every exit path.
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -109,23 +124,61 @@ func run(args []string) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	var memFile *os.File
 	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		memFile = f
 		defer func() {
-			f, err := os.Create(*memProf)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "metisbench:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fmt.Fprintln(os.Stderr, "metisbench:", err)
+			// Reached only when an error skipped writeMemProfile.
+			if memFile != nil {
+				memFile.Close()
 			}
 		}()
 	}
+	writeMemProfile := func() error {
+		if memFile == nil {
+			return nil
+		}
+		f := memFile
+		memFile = nil
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	if *metricsAddr != "" {
+		srv, err := obs.ServeMetrics(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metisbench: serving metrics on http://%s/metrics\n", srv.Addr)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		tracer := obs.NewJSONLTracer(f)
+		defer func() {
+			if cerr := tracer.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		cfg.Tracer = tracer
+	}
 
 	if *jsonOut {
-		return runJSON(os.Stdout, *figID, cfgName, cfg)
+		if err := runJSON(os.Stdout, *figID, cfgName, cfg); err != nil {
+			return err
+		}
+		return writeMemProfile()
 	}
 
 	start := time.Now()
@@ -149,7 +202,7 @@ func run(args []string) error {
 		fmt.Println()
 	}
 	fmt.Fprintf(os.Stderr, "metisbench: %d figure(s) in %v\n", len(figs), time.Since(start).Round(time.Millisecond))
-	return nil
+	return writeMemProfile()
 }
 
 // runJSON regenerates each selected experiment separately, recording
@@ -160,6 +213,8 @@ func runJSON(w io.Writer, figID, cfgName string, cfg exp.Config) error {
 	if figID == "all" {
 		ids = exp.IDs()
 	}
+	stats := &exp.RunStats{}
+	cfg.Stats = stats
 	report := jsonReport{Config: cfgName, Parallel: cfg.Parallel, Seed: cfg.Seed, Warm: !cfg.ColdLP}
 	var ms runtime.MemStats
 	for _, id := range ids {
@@ -179,6 +234,8 @@ func runJSON(w io.Writer, figID, cfgName string, cfg exp.Config) error {
 			AllocsPerOp: ms.Mallocs - allocs0,
 		})
 	}
+	report.SolverStats = stats.Report()
+	report.Counters = obs.Snapshot()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)

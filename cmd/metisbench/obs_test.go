@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"metis/internal/exp"
+	"metis/internal/obs"
+)
+
+// TestProfileFlagBadPathErrors: an uncreatable -cpuprofile or
+// -memprofile path must fail the run up front, not be swallowed after
+// minutes of experiments.
+func TestProfileFlagBadPathErrors(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "out.pprof")
+	for _, flag := range []string{"-cpuprofile", "-memprofile"} {
+		if err := run([]string{"-fig", "fig4a", "-quick", flag, bad}); err == nil {
+			t.Errorf("%s with uncreatable path: run succeeded, want error", flag)
+		}
+	}
+}
+
+// TestProfileFlagsWriteFiles: a run with both profiles enabled writes
+// non-empty profile files.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := run([]string{"-fig", "ablation-rounding", "-quick", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+// TestTraceFlagBadPathErrors mirrors the profile-flag contract for
+// -trace.
+func TestTraceFlagBadPathErrors(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "trace.jsonl")
+	if err := run([]string{"-fig", "fig4a", "-quick", "-trace", bad}); err == nil {
+		t.Fatal("-trace with uncreatable path: run succeeded, want error")
+	}
+}
+
+// TestTraceFlagWritesValidJSONL: a traced quick figure run yields a
+// parseable trace with Metis solve spans.
+func TestTraceFlagWritesValidJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{"-fig", "fig5", "-quick", "-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := obs.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solves := 0
+	for _, r := range recs {
+		if r.Name == "metis.solve" {
+			solves++
+		}
+	}
+	if solves != len(exp.QuickConfig().Fig5Ks) {
+		t.Fatalf("metis.solve spans = %d, want one per fig5 point (%d)", solves, len(exp.QuickConfig().Fig5Ks))
+	}
+}
+
+// TestRunJSONSolverStats: -json surfaces the exact-solver stats and the
+// Metis round histories plus an obs counter snapshot.
+func TestRunJSONSolverStats(t *testing.T) {
+	cfg := exp.QuickConfig()
+	var buf bytes.Buffer
+	if err := runJSON(&buf, "fig5", "quick", cfg); err != nil {
+		t.Fatal(err)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(report.SolverStats.Metis) != len(cfg.Fig5Ks) {
+		t.Fatalf("metis stats = %d entries, want %d", len(report.SolverStats.Metis), len(cfg.Fig5Ks))
+	}
+	for _, ms := range report.SolverStats.Metis {
+		if ms.Figure != "fig5" || len(ms.Rounds) != cfg.Theta {
+			t.Fatalf("metis stat %+v: want fig5 with %d rounds", ms, cfg.Theta)
+		}
+		for _, rs := range ms.Rounds {
+			if rs.MAAElapsed <= 0 || rs.TAAElapsed <= 0 {
+				t.Fatalf("round %+v: want positive MAA/TAA timings", rs)
+			}
+		}
+	}
+	if report.Counters["lp.solves"] <= 0 {
+		t.Fatalf("counters %v: want positive lp.solves", report.Counters)
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"metis/internal/lp"
 	"metis/internal/maa"
+	"metis/internal/obs"
 	"metis/internal/sched"
 	"metis/internal/spm"
 	"metis/internal/stats"
@@ -75,6 +76,12 @@ type Config struct {
 	// rounding consumes) is reused only when a stalled round repeats the
 	// exact accepted set — see the model-construction comment in Solve.
 	ColdLP bool
+	// Tracer, when non-nil, receives the structured solve timeline: one
+	// "metis.round" span per alternation round, a "metis.solve" span for
+	// the whole run, and — unless LP.Tracer is set separately — every
+	// stage's spans ("lp.solve", "maa.solve", "taa.solve") beneath them.
+	// Nil (the default) disables tracing with zero overhead.
+	Tracer obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -93,18 +100,31 @@ func (c Config) withDefaults() Config {
 // RoundStats records one alternation round for analysis and ablations.
 type RoundStats struct {
 	// Round is the 1-based round number.
-	Round int
+	Round int `json:"round"`
 	// Accepted is the size of the request set entering the round.
-	Accepted int
+	Accepted int `json:"accepted"`
 	// MAAProfit is the profit of the round's MAA (serve-everything)
 	// schedule.
-	MAAProfit float64
+	MAAProfit float64 `json:"maa_profit"`
 	// TAAProfit is the profit of the round's TAA schedule.
-	TAAProfit float64
+	TAAProfit float64 `json:"taa_profit"`
 	// TAAAccepted is the number of requests TAA kept.
-	TAAAccepted int
+	TAAAccepted int `json:"taa_accepted"`
+	// MAAElapsed is the wall time of the round's MAA stage (sub-instance
+	// build, relaxation+rounding, lift and prune).
+	MAAElapsed time.Duration `json:"maa_elapsed_ns"`
+	// TAAElapsed is the wall time of the round's TAA stage.
+	TAAElapsed time.Duration `json:"taa_elapsed_ns"`
+	// ShrinkLink is the link the BW Limiter shrank this round, or -1
+	// when no link had positive capacity left.
+	ShrinkLink int `json:"shrink_link"`
+	// ShrinkStep is the number of bandwidth units removed (after stall
+	// escalation and the TauFrac rule).
+	ShrinkStep int `json:"shrink_step"`
+	// BestProfit is the SP Updater's best profit after the round.
+	BestProfit float64 `json:"best_profit"`
 	// Elapsed is the wall time the round took.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
 // Result is the output of a Metis run.
@@ -130,6 +150,11 @@ func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if inst.NumRequests() == 0 {
 		return nil, ErrNoRequests
+	}
+	// Thread the run tracer into every stage beneath (LP, MAA, TAA all
+	// read it from the LP options); an explicitly set LP.Tracer wins.
+	if cfg.LP.Tracer == nil {
+		cfg.LP.Tracer = cfg.Tracer
 	}
 	start := time.Now()
 	rng := stats.NewRNG(cfg.Seed)
@@ -214,6 +239,7 @@ func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
 		if maaProfit > bestProfit {
 			best, bestProfit = maaSched, maaProfit
 		}
+		maaElapsed := time.Since(roundStart)
 
 		// BW Limiter (rule τ): shrink the least-utilized charged link.
 		// While rounds stall (TAA declines nothing, so the next round
@@ -222,9 +248,11 @@ func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
 		// trading requests for bandwidth.
 		caps := maaRes.Charged
 		step := cfg.TauStep << uint(min(stall, 20))
-		loadsBuf = shrinkLeastUtilized(maaRes.Schedule, caps, step, cfg.TauFrac, loadsBuf)
+		var shrinkLink, shrinkStep int
+		shrinkLink, shrinkStep, loadsBuf = shrinkLeastUtilized(maaRes.Schedule, caps, step, cfg.TauFrac, loadsBuf)
 
 		// BL-SPM Solver.
+		taaStart := time.Now()
 		taaOpts := taa.Options{LP: cfg.LP}
 		if blModel != nil {
 			rel, err := blModel.SolveSubset(accepted, caps)
@@ -253,20 +281,54 @@ func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
 			MAAProfit:   maaProfit,
 			TAAProfit:   taaProfit,
 			TAAAccepted: len(next),
+			MAAElapsed:  maaElapsed,
+			TAAElapsed:  time.Since(taaStart),
+			ShrinkLink:  shrinkLink,
+			ShrinkStep:  shrinkStep,
+			BestProfit:  bestProfit,
 			Elapsed:     time.Since(roundStart),
 		})
+		if cfg.Tracer != nil {
+			rs := &rounds[len(rounds)-1]
+			obs.Span(cfg.Tracer, "metis.round", roundStart, obs.Fields{
+				"round":        rs.Round,
+				"accepted":     rs.Accepted,
+				"maa_us":       rs.MAAElapsed.Microseconds(),
+				"taa_us":       rs.TAAElapsed.Microseconds(),
+				"maa_profit":   rs.MAAProfit,
+				"taa_profit":   rs.TAAProfit,
+				"taa_accepted": rs.TAAAccepted,
+				"shrink_link":  rs.ShrinkLink,
+				"shrink_step":  rs.ShrinkStep,
+				"best_profit":  rs.BestProfit,
+				"rel_reused":   maaOpts.Relaxed != nil,
+				"warm_lp":      blModel != nil,
+			})
+		}
 		if len(next) == len(accepted) {
 			stall++
+			cStallRounds.Inc()
 		} else {
 			stall = 0
 		}
 		accepted = next
 	}
+	cSolves.Inc()
+	cRounds.Add(int64(len(rounds)))
 
 	// One loads pass backs Cost and Charged both (Revenue never looks
 	// at loads), instead of recomputing the matrix per accessor.
 	loadsBuf = best.LoadsInto(loadsBuf)
 	charged := sched.ChargedOf(loadsBuf)
+	if cfg.Tracer != nil {
+		obs.Span(cfg.Tracer, "metis.solve", start, obs.Fields{
+			"k":        inst.NumRequests(),
+			"rounds":   len(rounds),
+			"accepted": best.NumAccepted(),
+			"profit":   bestProfit,
+			"warm_lp":  blModel != nil,
+		})
+	}
 	return &Result{
 		Schedule: best,
 		Profit:   bestProfit,
@@ -487,8 +549,10 @@ func pruneUnprofitable(s *sched.Schedule, buf [][]float64) (float64, [][]float64
 // link with the minimum average utilization among links with positive
 // capacity, by max(step, ceil(frac·units)) units. Ties break toward the
 // lower link id. buf is the round loop's load scratch matrix (see
-// pruneUnprofitable); the refilled matrix is returned for the next use.
-func shrinkLeastUtilized(s *sched.Schedule, caps []int, step int, frac float64, buf [][]float64) [][]float64 {
+// pruneUnprofitable). It returns the shrunk link id (-1 when no link
+// has positive capacity), the number of units actually removed, and the
+// refilled load matrix for the next use.
+func shrinkLeastUtilized(s *sched.Schedule, caps []int, step int, frac float64, buf [][]float64) (int, int, [][]float64) {
 	loads := s.LoadsInto(buf)
 	slots := s.Instance().Slots()
 	target := -1
@@ -507,18 +571,18 @@ func shrinkLeastUtilized(s *sched.Schedule, caps []int, step int, frac float64, 
 		}
 	}
 	if target < 0 {
-		return loads
+		return -1, 0, loads
 	}
 	if frac > 0 {
 		if byFrac := int(math.Ceil(frac * float64(caps[target]))); byFrac > step {
 			step = byFrac
 		}
 	}
-	caps[target] -= step
-	if caps[target] < 0 {
-		caps[target] = 0
+	if step > caps[target] {
+		step = caps[target]
 	}
-	return loads
+	caps[target] -= step
+	return target, step, loads
 }
 
 // equalInts reports whether a and b hold the same values.

@@ -1,0 +1,10 @@
+package core
+
+import "metis/internal/obs"
+
+// Alternation-loop counters, incremented once per round or per solve.
+var (
+	cSolves      = obs.NewCounter("core.solves", "completed Metis solves")
+	cRounds      = obs.NewCounter("core.rounds", "MAA/TAA alternation rounds executed")
+	cStallRounds = obs.NewCounter("core.stall_rounds", "rounds in which TAA declined nothing (shrink escalation active)")
+)

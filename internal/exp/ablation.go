@@ -38,7 +38,7 @@ func AblationTheta(cfg Config) (*Figure, error) {
 		}
 		res, err := core.Solve(inst, core.Config{
 			Theta: thetas[p], TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
-			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP,
+			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP, Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return err
@@ -82,7 +82,7 @@ func AblationTau(cfg Config) (*Figure, error) {
 		}
 		res, err := core.Solve(inst, core.Config{
 			Theta: cfg.Theta, TauStep: rules[p].step, TauFrac: rules[p].frac, MAARounds: cfg.MAARounds,
-			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP,
+			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP, Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return err
@@ -117,7 +117,7 @@ func AblationPaths(cfg Config) (*Figure, error) {
 		}
 		res, err := core.Solve(inst, core.Config{
 			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
-			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP,
+			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP, Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return err

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"metis/internal/lp"
+	"metis/internal/obs"
 )
 
 // Config parameterizes the experiment harness.
@@ -72,6 +73,17 @@ type Config struct {
 	// models in every Metis run (see core.Config.ColdLP), restoring the
 	// pre-warm-start behavior bit-for-bit.
 	ColdLP bool
+
+	// Tracer, when non-nil, threads the structured trace sink into every
+	// Metis solve of the figure sweeps (see core.Config.Tracer). Note
+	// that parallel sweeps interleave their spans; the per-span fields
+	// keep them attributable.
+	Tracer obs.Tracer
+
+	// Stats, when non-nil, collects per-point solver statistics during
+	// figure runs: exact-reference B&B node counts, statuses and gaps,
+	// and Metis per-round histories. Nil disables collection.
+	Stats *RunStats
 }
 
 // DefaultConfig returns paper-scale settings (a full run takes a few

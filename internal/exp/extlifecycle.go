@@ -28,7 +28,7 @@ func ExtensionMultiCycle(cfg Config) (*Figure, error) {
 		Seed:         cfg.Seed,
 	}
 	schedulers := []sim.Scheduler{
-		sim.MetisScheduler{Cfg: core.Config{Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds, LP: cfg.LP, ColdLP: cfg.ColdLP}},
+		sim.MetisScheduler{Cfg: core.Config{Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds, LP: cfg.LP, ColdLP: cfg.ColdLP, Tracer: cfg.Tracer}},
 		sim.EcoFlowScheduler{},
 		sim.AcceptAllScheduler{Rounds: cfg.MAARounds},
 		&sim.ForecastOnlineScheduler{},
@@ -78,7 +78,7 @@ func ExtensionResilience(cfg Config) (*Figure, error) {
 		}
 		metis, err := core.Solve(inst, core.Config{
 			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
-			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP,
+			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP, Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return err

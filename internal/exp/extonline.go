@@ -64,7 +64,7 @@ func ExtensionOnline(cfg Config) (*Figure, error) {
 		}
 		offline, err := core.Solve(inst, core.Config{
 			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
-			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP,
+			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP, Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return err

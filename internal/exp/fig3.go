@@ -49,7 +49,7 @@ func Fig3(cfg Config) ([]*Figure, error) {
 		}
 		metis, err := core.Solve(inst, core.Config{
 			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
-			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP,
+			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP, Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return err
@@ -74,6 +74,9 @@ func Fig3(cfg Config) ([]*Figure, error) {
 	for p, k := range cfg.Fig3Ks {
 		x := strconv.Itoa(k)
 		metis, optSPM, optRL := rows[p].metis, rows[p].optSPM, rows[p].optRL
+		cfg.Stats.AddExact("fig3", x, "OPT(SPM)", optSPM)
+		cfg.Stats.AddExact("fig3", x, "OPT(RL-SPM)", optRL)
+		cfg.Stats.AddMetis("fig3", x, metis.Rounds)
 		profit.AddRow(x, optSPM.Profit, metis.Profit, optRL.Profit,
 			optSPM.Elapsed.Seconds()+optRL.Elapsed.Seconds(), metis.Elapsed.Seconds())
 		accepted.AddRow(x, float64(optSPM.Accepted), float64(metis.Schedule.NumAccepted()), float64(optRL.Accepted))

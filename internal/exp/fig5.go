@@ -32,6 +32,7 @@ func Fig5(cfg Config) ([]*Figure, error) {
 		metisProfit, ecoProfit   float64
 		metisAccepted, ecoAccept int
 		metisUtil, ecoUtil       float64
+		rounds                   []core.RoundStats
 	}
 	rows := make([]row, len(cfg.Fig5Ks))
 	err := forEachPoint(len(cfg.Fig5Ks), cfg.Parallel, func(p int) error {
@@ -41,7 +42,7 @@ func Fig5(cfg Config) ([]*Figure, error) {
 		}
 		metis, err := core.Solve(inst, core.Config{
 			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
-			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP,
+			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP, Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return err
@@ -54,6 +55,7 @@ func Fig5(cfg Config) ([]*Figure, error) {
 			metisProfit: metis.Profit, ecoProfit: eco.Profit,
 			metisAccepted: metis.Schedule.NumAccepted(), ecoAccept: eco.NumAccepted,
 			metisUtil: metis.Schedule.ChargedUtilization().Avg, ecoUtil: eco.Utilization.Avg,
+			rounds: metis.Rounds,
 		}
 		return nil
 	})
@@ -63,6 +65,7 @@ func Fig5(cfg Config) ([]*Figure, error) {
 	for p, k := range cfg.Fig5Ks {
 		x := strconv.Itoa(k)
 		r := rows[p]
+		cfg.Stats.AddMetis("fig5", x, r.rounds)
 		profit.AddRow(x, r.metisProfit, r.ecoProfit)
 		accepted.AddRow(x, float64(r.metisAccepted), float64(r.ecoAccept))
 		util.AddRow(x, r.metisUtil, r.ecoUtil)

@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"sync"
+
+	"metis/internal/core"
+	"metis/internal/opt"
+)
+
+// ExactStat records one exact-reference solve of a figure sweep.
+type ExactStat struct {
+	// Figure is the figure ID ("fig3"), Point the sweep point ("200").
+	Figure string `json:"figure"`
+	Point  string `json:"point"`
+	// What names the solve ("OPT(SPM)", "OPT(RL-SPM)").
+	What string `json:"what"`
+	// Status, Nodes, Gap and Proven mirror opt.Result.
+	Status string  `json:"status"`
+	Nodes  int     `json:"nodes"`
+	Gap    float64 `json:"gap"`
+	Proven bool    `json:"proven"`
+}
+
+// MetisStat records one Metis solve's per-round history.
+type MetisStat struct {
+	Figure string            `json:"figure"`
+	Point  string            `json:"point"`
+	Rounds []core.RoundStats `json:"rounds"`
+}
+
+// RunStats collects solver statistics across a figure run. Figure
+// sweeps evaluate points on worker pools, so the collector is safe for
+// concurrent use; all methods are no-ops on a nil receiver, so call
+// sites need no guards.
+type RunStats struct {
+	mu    sync.Mutex
+	exact []ExactStat
+	metis []MetisStat
+}
+
+// AddExact records an exact-reference solve.
+func (r *RunStats) AddExact(figure, point, what string, res *opt.Result) {
+	if r == nil || res == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.exact = append(r.exact, ExactStat{
+		Figure: figure, Point: point, What: what,
+		Status: res.Status, Nodes: res.Nodes, Gap: res.Gap, Proven: res.Proven,
+	})
+}
+
+// AddMetis records a Metis solve's round history.
+func (r *RunStats) AddMetis(figure, point string, rounds []core.RoundStats) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metis = append(r.metis, MetisStat{Figure: figure, Point: point, Rounds: rounds})
+}
+
+// RunStatsReport is the JSON-friendly snapshot of a RunStats.
+type RunStatsReport struct {
+	Exact []ExactStat `json:"exact,omitempty"`
+	Metis []MetisStat `json:"metis,omitempty"`
+}
+
+// Report snapshots the collected statistics. Nil-safe.
+func (r *RunStats) Report() RunStatsReport {
+	if r == nil {
+		return RunStatsReport{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RunStatsReport{
+		Exact: append([]ExactStat(nil), r.exact...),
+		Metis: append([]MetisStat(nil), r.metis...),
+	}
+}

@@ -1,0 +1,45 @@
+package lp
+
+import "metis/internal/obs"
+
+// Solver counters. All are flushed at solve-level boundaries (or once
+// per iterate/dualIterate call from locally accumulated ints), never
+// from inner loops, so collection cost is noise relative to a solve.
+var (
+	cSolves      = obs.NewCounter("lp.solves", "completed LP solves (cold and warm)")
+	cIters       = obs.NewCounter("lp.iters", "simplex iterations across both phases and warm repairs")
+	cPhase1Iters = obs.NewCounter("lp.phase1_iters", "phase-1 (feasibility) simplex iterations of cold solves")
+	cPhase2Iters = obs.NewCounter("lp.phase2_iters", "phase-2 (optimality) simplex iterations of cold solves")
+	cPivots      = obs.NewCounter("lp.pivots", "basis-changing pivots, primal and dual")
+	cBoundFlips  = obs.NewCounter("lp.bound_flips", "bound-flip iterations (entering variable crossed its range; no basis change)")
+	cIterLimit   = obs.NewCounter("lp.iterlimit", "solves that stopped at Options.MaxIters")
+
+	cWarmAttempts  = obs.NewCounter("lp.warm.attempts", "warm solves attempted from a valid retained basis")
+	cWarmHits      = obs.NewCounter("lp.warm.hits", "warm solves completed by basis repair")
+	cWarmStale     = obs.NewCounter("lp.warm.stale", "warm attempts dropped because the basis was stale (matrix or shape changed)")
+	cWarmStalls    = obs.NewCounter("lp.warm.stalls", "warm repairs that stalled (iteration cap, numerical trouble, or accumulated drift)")
+	cWarmFallbacks = obs.NewCounter("lp.warm.cold_fallbacks", "warm attempts handed over to the cold two-phase path")
+)
+
+// countWarm translates a warm-path outcome into counter increments.
+// warmOff and warmEmpty are not attempts: the former has no handle at
+// all, the latter is the first solve of a fresh handle, which runs cold
+// by design to capture a basis.
+func countWarm(o warmOutcome) {
+	switch o {
+	case warmHit:
+		cWarmAttempts.Inc()
+		cWarmHits.Inc()
+	case warmStale:
+		cWarmAttempts.Inc()
+		cWarmStale.Inc()
+		cWarmFallbacks.Inc()
+	case warmInfeasibleBasis:
+		cWarmAttempts.Inc()
+		cWarmFallbacks.Inc()
+	case warmStall:
+		cWarmAttempts.Inc()
+		cWarmStalls.Inc()
+		cWarmFallbacks.Inc()
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
+
+	"metis/internal/obs"
 )
 
 // PivotMode selects how the simplex stores and prices columns.
@@ -54,6 +57,11 @@ type Options struct {
 	// the vertex may differ). A nil Warm restores the exact cold-path
 	// behavior, bit for bit.
 	Warm *Basis
+	// Tracer, when non-nil, receives one "lp.solve" span per Solve with
+	// the problem shape, iteration count, final status and warm-path
+	// outcome. Nil (the default) disables tracing entirely — no clock
+	// reads, no allocations.
+	Tracer obs.Tracer
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -178,13 +186,41 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	if p.sense != Minimize && p.sense != Maximize {
 		return nil, fmt.Errorf("lp: invalid sense %d", p.sense)
 	}
-	if opts.Warm != nil {
-		if sol := p.solveWarm(opts); sol != nil {
-			return sol, nil
-		}
-		// Stale basis or stalled repair: fall through to the cold path,
-		// which recaptures a fresh basis into the handle below.
+	var t0 time.Time
+	if opts.Tracer != nil {
+		t0 = time.Now()
 	}
+	outcome := warmOff
+	var sol *Solution
+	if opts.Warm != nil {
+		sol, outcome = p.solveWarm(opts)
+		countWarm(outcome)
+		// On a nil sol — stale basis, broken dual feasibility, or a
+		// stalled repair — the cold path takes over and recaptures a
+		// fresh basis into the handle.
+	}
+	if sol == nil {
+		sol = p.solveCold(opts)
+	}
+	cSolves.Inc()
+	cIters.Add(int64(sol.Iters))
+	if sol.Status == StatusIterLimit {
+		cIterLimit.Inc()
+	}
+	if opts.Tracer != nil {
+		obs.Span(opts.Tracer, "lp.solve", t0, obs.Fields{
+			"m":      len(p.rel),
+			"n":      len(p.obj),
+			"iters":  sol.Iters,
+			"status": sol.Status.String(),
+			"warm":   outcome.String(),
+		})
+	}
+	return sol, nil
+}
+
+// solveCold runs two-phase primal simplex from the all-slack basis.
+func (p *Problem) solveCold(opts Options) *Solution {
 	nStruct := len(p.obj)
 	m := len(p.rel)
 	s := simplexPool.Get().(*simplex)
@@ -313,6 +349,7 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	}
 
 	// Phase 1: minimize the sum of artificials (skipped when none).
+	p1 := 0
 	if s.nArt > 0 {
 		s.phase1 = growFloats(s.phase1, s.n)
 		phase1 := s.phase1
@@ -323,16 +360,20 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 		st := s.iterate(phase1)
 		if st == StatusIterLimit {
 			iters := s.iters
+			cPhase1Iters.Add(int64(iters))
 			opts.Warm.invalidate()
 			s.release()
-			return &Solution{Status: StatusIterLimit, Iters: iters}, nil
+			return &Solution{Status: StatusIterLimit, Iters: iters}
 		}
 		if s.objective(phase1) > s.opts.Tol*(1+norm1(s.b)) {
 			iters := s.iters
+			cPhase1Iters.Add(int64(iters))
 			opts.Warm.invalidate()
 			s.release()
-			return &Solution{Status: StatusInfeasible, Iters: iters}, nil
+			return &Solution{Status: StatusInfeasible, Iters: iters}
 		}
+		p1 = s.iters
+		cPhase1Iters.Add(int64(p1))
 		// Lock artificials at zero so phase 2 cannot reuse them.
 		for j := s.artStart; j < s.n; j++ {
 			s.up[j] = 0
@@ -344,12 +385,13 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 
 	// Phase 2.
 	st := s.iterate(s.cost)
+	cPhase2Iters.Add(int64(s.iters - p1))
 	switch st {
 	case StatusIterLimit, StatusUnbounded:
 		iters := s.iters
 		opts.Warm.invalidate()
 		s.release()
-		return &Solution{Status: st, Iters: iters}, nil
+		return &Solution{Status: st, Iters: iters}
 	}
 
 	s.refreshXB()
@@ -361,7 +403,7 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	} else {
 		s.release()
 	}
-	return sol, nil
+	return sol
 }
 
 // extract decodes the optimal working basis into a Solution: structural
@@ -607,6 +649,18 @@ func (s *simplex) iterate(cost []float64) Status {
 	degenerate := 0
 	bland := false
 
+	// Pivot/flip tallies stay in locals through the hot loop and flush to
+	// the atomic counters once per iterate call.
+	pivots, flips := 0, 0
+	defer func() {
+		if pivots != 0 {
+			cPivots.Add(int64(pivots))
+		}
+		if flips != 0 {
+			cBoundFlips.Add(int64(flips))
+		}
+	}()
+
 	y, w := s.y, s.w
 	colPtr, rowIdx, vals := s.colPtr, s.rowIdx, s.vals
 	state, up := s.state, s.up
@@ -790,9 +844,11 @@ func (s *simplex) iterate(cost []float64) Status {
 			} else {
 				state[enter] = atLower
 			}
+			flips++
 			continue
 		}
 		dValid = false
+		pivots++
 
 		// Pivot: basic[leave] exits, enter becomes basic.
 		exit := s.basic[leave]

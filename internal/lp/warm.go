@@ -87,22 +87,63 @@ const (
 	dualStalled           // iteration cap or numerical trouble: fall back cold
 )
 
+// warmOutcome classifies how a solve interacted with the warm path;
+// it feeds the lp.warm.* counters and the "warm" span field.
+type warmOutcome int
+
+const (
+	// warmOff: Options.Warm was nil; the solve ran plain cold.
+	warmOff warmOutcome = iota
+	// warmEmpty: the handle held no basis (first solve); the cold path
+	// ran and captured one. Not counted as a warm attempt.
+	warmEmpty
+	// warmHit: the retained basis was repaired to a final status.
+	warmHit
+	// warmStale: the Problem's matrix or shape changed since capture.
+	warmStale
+	// warmInfeasibleBasis: status snaps after bound deltas broke dual
+	// feasibility, so the basis could not seed a dual repair.
+	warmInfeasibleBasis
+	// warmStall: the repair ran but gave up — dual iteration cap,
+	// tiny pivot, failed feasibility recheck, cleanup iteration limit,
+	// or accumulated factorization drift.
+	warmStall
+)
+
+func (o warmOutcome) String() string {
+	switch o {
+	case warmOff:
+		return "off"
+	case warmEmpty:
+		return "capture"
+	case warmHit:
+		return "hit"
+	case warmStale:
+		return "stale"
+	case warmInfeasibleBasis:
+		return "infeasible-basis"
+	case warmStall:
+		return "stall"
+	}
+	return "unknown"
+}
+
 // solveWarm attempts to solve p from the retained basis in opts.Warm.
-// It returns nil whenever the cold path must take over: stale basis
-// (matrix or dimensions changed), a basis that is neither primal nor
-// dual feasible after the deltas, a stalled repair, or a failed
-// accuracy check. On success the returned Solution is status- and
-// objective-identical to what the cold solve would produce (the optimal
-// vertex may differ under degeneracy).
-func (p *Problem) solveWarm(opts Options) *Solution {
+// It returns a nil Solution whenever the cold path must take over:
+// stale basis (matrix or dimensions changed), a basis that is neither
+// primal nor dual feasible after the deltas, a stalled repair, or a
+// failed accuracy check — the outcome says which. On success the
+// returned Solution is status- and objective-identical to what the cold
+// solve would produce (the optimal vertex may differ under degeneracy).
+func (p *Problem) solveWarm(opts Options) (*Solution, warmOutcome) {
 	w := opts.Warm
 	if !w.Valid() {
-		return nil
+		return nil, warmEmpty
 	}
 	nStruct := len(p.obj)
 	mat := p.matrixCSC()
 	if mat != w.matrix || nStruct != w.nStruct || len(p.rel) != w.m {
-		return nil
+		return nil, warmStale
 	}
 	s := w.sx
 	s.opts = opts.withDefaults(s.m, nStruct)
@@ -146,21 +187,21 @@ func (p *Problem) solveWarm(opts Options) *Solution {
 		// the basis is useless — repair primal feasibility with dual
 		// simplex, or hand over to the cold path.
 		if !s.dualFeasible() {
-			return nil
+			return nil, warmInfeasibleBasis
 		}
 		switch s.dualIterate() {
 		case dualInfeasible:
 			// The basis itself is still dual feasible and reusable once
 			// the caller relaxes the offending bounds again.
-			return &Solution{Status: StatusInfeasible, Iters: s.iters, Warm: true, Basis: w}
+			return &Solution{Status: StatusInfeasible, Iters: s.iters, Warm: true, Basis: w}, warmHit
 		case dualStalled:
 			w.invalidate()
-			return nil
+			return nil, warmStall
 		}
 		s.refreshXB()
 		if !s.primalFeasible() {
 			w.invalidate()
-			return nil
+			return nil, warmStall
 		}
 	}
 
@@ -171,23 +212,23 @@ func (p *Problem) solveWarm(opts Options) *Solution {
 	case StatusIterLimit:
 		// Give the cold path its own full iteration budget.
 		w.invalidate()
-		return nil
+		return nil, warmStall
 	case StatusUnbounded:
 		w.invalidate()
-		return &Solution{Status: StatusUnbounded, Iters: s.iters, Warm: true}
+		return &Solution{Status: StatusUnbounded, Iters: s.iters, Warm: true}, warmHit
 	}
 
 	s.refreshXB()
 	if !s.residualOK() {
 		// Accumulated factorization drift: refactorize via a cold solve.
 		w.invalidate()
-		return nil
+		return nil, warmStall
 	}
 	sol := p.extract(s, sign, shiftObj)
 	sol.Warm = true
 	sol.Basis = w
 	sol.Degenerate = s.degenerateOptimum()
-	return sol
+	return sol, warmHit
 }
 
 // degenerateOptimum reports whether the current optimal basis admits an
@@ -296,6 +337,14 @@ func (s *simplex) dualIterate() int {
 	state, up := s.state, s.up
 	degenerate := 0
 	bland := false
+
+	// Dual pivots tally locally and flush once per repair.
+	pivots := 0
+	defer func() {
+		if pivots != 0 {
+			cPivots.Add(int64(pivots))
+		}
+	}()
 
 	// Entering candidates: movable nonbasic columns, ascending.
 	cands := make([]int32, 0, s.n)
@@ -440,6 +489,7 @@ func (s *simplex) dualIterate() int {
 			cands = insertSorted(cands, int32(exit))
 		}
 		s.pivotBinv(leave, w)
+		pivots++
 	}
 	return dualStalled
 }

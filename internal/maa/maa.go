@@ -13,8 +13,10 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"metis/internal/lp"
+	"metis/internal/obs"
 	"metis/internal/sched"
 	"metis/internal/spm"
 	"metis/internal/stats"
@@ -110,6 +112,10 @@ func Solve(inst *sched.Instance, opts Options) (*Result, error) {
 	}
 	if opts.RNG == nil && opts.Uniforms == nil {
 		return nil, errors.New("maa: options require an RNG (or pre-drawn Uniforms)")
+	}
+	var t0 time.Time
+	if opts.LP.Tracer != nil {
+		t0 = time.Now()
 	}
 	rounds := opts.Rounds
 	if rounds <= 0 {
@@ -210,6 +216,20 @@ func Solve(inst *sched.Instance, opts Options) (*Result, error) {
 		}
 	}
 	best := results[bestIdx]
+	cSolves.Inc()
+	cRoundings.Add(int64(rounds))
+	if rel.Cost > 0 {
+		gCeilInflate.Set(best.cost / rel.Cost)
+	}
+	if opts.LP.Tracer != nil {
+		obs.Span(opts.LP.Tracer, "maa.solve", t0, obs.Fields{
+			"k":              k,
+			"rounds":         rounds,
+			"cost":           best.cost,
+			"relaxed_cost":   rel.Cost,
+			"relaxed_reused": opts.Relaxed != nil,
+		})
+	}
 	return &Result{
 		Schedule: best.s,
 		Charged:  best.s.ChargedBandwidth(),
@@ -235,6 +255,7 @@ func roundWith(inst *sched.Instance, rel *spm.RelaxedRL, uniforms []float64) (*s
 			// The relaxation serves every request, so a vanishing row
 			// is numerical noise; fall back to the cheapest path.
 			j = 0
+			cFallbackRows.Inc()
 		}
 		if err := s.Assign(i, j); err != nil {
 			return nil, err
@@ -257,6 +278,7 @@ func Round(inst *sched.Instance, rel *spm.RelaxedRL, rng *stats.RNG) (*sched.Sch
 			// The relaxation serves every request, so a vanishing row
 			// is numerical noise; fall back to the cheapest path.
 			j = 0
+			cFallbackRows.Inc()
 		}
 		if err := s.Assign(i, j); err != nil {
 			return nil, err

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"metis/internal/lp"
+	"metis/internal/obs"
 )
 
 // Status is the outcome of a MIP solve.
@@ -109,6 +110,29 @@ type Solution struct {
 // built; it is needed to orient pruning. Solve mutates prob's variable
 // bounds during the search and restores them before returning.
 func Solve(prob *lp.Problem, sense lp.Sense, integerCols []int, opts Options) (*Solution, error) {
+	var t0 time.Time
+	if opts.LP.Tracer != nil {
+		t0 = time.Now()
+	}
+	sol, err := solveBB(prob, sense, integerCols, opts)
+	if err != nil {
+		return nil, err
+	}
+	cSolves.Inc()
+	cNodes.Add(int64(sol.Nodes))
+	gLastGap.Set(sol.Gap)
+	if opts.LP.Tracer != nil {
+		obs.Span(opts.LP.Tracer, "mip.solve", t0, obs.Fields{
+			"status": sol.Status.String(),
+			"nodes":  sol.Nodes,
+			"gap":    sol.Gap,
+		})
+	}
+	return sol, nil
+}
+
+// solveBB is the uninstrumented branch & bound search behind Solve.
+func solveBB(prob *lp.Problem, sense lp.Sense, integerCols []int, opts Options) (*Solution, error) {
 	o := opts.withDefaults()
 	o.LP.Warm = nil // Solve manages warm-start handles per node
 	for _, j := range integerCols {
@@ -165,6 +189,9 @@ func Solve(prob *lp.Problem, sense lp.Sense, integerCols []int, opts Options) (*
 		s.bestObj = prob.ObjectiveValue(o.WarmStart)
 	}
 	s.branch(root, rootBasis)
+	cIncumbents.Add(int64(s.incumbents))
+	cPruneBound.Add(int64(s.pruneBound))
+	cPruneInfeas.Add(int64(s.pruneInfeas))
 
 	sol := &Solution{
 		Bound: s.rootBound,
@@ -202,6 +229,11 @@ type searcher struct {
 	bestX     []float64
 	nodes     int
 	limited   bool
+
+	// instrumentation tallies, flushed to obs counters after the search.
+	incumbents  int
+	pruneBound  int
+	pruneInfeas int
 }
 
 // better reports whether a beats b in the problem's sense.
@@ -229,6 +261,7 @@ func (s *searcher) branch(rel *lp.Solution, basis *lp.Basis) {
 	if s.bestX != nil {
 		improves := s.better(rel.Objective, s.bestObj)
 		if !improves {
+			s.pruneBound++
 			return
 		}
 	}
@@ -246,6 +279,7 @@ func (s *searcher) branch(rel *lp.Solution, basis *lp.Basis) {
 	if frac == -1 {
 		// Integer feasible: candidate incumbent.
 		if s.bestX == nil || s.better(rel.Objective, s.bestObj) {
+			s.incumbents++
 			s.bestObj = rel.Objective
 			s.bestX = append([]float64(nil), rel.X...)
 			// Snap near-integers exactly.
@@ -289,6 +323,8 @@ func (s *searcher) branch(rel *lp.Solution, basis *lp.Basis) {
 			s.branch(child, childBasis)
 		} else if solveErr == nil && child.Status == lp.StatusIterLimit {
 			s.limited = true
+		} else if solveErr == nil && child.Status == lp.StatusInfeasible {
+			s.pruneInfeas++
 		}
 		if err := s.prob.SetBounds(frac, lo, hi); err != nil {
 			// Restoring previously valid bounds cannot fail.

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// publishOnce guards the expvar registration: expvar.Publish panics on
+// duplicate names, and tests may start several metrics servers.
+var publishOnce sync.Once
+
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("metis", expvar.Func(func() any { return Snapshot() }))
+	})
+}
+
+// MetricsServer is a live metrics endpoint started by ServeMetrics.
+type MetricsServer struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ServeMetrics starts an HTTP server on addr exposing
+//
+//	/metrics        Prometheus text exposition of the obs registry
+//	/debug/vars     expvar (includes the registry under "metis")
+//	/debug/pprof/   the standard pprof handlers
+//
+// It returns as soon as the listener is bound; the server runs until
+// Close. Handler errors are ignored — metrics must never take the
+// solver down.
+func ServeMetrics(addr string) (*MetricsServer, error) {
+	publishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ms := &MetricsServer{Addr: ln.Addr().String(), srv: srv, ln: ln}
+	go func() { _ = srv.Serve(ln) }()
+	return ms, nil
+}
+
+// Close shuts the server down immediately.
+func (s *MetricsServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Fields carries the structured payload of a trace record. Values must
+// be JSON-encodable; keep them to strings, numbers and bools.
+type Fields map[string]any
+
+// Record is one structured trace record: a point-in-time event or a
+// span with a duration.
+type Record struct {
+	// Kind is "span" or "event".
+	Kind string
+	// Name identifies the record type, e.g. "lp.solve", "metis.round".
+	Name string
+	// Start is the wall-clock start of the span (or the instant of an
+	// event).
+	Start time.Time
+	// Dur is the span duration (zero for events).
+	Dur time.Duration
+	// Fields is the structured payload.
+	Fields Fields
+}
+
+// Tracer is the trace sink threaded through the solver stages. A nil
+// Tracer means tracing is off; every call site checks for nil before
+// doing any work (including the time.Now() that would feed a span), so
+// the disabled path carries no instrumentation cost.
+//
+// Emit may be called concurrently.
+type Tracer interface {
+	Emit(r Record)
+}
+
+// Event emits a point-in-time record. It is a no-op on a nil tracer.
+func Event(tr Tracer, name string, fields Fields) {
+	if tr == nil {
+		return
+	}
+	tr.Emit(Record{Kind: "event", Name: name, Start: time.Now(), Fields: fields})
+}
+
+// Span emits a duration record covering start..now. It is a no-op on a
+// nil tracer; callers gate their own time.Now() for start behind a nil
+// check so the disabled path never reads the clock.
+func Span(tr Tracer, name string, start time.Time, fields Fields) {
+	if tr == nil {
+		return
+	}
+	tr.Emit(Record{Kind: "span", Name: name, Start: start, Dur: time.Since(start), Fields: fields})
+}
+
+// WireRecord is the JSONL wire form of a Record: timestamps become
+// microseconds relative to the tracer's epoch so traces are compact,
+// sortable, and machine-diffable.
+type WireRecord struct {
+	TUS    int64          `json:"t_us"`
+	Kind   string         `json:"kind"`
+	Name   string         `json:"name"`
+	DurUS  int64          `json:"dur_us,omitempty"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Field returns the named field, or nil.
+func (r *WireRecord) Field(name string) any {
+	if r.Fields == nil {
+		return nil
+	}
+	return r.Fields[name]
+}
+
+// FieldFloat returns the named field as a float64 (JSON numbers decode
+// to float64), or 0 when absent or non-numeric.
+func (r *WireRecord) FieldFloat(name string) float64 {
+	v, _ := r.Field(name).(float64)
+	return v
+}
+
+// FieldString returns the named field as a string, or "".
+func (r *WireRecord) FieldString(name string) string {
+	v, _ := r.Field(name).(string)
+	return v
+}
+
+// JSONLTracer writes one JSON record per line to an io.Writer. It is
+// safe for concurrent use; output is buffered, so callers must Close
+// (or at least Flush) before reading the destination.
+type JSONLTracer struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	w     io.Writer
+	enc   *json.Encoder
+	epoch time.Time
+	err   error
+}
+
+// NewJSONLTracer returns a tracer writing JSONL to w. The tracer's
+// epoch (the zero of every record's t_us) is the moment of creation.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &JSONLTracer{bw: bw, w: w, enc: json.NewEncoder(bw), epoch: time.Now()}
+}
+
+// Emit encodes the record as one JSON line. Encoding errors are sticky
+// and reported by Close.
+func (t *JSONLTracer) Emit(r Record) {
+	wire := WireRecord{
+		TUS:    r.Start.Sub(t.epoch).Microseconds(),
+		Kind:   r.Kind,
+		Name:   r.Name,
+		DurUS:  r.Dur.Microseconds(),
+		Fields: r.Fields,
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	// json.Encoder.Encode terminates each record with '\n'.
+	t.err = t.enc.Encode(wire)
+}
+
+// Flush writes buffered records through to the destination.
+func (t *JSONLTracer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	t.err = t.bw.Flush()
+	return t.err
+}
+
+// Close flushes and, when the destination is an io.Closer, closes it.
+// It returns the first error seen over the tracer's lifetime.
+func (t *JSONLTracer) Close() error {
+	ferr := t.Flush()
+	if c, ok := t.w.(io.Closer); ok {
+		if cerr := c.Close(); ferr == nil {
+			ferr = cerr
+		}
+	}
+	return ferr
+}
+
+// ReadTrace decodes a JSONL trace stream into wire records. Blank lines
+// are skipped; a malformed line fails with its line number.
+func ReadTrace(r io.Reader) ([]WireRecord, error) {
+	var out []WireRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec WireRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read trace: %w", err)
+	}
+	return out, nil
+}

@@ -27,6 +27,10 @@ type Result struct {
 	Proven bool
 	// Gap is the relative optimality gap when Proven is false.
 	Gap float64
+	// Nodes is the number of branch & bound nodes explored.
+	Nodes int
+	// Status is the branch & bound outcome ("optimal", "feasible", ...).
+	Status string
 	// Elapsed is the solver wall time.
 	Elapsed time.Duration
 }
@@ -84,6 +88,8 @@ func wrap(res *spm.ExactResult, start time.Time) *Result {
 		Accepted: s.NumAccepted(),
 		Proven:   res.Proven,
 		Gap:      res.Gap,
+		Nodes:    res.Nodes,
+		Status:   res.Status.String(),
 		Elapsed:  time.Since(start),
 	}
 }

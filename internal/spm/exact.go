@@ -57,6 +57,8 @@ type ExactResult struct {
 	Gap float64
 	// Nodes is the number of branch & bound nodes explored.
 	Nodes int
+	// Status is the underlying branch & bound outcome.
+	Status mip.Status
 }
 
 // SolveExactSPM solves the full SPM MILP — the paper's OPT(SPM)
@@ -116,6 +118,7 @@ func SolveExactSPM(inst *sched.Instance, opts ExactOptions) (*ExactResult, error
 			Proven:    false,
 			Gap:       math.Abs(sol.Bound),
 			Nodes:     sol.Nodes,
+			Status:    sol.Status,
 		}, nil
 	}
 	return decodeExact(inst, xCols, sol, "OPT(SPM)")
@@ -229,6 +232,7 @@ func SolveExactBL(inst *sched.Instance, caps []int, opts ExactOptions) (*ExactRe
 			Schedule: sched.NewSchedule(inst),
 			Gap:      math.Abs(sol.Bound),
 			Nodes:    sol.Nodes,
+			Status:   sol.Status,
 		}, nil
 	}
 	return decodeExact(inst, xCols, sol, "OPT(BL-SPM)")
@@ -266,5 +270,6 @@ func decodeExact(inst *sched.Instance, xCols [][]int, sol *mip.Solution, what st
 		Proven:    sol.Status == mip.StatusOptimal,
 		Gap:       sol.Gap,
 		Nodes:     sol.Nodes,
+		Status:    sol.Status,
 	}, nil
 }

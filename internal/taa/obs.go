@@ -1,0 +1,12 @@
+package taa
+
+import "metis/internal/obs"
+
+// TAA counters, incremented once per SolveVar.
+var (
+	cSolves    = obs.NewCounter("taa.solves", "completed TAA solves")
+	cWalkSteps = obs.NewCounter("taa.walk_steps", "estimator decision-tree levels walked (one per request on the estimator path)")
+	cMuFloor   = obs.NewCounter("taa.mu_floor_fallbacks", "solves that skipped the estimator because µ fell below the floor")
+	cAccepted  = obs.NewCounter("taa.accepted", "requests accepted across solves")
+	cDeclined  = obs.NewCounter("taa.declined", "requests declined across solves")
+)

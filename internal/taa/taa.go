@@ -17,9 +17,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"metis/internal/chernoff"
 	"metis/internal/lp"
+	"metis/internal/obs"
 	"metis/internal/sched"
 	"metis/internal/spm"
 )
@@ -88,6 +90,10 @@ func SolveVar(inst *sched.Instance, caps [][]float64, opts Options) (*Result, er
 	if inst.NumRequests() == 0 {
 		return &Result{Schedule: sched.NewSchedule(inst)}, nil
 	}
+	var t0 time.Time
+	if opts.LP.Tracer != nil {
+		t0 = time.Now()
+	}
 
 	rel := opts.Relaxed
 	if rel == nil {
@@ -119,7 +125,7 @@ func SolveVar(inst *sched.Instance, caps [][]float64, opts Options) (*Result, er
 	}
 	if minCap == 0 || rmax <= 0 {
 		// No capacity anywhere: decline everything.
-		return &Result{Schedule: sched.NewSchedule(inst), Relaxed: rel}, nil
+		return finishSolve(&Result{Schedule: sched.NewSchedule(inst), Relaxed: rel}, opts, t0, 0), nil
 	}
 
 	// With very small capacities relative to the largest rate,
@@ -133,7 +139,8 @@ func SolveVar(inst *sched.Instance, caps [][]float64, opts Options) (*Result, er
 		if ferr := feasibleUnderVar(s, caps); ferr != nil {
 			return nil, fmt.Errorf("taa: internal: produced infeasible schedule: %w", ferr)
 		}
-		return &Result{Schedule: s, Revenue: s.Revenue(), Relaxed: rel}, nil
+		cMuFloor.Inc()
+		return finishSolve(&Result{Schedule: s, Revenue: s.Revenue(), Relaxed: rel}, opts, t0, 0), nil
 	}
 	est, err := chernoff.NewEstimator(inst, caps, rel.X, mu)
 	if err != nil {
@@ -201,13 +208,36 @@ func SolveVar(inst *sched.Instance, caps [][]float64, opts Options) (*Result, er
 		// loudly here protects the invariant.
 		return nil, fmt.Errorf("taa: internal: produced infeasible schedule: %w", err)
 	}
-	return &Result{
+	return finishSolve(&Result{
 		Schedule:      s,
 		Revenue:       s.Revenue(),
 		Mu:            mu,
 		RevenueTarget: est.IBValue(),
 		Relaxed:       rel,
-	}, nil
+	}, opts, t0, len(order)), nil
+}
+
+// finishSolve flushes the per-solve counters and emits the "taa.solve"
+// span; walkSteps is the number of estimator tree levels walked (zero on
+// the greedy and no-capacity paths).
+func finishSolve(res *Result, opts Options, t0 time.Time, walkSteps int) *Result {
+	cSolves.Inc()
+	if walkSteps > 0 {
+		cWalkSteps.Add(int64(walkSteps))
+	}
+	k := res.Schedule.Instance().NumRequests()
+	accepted := res.Schedule.NumAccepted()
+	cAccepted.Add(int64(accepted))
+	cDeclined.Add(int64(k - accepted))
+	if opts.LP.Tracer != nil {
+		obs.Span(opts.LP.Tracer, "taa.solve", t0, obs.Fields{
+			"k":        k,
+			"accepted": accepted,
+			"revenue":  res.Revenue,
+			"mu":       res.Mu,
+		})
+	}
+	return res
 }
 
 // ErrNilInstance reports a nil instance.
