@@ -9,13 +9,20 @@
 //	metis -in scenario.json -theta 12 -maa-rounds 3
 //	metis -in scenario.json -trace trace.jsonl      # see cmd/metistrace
 //	metis -in scenario.json -metrics-addr :9090     # live /metrics + pprof
+//	metis -in scenario.json -deadline 2s            # budgeted solve; degrades to the best incumbent
+//
+// Ctrl-C cancels the solve at its next checkpoint: the best schedule
+// found so far is still written (marked "degraded" in the JSON) and the
+// trace file is flushed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"metis"
 	"metis/internal/obs"
@@ -39,6 +46,7 @@ func run(args []string) (err error) {
 		seed        = fs.Int64("seed", 1, "randomized-rounding seed")
 		traceOut    = fs.String("trace", "", "write a JSONL trace of the solve to this file (summarize with cmd/metistrace)")
 		metricsAddr = fs.String("metrics-addr", "", "serve live metrics on this address: /metrics (Prometheus), /debug/vars, /debug/pprof")
+		deadline    = fs.Duration("deadline", 0, "wall-time budget for the solve (0 = unbounded); on expiry the best incumbent is written, marked degraded")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,7 +93,17 @@ func run(args []string) (err error) {
 		return err
 	}
 
-	res, err := metis.Solve(inst, metis.Config{
+	// Ctrl-C (and -deadline) cancel the solve through the context; the
+	// decision and trace writers below still run on a degraded result.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
+	res, err := metis.SolveCtx(ctx, inst, metis.Config{
 		Theta:     *theta,
 		TauStep:   *tauStep,
 		MAARounds: *maaRounds,
@@ -107,6 +125,9 @@ func run(args []string) (err error) {
 	}
 	if err := metis.WriteDecision(out, metis.NewDecision(res)); err != nil {
 		return err
+	}
+	if res.Degraded {
+		fmt.Fprintf(os.Stderr, "metis: degraded after %d round(s): %v\n", len(res.Rounds), res.Cause)
 	}
 	fmt.Fprintf(os.Stderr, "metis: profit=%.3f revenue=%.3f cost=%.3f accepted=%d/%d in %v\n",
 		res.Profit, res.Revenue, res.Cost, res.Schedule.NumAccepted(), inst.NumRequests(), res.Elapsed)

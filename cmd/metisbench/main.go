@@ -14,21 +14,31 @@
 //	metisbench -fig fig5 -cpuprofile cpu.out -memprofile mem.out
 //	metisbench -fig fig5 -trace trace.jsonl      # structured solve trace (see cmd/metistrace)
 //	metisbench -fig all -metrics-addr :9090      # live /metrics, /debug/vars, /debug/pprof
+//	metisbench -fig fig5 -deadline 2s            # per-point budget; Metis degrades to its incumbent
+//	metisbench -fig fig5 -fault lp.solve:sleep:100:1ms   # deterministic fault injection (testing)
+//
+// Ctrl-C cancels the run through the same context plumbing: in-flight
+// solves stop at their next checkpoint and the deferred trace / JSON
+// writers still flush whatever completed.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
 	"metis/internal/exp"
+	"metis/internal/fault"
 	"metis/internal/obs"
+	"metis/internal/solvectx"
 )
 
 func main() {
@@ -61,6 +71,10 @@ type jsonReport struct {
 	// Counters is the obs registry snapshot after the run (simplex
 	// iterations, warm-start hits/stalls, B&B nodes, ...).
 	Counters map[string]float64 `json:"counters"`
+	// Interrupted records why the run stopped early (context canceled /
+	// deadline exceeded); the document then holds every experiment that
+	// completed before the interruption. Empty on a full run.
+	Interrupted string `json:"interrupted,omitempty"`
 }
 
 func run(args []string) (err error) {
@@ -80,6 +94,8 @@ func run(args []string) (err error) {
 		memProf     = fs.String("memprofile", "", "write an allocation profile (after the run) to this file")
 		traceOut    = fs.String("trace", "", "write a JSONL trace of every solve to this file (summarize with cmd/metistrace)")
 		metricsAddr = fs.String("metrics-addr", "", "serve live metrics on this address: /metrics (Prometheus), /debug/vars, /debug/pprof")
+		deadline    = fs.Duration("deadline", 0, "wall-time budget per scenario point (0 = unbounded); over-budget Metis solves return their best incumbent")
+		faultSpec   = fs.String("fault", "", "arm a deterministic fault site, \"site:kind[:after[:every|sleep]]\" (e.g. core.round:cancel:3); for deadline/cancellation testing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +125,20 @@ func run(args []string) (err error) {
 	}
 	cfg.Parallel = *parallel
 	cfg.ColdLP = *warm == "off"
+	cfg.Deadline = *deadline
+
+	// Ctrl-C cancels every solve through the context plumbing; deferred
+	// writers below still flush whatever completed before the signal.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	cfg.Ctx = ctx
+
+	if *faultSpec != "" {
+		if err := fault.Parse(*faultSpec, stop); err != nil {
+			return err
+		}
+		defer fault.Reset()
+	}
 
 	// Profile files are created up front so a bad path fails the run
 	// immediately instead of silently after minutes of experiments; both
@@ -223,6 +253,13 @@ func runJSON(w io.Writer, figID, cfgName string, cfg exp.Config) error {
 		start := time.Now()
 		figs, err := exp.Run(id, cfg)
 		if err != nil {
+			// A cancellation (Ctrl-C) or per-point deadline on a stage
+			// without a degradation fallback stops the sweep; emit the
+			// document with everything that completed.
+			if solvectx.Is(err) {
+				report.Interrupted = err.Error()
+				break
+			}
 			return err
 		}
 		elapsed := time.Since(start)

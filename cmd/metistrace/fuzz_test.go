@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"metis/internal/obs"
+)
+
+// FuzzParseTrace throws arbitrary bytes at the JSONL trace reader and
+// at the full metistrace pipeline (parse → aggregate → render). Any
+// input may be rejected with an error, but nothing may panic — the
+// tool reads files produced by interrupted runs, so truncated and
+// corrupt lines are everyday input, not an edge case.
+func FuzzParseTrace(f *testing.F) {
+	// Seed corpus: a real-looking trace, assorted malformed lines, and
+	// adversarial JSON shapes (wrong types, deep noise, huge numbers).
+	f.Add([]byte(`{"kind":"span","name":"lp.solve","dur_ns":125000,"fields":{"status":"optimal","iters":42}}
+{"kind":"span","name":"core.round","dur_ns":900000,"fields":{"round":1,"profit":12.5}}
+{"kind":"counter","name":"lp.iters","value":42}`))
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"kind":"span"`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"kind":"span","name":123,"dur_ns":"fast"}`))
+	f.Add([]byte(`{"kind":"span","name":"lp.solve","dur_ns":-9223372036854775808}`))
+	f.Add([]byte(`{"fields":{"a":{"b":{"c":[1,2,{"d":null}]}}}}` + "\n" + `{"kind":"counter","value":1e308}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The reader itself must never panic on arbitrary bytes.
+		recs, err := obs.ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		_ = recs
+
+		// And neither may the full tool: write the bytes to a file and
+		// run the real pipeline in every output mode. run returning an
+		// error (bad JSON, empty trace) is fine.
+		path := filepath.Join(t.TempDir(), "trace.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_ = run([]string{"-in", path}, io.Discard)
+		_ = run([]string{"-in", path, "-csv", "-top", "3"}, io.Discard)
+	})
+}
+
+// TestRunRejectsEmptyTrace pins the non-panicking error contract the
+// fuzzer relies on for the degenerate empty input.
+func TestRunRejectsEmptyTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-in", path}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "empty trace") {
+		t.Fatalf("want \"empty trace\" error, got %v", err)
+	}
+}

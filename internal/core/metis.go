@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -22,10 +23,12 @@ import (
 	"sync"
 	"time"
 
+	"metis/internal/fault"
 	"metis/internal/lp"
 	"metis/internal/maa"
 	"metis/internal/obs"
 	"metis/internal/sched"
+	"metis/internal/solvectx"
 	"metis/internal/spm"
 	"metis/internal/stats"
 	"metis/internal/taa"
@@ -140,6 +143,15 @@ type Result struct {
 	Rounds []RoundStats
 	// Elapsed is the total wall time.
 	Elapsed time.Duration
+	// Degraded reports that the run's context expired mid-solve and the
+	// alternation stopped early: Schedule is the SP Updater's best
+	// incumbent at that point (always a feasible schedule — at worst the
+	// greedy seed), not the full-θ result.
+	Degraded bool
+	// Cause is the typed reason a degraded run stopped (matches
+	// solvectx.ErrCanceled or solvectx.ErrDeadline via errors.Is). Nil
+	// when Degraded is false.
+	Cause error
 }
 
 // ErrNoRequests is returned for an empty instance.
@@ -147,9 +159,38 @@ var ErrNoRequests = errors.New("core: instance has no requests")
 
 // Solve runs Metis on inst.
 func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
+	return SolveCtx(nil, inst, cfg)
+}
+
+// SolveCtx runs Metis on inst under a context. A nil (or never-expiring)
+// ctx reproduces Solve bit for bit. When ctx expires:
+//
+//   - before any alternation work has started, SolveCtx returns a nil
+//     result and an error matching solvectx.ErrCanceled or
+//     solvectx.ErrDeadline;
+//   - mid-run, the alternation stops at the next checkpoint (between
+//     rounds, between stages, or inside a stage's LP at an iteration
+//     boundary) and SolveCtx returns the SP Updater's best schedule so
+//     far with Result.Degraded set and Result.Cause holding the typed
+//     reason — a degraded run is a successful solve with fewer rounds,
+//     not an error.
+//
+// The context is threaded into every stage beneath (unless LP.Ctx is
+// already set, which then wins), so a round blocked inside a large
+// simplex solve still stops within one iteration batch.
+func SolveCtx(ctx context.Context, inst *sched.Instance, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if inst.NumRequests() == 0 {
 		return nil, ErrNoRequests
+	}
+	// Thread the context into every stage: MAA, TAA and the incremental
+	// BL model all read cfg.LP.Ctx (the model captures it at build time).
+	if cfg.LP.Ctx == nil {
+		cfg.LP.Ctx = ctx
+	}
+	if err := solvectx.Err(cfg.LP.Ctx); err != nil {
+		cCanceled.Inc()
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	// Thread the run tracer into every stage beneath (LP, MAA, TAA all
 	// read it from the LP options); an explicitly set LP.Tracer wins.
@@ -210,9 +251,23 @@ func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
 		lastRel      *spm.RelaxedRL
 	)
 
+	// Degradation state: when the context expires mid-run, the loop
+	// breaks at the next checkpoint and the solve returns the best
+	// incumbent with Degraded set instead of an error.
+	var cause error
+
 	var rounds []RoundStats
 	stall := 0 // consecutive rounds in which TAA declined nothing
 	for round := 1; round <= cfg.Theta && len(accepted) > 0; round++ {
+		// Per-round checkpoint (and fault site): a budget that expires
+		// between rounds costs no partial round work.
+		if fault.Active() {
+			fault.Hit("core.round")
+		}
+		if err := solvectx.Err(cfg.LP.Ctx); err != nil {
+			cause = fmt.Errorf("core: round %d: %w", round, err)
+			break
+		}
 		roundStart := time.Now()
 		sub, err := inst.Subset(accepted)
 		if err != nil {
@@ -229,6 +284,10 @@ func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
 		}
 		maaRes, err := maa.Solve(sub, maaOpts)
 		if err != nil {
+			if solvectx.Is(err) {
+				cause = fmt.Errorf("core: round %d: %w", round, err)
+				break
+			}
 			return nil, fmt.Errorf("core: round %d: %w", round, err)
 		}
 		lastAccepted = append(lastAccepted[:0], accepted...)
@@ -236,6 +295,11 @@ func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
 		maaSched := liftSchedule(inst, accepted, maaRes.Schedule)
 		var maaProfit float64
 		maaProfit, loadsBuf = pruneUnprofitable(maaSched, loadsBuf)
+		if fault.Active() {
+			// Fault site: a poisoned profit must never displace the
+			// incumbent (NaN fails every > comparison below).
+			maaProfit = fault.NaN("core.profit", maaProfit)
+		}
 		if maaProfit > bestProfit {
 			best, bestProfit = maaSched, maaProfit
 		}
@@ -257,12 +321,20 @@ func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
 		if blModel != nil {
 			rel, err := blModel.SolveSubset(accepted, caps)
 			if err != nil {
+				if solvectx.Is(err) {
+					cause = fmt.Errorf("core: round %d: %w", round, err)
+					break
+				}
 				return nil, fmt.Errorf("core: round %d: %w", round, err)
 			}
 			taaOpts.Relaxed = rel
 		}
 		taaRes, err := taa.Solve(sub, caps, taaOpts)
 		if err != nil {
+			if solvectx.Is(err) {
+				cause = fmt.Errorf("core: round %d: %w", round, err)
+				break
+			}
 			return nil, fmt.Errorf("core: round %d: %w", round, err)
 		}
 		taaSched := liftSchedule(inst, accepted, taaRes.Schedule)
@@ -315,19 +387,27 @@ func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
 	}
 	cSolves.Inc()
 	cRounds.Add(int64(len(rounds)))
+	if cause != nil {
+		cDegraded.Inc()
+		gRoundsAtExpiry.Set(int64(len(rounds)))
+	}
 
 	// One loads pass backs Cost and Charged both (Revenue never looks
 	// at loads), instead of recomputing the matrix per accessor.
 	loadsBuf = best.LoadsInto(loadsBuf)
 	charged := sched.ChargedOf(loadsBuf)
 	if cfg.Tracer != nil {
-		obs.Span(cfg.Tracer, "metis.solve", start, obs.Fields{
+		fields := obs.Fields{
 			"k":        inst.NumRequests(),
 			"rounds":   len(rounds),
 			"accepted": best.NumAccepted(),
 			"profit":   bestProfit,
 			"warm_lp":  blModel != nil,
-		})
+		}
+		if cause != nil {
+			fields["degraded"] = true
+		}
+		obs.Span(cfg.Tracer, "metis.solve", start, fields)
 	}
 	return &Result{
 		Schedule: best,
@@ -337,6 +417,8 @@ func Solve(inst *sched.Instance, cfg Config) (*Result, error) {
 		Charged:  charged,
 		Rounds:   rounds,
 		Elapsed:  time.Since(start),
+		Degraded: cause != nil,
+		Cause:    cause,
 	}, nil
 }
 

@@ -8,3 +8,10 @@ var (
 	cRounds      = obs.NewCounter("core.rounds", "MAA/TAA alternation rounds executed")
 	cStallRounds = obs.NewCounter("core.stall_rounds", "rounds in which TAA declined nothing (shrink escalation active)")
 )
+
+// Deadline/cancellation outcomes of SolveCtx.
+var (
+	cCanceled       = obs.NewCounter("solve.canceled", "Metis solves rejected before any round (context already expired)")
+	cDegraded       = obs.NewCounter("solve.degraded", "Metis solves cut short mid-run, returning the SP Updater's best incumbent")
+	gRoundsAtExpiry = obs.NewGauge("solve.rounds_at_expiry", "alternation rounds completed when the last degraded solve's context expired")
+)

@@ -36,7 +36,9 @@ func AblationTheta(cfg Config) (*Figure, error) {
 		if err != nil {
 			return err
 		}
-		res, err := core.Solve(inst, core.Config{
+		ctx, cancel := cfg.pointCtx()
+		defer cancel()
+		res, err := core.SolveCtx(ctx, inst, core.Config{
 			Theta: thetas[p], TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
 			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP, Tracer: cfg.Tracer,
 		})
@@ -80,7 +82,9 @@ func AblationTau(cfg Config) (*Figure, error) {
 		if err != nil {
 			return err
 		}
-		res, err := core.Solve(inst, core.Config{
+		ctx, cancel := cfg.pointCtx()
+		defer cancel()
+		res, err := core.SolveCtx(ctx, inst, core.Config{
 			Theta: cfg.Theta, TauStep: rules[p].step, TauFrac: rules[p].frac, MAARounds: cfg.MAARounds,
 			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP, Tracer: cfg.Tracer,
 		})
@@ -115,7 +119,9 @@ func AblationPaths(cfg Config) (*Figure, error) {
 		if err != nil {
 			return err
 		}
-		res, err := core.Solve(inst, core.Config{
+		ctx, cancel := cfg.pointCtx()
+		defer cancel()
+		res, err := core.SolveCtx(ctx, inst, core.Config{
 			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
 			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP, Tracer: cfg.Tracer,
 		})
@@ -151,7 +157,9 @@ func AblationRounding(cfg Config) (*Figure, error) {
 		}
 		// Each point re-seeds its own RNG (that is the experiment:
 		// identical randomness, more rounds), so points are independent.
-		res, err := maa.Solve(inst, maa.Options{LP: cfg.LP, Rounds: sweep[p], RNG: stats.NewRNG(cfg.Seed)})
+		ctx, cancel := cfg.pointCtx()
+		defer cancel()
+		res, err := maa.Solve(inst, maa.Options{LP: cfg.LP, Rounds: sweep[p], RNG: stats.NewRNG(cfg.Seed), Ctx: ctx})
 		if err != nil {
 			return err
 		}

@@ -11,6 +11,7 @@
 package exp
 
 import (
+	"context"
 	"time"
 
 	"metis/internal/lp"
@@ -84,6 +85,37 @@ type Config struct {
 	// figure runs: exact-reference B&B node counts, statuses and gaps,
 	// and Metis per-round histories. Nil disables collection.
 	Stats *RunStats
+
+	// Ctx, when non-nil, makes the whole run cancellable (e.g. wired to
+	// SIGINT): every scenario point threads it into its solves, so a
+	// cancellation stops the sweep within one solver checkpoint. Metis
+	// points degrade to their best incumbent; stage-only points (pure
+	// MAA/TAA sweeps, exact references without a fallback) return an
+	// error matching solvectx.ErrCanceled.
+	Ctx context.Context
+	// Deadline, when positive, bounds each scenario point's wall time:
+	// every point gets a fresh context.WithTimeout(Ctx, Deadline), so an
+	// over-budget Metis solve returns its best incumbent (Degraded) and
+	// the sweep moves on. Zero leaves points unbounded.
+	Deadline time.Duration
+}
+
+// pointCtx returns the context for one scenario point and its cancel
+// function. With neither Ctx nor Deadline set it returns a nil context
+// and a no-op cancel, keeping every solve on the exact nil-ctx path
+// (bit-identical outputs).
+func (c Config) pointCtx() (context.Context, context.CancelFunc) {
+	if c.Deadline <= 0 {
+		if c.Ctx == nil {
+			return nil, func() {}
+		}
+		return c.Ctx, func() {}
+	}
+	parent := c.Ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	return context.WithTimeout(parent, c.Deadline)
 }
 
 // DefaultConfig returns paper-scale settings (a full run takes a few

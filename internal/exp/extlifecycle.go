@@ -76,7 +76,9 @@ func ExtensionResilience(cfg Config) (*Figure, error) {
 		if err != nil {
 			return err
 		}
-		metis, err := core.Solve(inst, core.Config{
+		ctx, cancel := cfg.pointCtx()
+		defer cancel()
+		metis, err := core.SolveCtx(ctx, inst, core.Config{
 			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
 			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP, Tracer: cfg.Tracer,
 		})

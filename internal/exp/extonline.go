@@ -44,25 +44,27 @@ func ExtensionOnline(cfg Config) (*Figure, error) {
 		if err != nil {
 			return err
 		}
-		planRes, err := maa.Solve(forecast, maa.Options{LP: cfg.LP, Rounds: cfg.MAARounds, RNG: stats.NewRNG(cfg.Seed)})
+		ctx, cancel := cfg.pointCtx()
+		defer cancel()
+		planRes, err := maa.Solve(forecast, maa.Options{LP: cfg.LP, Rounds: cfg.MAARounds, RNG: stats.NewRNG(cfg.Seed), Ctx: ctx})
 		if err != nil {
 			return err
 		}
 		plan := planRes.Charged
 
-		greedy, err := online.Simulate(inst, online.Greedy{})
+		greedy, err := online.SimulateCtx(ctx, inst, online.Greedy{})
 		if err != nil {
 			return err
 		}
-		ff, err := online.Simulate(inst, online.ProvisionedFirstFit{Plan: plan})
+		ff, err := online.SimulateCtx(ctx, inst, online.ProvisionedFirstFit{Plan: plan})
 		if err != nil {
 			return err
 		}
-		ta, err := online.Simulate(inst, online.ProvisionedTAA{Plan: plan})
+		ta, err := online.SimulateCtx(ctx, inst, online.ProvisionedTAA{Plan: plan})
 		if err != nil {
 			return err
 		}
-		offline, err := core.Solve(inst, core.Config{
+		offline, err := core.SolveCtx(ctx, inst, core.Config{
 			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
 			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP, Tracer: cfg.Tracer,
 		})

@@ -47,7 +47,9 @@ func Fig3(cfg Config) ([]*Figure, error) {
 		if err != nil {
 			return err
 		}
-		metis, err := core.Solve(inst, core.Config{
+		ctx, cancel := cfg.pointCtx()
+		defer cancel()
+		metis, err := core.SolveCtx(ctx, inst, core.Config{
 			Theta: cfg.Theta, TauStep: cfg.TauStep, MAARounds: cfg.MAARounds,
 			LP: cfg.LP, Seed: cfg.Seed, ColdLP: cfg.ColdLP, Tracer: cfg.Tracer,
 		})
@@ -57,11 +59,11 @@ func Fig3(cfg Config) ([]*Figure, error) {
 		// The OPT references are anytime incumbents under a wall-clock
 		// budget; under point-level parallelism they share the machine,
 		// exactly as the paper's concurrently-running Gurobi jobs did.
-		optSPM, err := opt.SPMWithWarm(inst, cfg.OptTimeLimit, metis.Schedule)
+		optSPM, err := opt.SPMWithWarmCtx(ctx, inst, cfg.OptTimeLimit, metis.Schedule)
 		if err != nil {
 			return err
 		}
-		optRL, err := opt.RLSPM(inst, cfg.OptTimeLimit)
+		optRL, err := opt.RLSPMCtx(ctx, inst, cfg.OptTimeLimit)
 		if err != nil {
 			return err
 		}

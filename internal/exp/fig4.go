@@ -44,7 +44,9 @@ func Fig4a(cfg Config) (*Figure, error) {
 		if err != nil {
 			return err
 		}
-		res, err := maa.Solve(inst, maa.Options{LP: cfg.LP, Rounds: cfg.MAARounds, Uniforms: blocks[p]})
+		ctx, cancel := cfg.pointCtx()
+		defer cancel()
+		res, err := maa.Solve(inst, maa.Options{LP: cfg.LP, Rounds: cfg.MAARounds, Uniforms: blocks[p], Ctx: ctx})
 		if err != nil {
 			return err
 		}
@@ -87,11 +89,17 @@ func Fig4b(cfg Config) (*Figure, error) {
 		if err != nil {
 			return err
 		}
-		rel, err := spm.SolveRLRelaxation(inst, cfg.LP)
+		ctx, cancel := cfg.pointCtx()
+		defer cancel()
+		lpOpts := cfg.LP
+		if lpOpts.Ctx == nil {
+			lpOpts.Ctx = ctx
+		}
+		rel, err := spm.SolveRLRelaxation(inst, lpOpts)
 		if err != nil {
 			return err
 		}
-		ref, err := opt.RLSPM(inst, cfg.OptTimeLimit)
+		ref, err := opt.RLSPMCtx(ctx, inst, cfg.OptTimeLimit)
 		if err != nil {
 			return err
 		}
@@ -142,7 +150,9 @@ func Fig4cd(cfg Config) ([]*Figure, error) {
 			return err
 		}
 		caps := inst.UniformCaps(cfg.UniformCapUnits)
-		ta, err := taa.Solve(inst, caps, taa.Options{LP: cfg.LP})
+		ctx, cancel := cfg.pointCtx()
+		defer cancel()
+		ta, err := taa.Solve(inst, caps, taa.Options{LP: cfg.LP, Ctx: ctx})
 		if err != nil {
 			return err
 		}

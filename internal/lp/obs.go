@@ -13,6 +13,7 @@ var (
 	cPivots      = obs.NewCounter("lp.pivots", "basis-changing pivots, primal and dual")
 	cBoundFlips  = obs.NewCounter("lp.bound_flips", "bound-flip iterations (entering variable crossed its range; no basis change)")
 	cIterLimit   = obs.NewCounter("lp.iterlimit", "solves that stopped at Options.MaxIters")
+	cCanceled    = obs.NewCounter("lp.canceled", "solves stopped by Options.Ctx cancellation or deadline")
 
 	cWarmAttempts  = obs.NewCounter("lp.warm.attempts", "warm solves attempted from a valid retained basis")
 	cWarmHits      = obs.NewCounter("lp.warm.hits", "warm solves completed by basis repair")
@@ -41,5 +42,9 @@ func countWarm(o warmOutcome) {
 		cWarmAttempts.Inc()
 		cWarmStalls.Inc()
 		cWarmFallbacks.Inc()
+	case warmCanceled:
+		// A canceled repair is an attempt that ends the solve; it neither
+		// hit nor fell back cold.
+		cWarmAttempts.Inc()
 	}
 }

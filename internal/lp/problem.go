@@ -42,6 +42,10 @@ const (
 	StatusInfeasible
 	StatusUnbounded
 	StatusIterLimit
+	// StatusCanceled reports that Options.Ctx was canceled (or its
+	// deadline passed) before the solve finished. The Solution carries no
+	// X; a warm-start Basis interrupted mid-repair stays usable.
+	StatusCanceled
 )
 
 // String returns the status name.
@@ -55,6 +59,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case StatusIterLimit:
 		return "iteration-limit"
+	case StatusCanceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("status(%d)", int(s))
 	}

@@ -1,11 +1,13 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"time"
 
+	"metis/internal/fault"
 	"metis/internal/obs"
 )
 
@@ -62,6 +64,11 @@ type Options struct {
 	// outcome. Nil (the default) disables tracing entirely — no clock
 	// reads, no allocations.
 	Tracer obs.Tracer
+	// Ctx, when non-nil, makes the solve cancellable: the simplex loops
+	// poll ctx.Err() every 256 iterations and stop with StatusCanceled
+	// when it fires. A nil Ctx (the default) skips the polls entirely, so
+	// existing call sites behave bit-identically.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -190,9 +197,20 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	if opts.Tracer != nil {
 		t0 = time.Now()
 	}
+	if fault.Active() {
+		fault.Hit("lp.solve")
+	}
 	outcome := warmOff
 	var sol *Solution
-	if opts.Warm != nil {
+	if opts.Ctx != nil && opts.Ctx.Err() != nil {
+		// Already canceled: return before touching the basis, so a warm
+		// handle survives for a retry.
+		sol = &Solution{Status: StatusCanceled, Basis: opts.Warm}
+		if opts.Warm != nil {
+			outcome = warmCanceled
+		}
+	}
+	if sol == nil && opts.Warm != nil {
 		sol, outcome = p.solveWarm(opts)
 		countWarm(outcome)
 		// On a nil sol — stale basis, broken dual feasibility, or a
@@ -206,6 +224,9 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	cIters.Add(int64(sol.Iters))
 	if sol.Status == StatusIterLimit {
 		cIterLimit.Inc()
+	}
+	if sol.Status == StatusCanceled {
+		cCanceled.Inc()
 	}
 	if opts.Tracer != nil {
 		obs.Span(opts.Tracer, "lp.solve", t0, obs.Fields{
@@ -358,12 +379,12 @@ func (p *Problem) solveCold(opts Options) *Solution {
 			phase1[j] = 1
 		}
 		st := s.iterate(phase1)
-		if st == StatusIterLimit {
+		if st == StatusIterLimit || st == StatusCanceled {
 			iters := s.iters
 			cPhase1Iters.Add(int64(iters))
 			opts.Warm.invalidate()
 			s.release()
-			return &Solution{Status: StatusIterLimit, Iters: iters}
+			return &Solution{Status: st, Iters: iters}
 		}
 		if s.objective(phase1) > s.opts.Tol*(1+norm1(s.b)) {
 			iters := s.iters
@@ -387,7 +408,7 @@ func (p *Problem) solveCold(opts Options) *Solution {
 	st := s.iterate(s.cost)
 	cPhase2Iters.Add(int64(s.iters - p1))
 	switch st {
-	case StatusIterLimit, StatusUnbounded:
+	case StatusIterLimit, StatusUnbounded, StatusCanceled:
 		iters := s.iters
 		opts.Warm.invalidate()
 		s.release()
@@ -688,8 +709,16 @@ func (s *simplex) iterate(cost []float64) Status {
 	s.dCache = growFloats(s.dCache, len(cands))
 	dCache := s.dCache
 	dValid := false
+	ctx := s.opts.Ctx
 
 	for ; s.iters < s.opts.MaxIters; s.iters++ {
+		// Cancellation poll, batched so the hot loop pays one mask-and-
+		// branch per iteration and a ctx.Err() call every 256th. The poll
+		// sits at the iteration boundary, before any pivot work, so a
+		// canceled return always leaves a consistent basis.
+		if ctx != nil && s.iters&255 == 0 && ctx.Err() != nil {
+			return StatusCanceled
+		}
 		if !dValid {
 			costRows = s.buildDuals(cost, y, costRows)
 		}

@@ -85,6 +85,7 @@ const (
 	dualDone       = iota // primal feasibility restored
 	dualInfeasible        // a row proves the primal problem infeasible
 	dualStalled           // iteration cap or numerical trouble: fall back cold
+	dualCanceled          // Options.Ctx fired mid-repair
 )
 
 // warmOutcome classifies how a solve interacted with the warm path;
@@ -108,6 +109,10 @@ const (
 	// tiny pivot, failed feasibility recheck, cleanup iteration limit,
 	// or accumulated factorization drift.
 	warmStall
+	// warmCanceled: Options.Ctx fired before or during the repair. The
+	// basis is left intact (feasibility is re-verified on the next warm
+	// attempt), so a retry after the cancel can still warm-start.
+	warmCanceled
 )
 
 func (o warmOutcome) String() string {
@@ -124,6 +129,8 @@ func (o warmOutcome) String() string {
 		return "infeasible-basis"
 	case warmStall:
 		return "stall"
+	case warmCanceled:
+		return "canceled"
 	}
 	return "unknown"
 }
@@ -197,6 +204,11 @@ func (p *Problem) solveWarm(opts Options) (*Solution, warmOutcome) {
 		case dualStalled:
 			w.invalidate()
 			return nil, warmStall
+		case dualCanceled:
+			// Stop here rather than falling back cold — the caller asked
+			// for the solve to end, not for a fresh one. The interrupted
+			// basis stays captured; the next warm attempt re-verifies it.
+			return &Solution{Status: StatusCanceled, Iters: s.iters, Warm: true, Basis: w}, warmCanceled
 		}
 		s.refreshXB()
 		if !s.primalFeasible() {
@@ -216,6 +228,8 @@ func (p *Problem) solveWarm(opts Options) (*Solution, warmOutcome) {
 	case StatusUnbounded:
 		w.invalidate()
 		return &Solution{Status: StatusUnbounded, Iters: s.iters, Warm: true}, warmHit
+	case StatusCanceled:
+		return &Solution{Status: StatusCanceled, Iters: s.iters, Warm: true, Basis: w}, warmCanceled
 	}
 
 	s.refreshXB()
@@ -354,8 +368,14 @@ func (s *simplex) dualIterate() int {
 		}
 	}
 	costRows := make([]int, 0, m)
+	ctx := s.opts.Ctx
 
 	for ; s.iters < s.opts.MaxIters; s.iters++ {
+		// Same batched cancellation poll as iterate: iteration boundary
+		// only, so the basis is always consistent on a canceled return.
+		if ctx != nil && s.iters&255 == 0 && ctx.Err() != nil {
+			return dualCanceled
+		}
 		// Leaving row: the basic variable farthest outside its bounds.
 		// viol is signed: negative below zero, positive above upper.
 		leave := -1

@@ -8,6 +8,7 @@
 package maa
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -15,9 +16,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"metis/internal/fault"
 	"metis/internal/lp"
 	"metis/internal/obs"
 	"metis/internal/sched"
+	"metis/internal/solvectx"
 	"metis/internal/spm"
 	"metis/internal/stats"
 )
@@ -52,6 +55,13 @@ type Options struct {
 	// the chosen schedule — and the RNG state left behind — are
 	// bit-identical for every Workers value.
 	Workers int
+	// Ctx, when non-nil, makes the call cancellable: it is threaded into
+	// the relaxation solve (unless LP.Ctx is already set) and checked
+	// between stages — before the LP, and before each randomized
+	// rounding. On expiry Solve returns an error matching
+	// solvectx.ErrCanceled/ErrDeadline. Nil preserves the old behavior
+	// exactly.
+	Ctx context.Context
 }
 
 // Result is MAA's output.
@@ -113,6 +123,16 @@ func Solve(inst *sched.Instance, opts Options) (*Result, error) {
 	if opts.RNG == nil && opts.Uniforms == nil {
 		return nil, errors.New("maa: options require an RNG (or pre-drawn Uniforms)")
 	}
+	if opts.LP.Ctx == nil {
+		opts.LP.Ctx = opts.Ctx
+	}
+	ctx := opts.LP.Ctx
+	if fault.Active() {
+		fault.Hit("maa.solve")
+	}
+	if err := solvectx.Err(ctx); err != nil {
+		return nil, fmt.Errorf("maa: %w", err)
+	}
 	var t0 time.Time
 	if opts.LP.Tracer != nil {
 		t0 = time.Now()
@@ -169,6 +189,12 @@ func Solve(inst *sched.Instance, opts Options) (*Result, error) {
 	}
 	results := make([]rounding, rounds)
 	evalRound := func(r int) {
+		// Per-rounding checkpoint: a multi-round MAA call stops between
+		// roundings once the ctx fires (on every worker).
+		if err := solvectx.Err(ctx); err != nil {
+			results[r] = rounding{err: fmt.Errorf("maa: %w", err)}
+			return
+		}
 		s, err := roundWith(inst, rel, uniforms[r*drawn:(r+1)*drawn])
 		if err != nil {
 			results[r] = rounding{err: err}

@@ -8,6 +8,7 @@
 package mip
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -78,6 +79,14 @@ type Options struct {
 	// flip, which typically takes a handful of pivots instead of a full
 	// two-phase solve.
 	ColdLP bool
+	// Ctx, when non-nil, makes the search cancellable: it is threaded
+	// into every node's LP solve (unless LP.Ctx is already set) and
+	// checked between nodes. On cancellation or ctx deadline the solve
+	// keeps its anytime contract — it returns the incumbent (WarmStart
+	// included) with Canceled set rather than an error. TimeLimit remains
+	// an independent wall-clock budget; whichever fires first stops the
+	// search.
+	Ctx context.Context
 	// now is injectable for tests.
 	now func() time.Time
 }
@@ -100,9 +109,13 @@ type Solution struct {
 	Status    Status
 	Objective float64   // incumbent objective (original sense)
 	X         []float64 // incumbent point
-	Bound     float64   // best proven bound on the optimum
-	Gap       float64   // |Objective−Bound| / max(1, |Objective|); 0 when optimal
+	Bound     float64   // best proven bound on the optimum (±Inf when none was proven)
+	Gap       float64   // |Objective−Bound| / max(1, |Objective|); 0 when optimal, +Inf when no bound
 	Nodes     int       // explored nodes
+	// Canceled reports that Options.Ctx stopped the search (as opposed to
+	// MaxNodes or TimeLimit). The Status still describes what the solve
+	// has: StatusFeasible with an incumbent, StatusLimit without.
+	Canceled bool
 }
 
 // Solve optimizes prob with the variables listed in integerCols
@@ -120,13 +133,24 @@ func Solve(prob *lp.Problem, sense lp.Sense, integerCols []int, opts Options) (*
 	}
 	cSolves.Inc()
 	cNodes.Add(int64(sol.Nodes))
-	gLastGap.Set(sol.Gap)
+	if sol.Canceled {
+		cCanceled.Inc()
+	}
+	// A boundless solve carries Gap = +Inf, which neither the gauge nor
+	// the JSON trace encoder can represent — leave the gauge at its last
+	// finite value and skip the span field.
+	if !math.IsInf(sol.Gap, 0) {
+		gLastGap.Set(sol.Gap)
+	}
 	if opts.LP.Tracer != nil {
-		obs.Span(opts.LP.Tracer, "mip.solve", t0, obs.Fields{
+		fields := obs.Fields{
 			"status": sol.Status.String(),
 			"nodes":  sol.Nodes,
-			"gap":    sol.Gap,
-		})
+		}
+		if !math.IsInf(sol.Gap, 0) {
+			fields["gap"] = sol.Gap
+		}
+		obs.Span(opts.LP.Tracer, "mip.solve", t0, fields)
 	}
 	return sol, nil
 }
@@ -135,10 +159,24 @@ func Solve(prob *lp.Problem, sense lp.Sense, integerCols []int, opts Options) (*
 func solveBB(prob *lp.Problem, sense lp.Sense, integerCols []int, opts Options) (*Solution, error) {
 	o := opts.withDefaults()
 	o.LP.Warm = nil // Solve manages warm-start handles per node
+	if o.LP.Ctx == nil {
+		o.LP.Ctx = o.Ctx
+	}
 	for _, j := range integerCols {
 		if j < 0 || j >= prob.NumVariables() {
 			return nil, fmt.Errorf("mip: integer column %d out of range", j)
 		}
+	}
+	// Validate the warm start before the root solve: it is the incumbent
+	// of last resort when the root LP itself is cut short.
+	var warmX []float64
+	warmObj := math.NaN()
+	if o.WarmStart != nil {
+		if len(o.WarmStart) != prob.NumVariables() {
+			return nil, fmt.Errorf("mip: warm start has %d values, want %d", len(o.WarmStart), prob.NumVariables())
+		}
+		warmX = append([]float64(nil), o.WarmStart...)
+		warmObj = prob.ObjectiveValue(o.WarmStart)
 	}
 	start := o.now()
 	deadline := time.Time{}
@@ -166,8 +204,23 @@ func solveBB(prob *lp.Problem, sense lp.Sense, integerCols []int, opts Options) 
 		return &Solution{Status: StatusInfeasible, Nodes: 1}, nil
 	case lp.StatusUnbounded:
 		return &Solution{Status: StatusUnbounded, Nodes: 1}, nil
-	case lp.StatusIterLimit:
-		return &Solution{Status: StatusLimit, Nodes: 1}, nil
+	case lp.StatusIterLimit, lp.StatusCanceled:
+		// The root relaxation never finished, so no bound was proven.
+		// Keep the anytime contract: fall back to the caller's warm start
+		// as the incumbent when one exists, with an unbounded gap.
+		sol := &Solution{Status: StatusLimit, Nodes: 1, Canceled: root.Status == lp.StatusCanceled}
+		if warmX != nil {
+			sol.Status = StatusFeasible
+			sol.Objective = warmObj
+			sol.X = warmX
+			if sense == lp.Maximize {
+				sol.Bound = math.Inf(1)
+			} else {
+				sol.Bound = math.Inf(-1)
+			}
+			sol.Gap = math.Inf(1)
+		}
+		return sol, nil
 	}
 
 	s := &searcher{
@@ -175,18 +228,15 @@ func solveBB(prob *lp.Problem, sense lp.Sense, integerCols []int, opts Options) 
 		sense:   sense,
 		intCols: integerCols,
 		opts:    o,
-		deadline: func() bool {
-			return !deadline.IsZero() && o.now().After(deadline)
+		stop: func() (bool, bool) {
+			if o.Ctx != nil && o.Ctx.Err() != nil {
+				return true, true
+			}
+			return !deadline.IsZero() && o.now().After(deadline), false
 		},
 		rootBound: root.Objective,
-		bestObj:   math.NaN(),
-	}
-	if o.WarmStart != nil {
-		if len(o.WarmStart) != prob.NumVariables() {
-			return nil, fmt.Errorf("mip: warm start has %d values, want %d", len(o.WarmStart), prob.NumVariables())
-		}
-		s.bestX = append([]float64(nil), o.WarmStart...)
-		s.bestObj = prob.ObjectiveValue(o.WarmStart)
+		bestObj:   warmObj,
+		bestX:     warmX,
 	}
 	s.branch(root, rootBasis)
 	cIncumbents.Add(int64(s.incumbents))
@@ -194,8 +244,9 @@ func solveBB(prob *lp.Problem, sense lp.Sense, integerCols []int, opts Options) 
 	cPruneInfeas.Add(int64(s.pruneInfeas))
 
 	sol := &Solution{
-		Bound: s.rootBound,
-		Nodes: s.nodes,
+		Bound:    s.rootBound,
+		Nodes:    s.nodes,
+		Canceled: s.canceled,
 	}
 	if s.bestX == nil {
 		if s.limited {
@@ -218,17 +269,20 @@ func solveBB(prob *lp.Problem, sense lp.Sense, integerCols []int, opts Options) 
 }
 
 type searcher struct {
-	prob     *lp.Problem
-	sense    lp.Sense
-	intCols  []int
-	opts     Options
-	deadline func() bool
+	prob    *lp.Problem
+	sense   lp.Sense
+	intCols []int
+	opts    Options
+	// stop reports (shouldStop, viaCtx): ctx cancellation first, then
+	// the wall-clock deadline.
+	stop func() (bool, bool)
 
 	rootBound float64
 	bestObj   float64
 	bestX     []float64
 	nodes     int
 	limited   bool
+	canceled  bool
 
 	// instrumentation tallies, flushed to obs counters after the search.
 	incumbents  int
@@ -252,8 +306,9 @@ func (s *searcher) better(a, b float64) bool {
 // bound flip away from the basis it repairs.
 func (s *searcher) branch(rel *lp.Solution, basis *lp.Basis) {
 	s.nodes++
-	if s.nodes >= s.opts.MaxNodes || s.deadline() {
+	if stopped, viaCtx := s.stop(); s.nodes >= s.opts.MaxNodes || stopped {
 		s.limited = true
+		s.canceled = s.canceled || viaCtx
 		return
 	}
 
@@ -323,6 +378,9 @@ func (s *searcher) branch(rel *lp.Solution, basis *lp.Basis) {
 			s.branch(child, childBasis)
 		} else if solveErr == nil && child.Status == lp.StatusIterLimit {
 			s.limited = true
+		} else if solveErr == nil && child.Status == lp.StatusCanceled {
+			s.limited = true
+			s.canceled = true
 		} else if solveErr == nil && child.Status == lp.StatusInfeasible {
 			s.pruneInfeas++
 		}

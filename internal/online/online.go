@@ -18,11 +18,13 @@
 package online
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"metis/internal/sched"
+	"metis/internal/solvectx"
 	"metis/internal/taa"
 )
 
@@ -32,7 +34,13 @@ type State struct {
 	purchased []int       // units bought so far, per link (monotone)
 	loads     [][]float64 // committed load per (link, slot)
 	schedule  *sched.Schedule
+	ctx       context.Context // nil outside SimulateCtx
 }
+
+// Context returns the simulation's context (nil when the run was not
+// started through SimulateCtx); policies that run solvers thread it in
+// so a mid-batch solve stops promptly too.
+func (st *State) Context() context.Context { return st.ctx }
 
 // Instance returns the underlying instance.
 func (st *State) Instance() *sched.Instance { return st.inst }
@@ -142,11 +150,22 @@ type Result struct {
 // Simulate feeds inst's requests to the policy slot by slot (a request
 // arrives at its start slot) and returns the final outcome.
 func Simulate(inst *sched.Instance, p Policy) (*Result, error) {
+	return SimulateCtx(nil, inst, p)
+}
+
+// SimulateCtx is Simulate under a context, checked before every slot's
+// decision batch (and threaded into policy-run solvers via
+// State.Context). A partial cycle has no meaningful profit accounting,
+// so an expiry aborts the simulation with an error matching
+// solvectx.ErrCanceled/ErrDeadline rather than degrading. A nil ctx
+// reproduces Simulate exactly.
+func SimulateCtx(ctx context.Context, inst *sched.Instance, p Policy) (*Result, error) {
 	st := &State{
 		inst:      inst,
 		purchased: make([]int, inst.Network().NumLinks()),
 		loads:     make([][]float64, inst.Network().NumLinks()),
 		schedule:  sched.NewSchedule(inst),
+		ctx:       ctx,
 	}
 	for e := range st.loads {
 		st.loads[e] = make([]float64, inst.Slots())
@@ -160,6 +179,9 @@ func Simulate(inst *sched.Instance, p Policy) (*Result, error) {
 
 	res := &Result{}
 	for t := 0; t < inst.Slots(); t++ {
+		if err := solvectx.Err(ctx); err != nil {
+			return nil, fmt.Errorf("online: %s: slot %d: %w", p.Name(), t, err)
+		}
 		acceptedBefore := st.schedule.NumAccepted()
 		if len(batches[t]) > 0 {
 			if err := p.DecideBatch(st, t, batches[t]); err != nil {
@@ -264,7 +286,7 @@ func (p ProvisionedTAA) DecideBatch(st *State, slot int, batch []int) error {
 	if err != nil {
 		return err
 	}
-	res, err := taa.SolveVar(sub, st.Residual(), taa.Options{})
+	res, err := taa.SolveVar(sub, st.Residual(), taa.Options{Ctx: st.ctx})
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@
 package opt
 
 import (
+	"context"
 	"time"
 
 	"metis/internal/core"
@@ -33,6 +34,10 @@ type Result struct {
 	Status string
 	// Elapsed is the solver wall time.
 	Elapsed time.Duration
+	// Canceled reports that the context cut the branch & bound search
+	// short; the incumbent is still the best schedule found (for SPM at
+	// worst the warm start or the empty schedule).
+	Canceled bool
 }
 
 // SPM computes OPT(SPM): the profit-maximal acceptance, routing and
@@ -41,11 +46,19 @@ type Result struct {
 // Metis incumbent, so a time-limited result is never worse than Metis —
 // matching Gurobi-style anytime behaviour.
 func SPM(inst *sched.Instance, timeLimit time.Duration) (*Result, error) {
+	return SPMCtx(nil, inst, timeLimit)
+}
+
+// SPMCtx is SPM under a context: a nil (or never-expiring) ctx matches
+// SPM exactly; an expired one stops the Metis warm-up and the branch &
+// bound search at their next checkpoints, keeping the anytime contract
+// (the incumbent so far, Canceled set).
+func SPMCtx(ctx context.Context, inst *sched.Instance, timeLimit time.Duration) (*Result, error) {
 	var warm *sched.Schedule
-	if m, err := core.Solve(inst, core.Config{Theta: 6, MAARounds: 3, Seed: 1}); err == nil {
+	if m, err := core.SolveCtx(ctx, inst, core.Config{Theta: 6, MAARounds: 3, Seed: 1}); err == nil {
 		warm = m.Schedule
 	}
-	return SPMWithWarm(inst, timeLimit, warm)
+	return SPMWithWarmCtx(ctx, inst, timeLimit, warm)
 }
 
 // SPMWithWarm is SPM with a caller-provided warm-start schedule (e.g.
@@ -53,8 +66,13 @@ func SPM(inst *sched.Instance, timeLimit time.Duration) (*Result, error) {
 // keeps the anytime OPT(SPM) line above the Metis line by
 // construction). A nil warm start is allowed.
 func SPMWithWarm(inst *sched.Instance, timeLimit time.Duration, warm *sched.Schedule) (*Result, error) {
+	return SPMWithWarmCtx(nil, inst, timeLimit, warm)
+}
+
+// SPMWithWarmCtx is SPMWithWarm under a context (see SPMCtx).
+func SPMWithWarmCtx(ctx context.Context, inst *sched.Instance, timeLimit time.Duration, warm *sched.Schedule) (*Result, error) {
 	start := time.Now()
-	res, err := spm.SolveExactSPM(inst, spm.ExactOptions{TimeLimit: timeLimit, Warm: warm})
+	res, err := spm.SolveExactSPM(inst, spm.ExactOptions{TimeLimit: timeLimit, Warm: warm, Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}
@@ -66,12 +84,20 @@ func SPMWithWarm(inst *sched.Instance, timeLimit time.Duration, warm *sched.Sche
 // warm-started with a best-of-several MAA rounding, so a time-limited
 // result is never worse than the MAA heuristic.
 func RLSPM(inst *sched.Instance, timeLimit time.Duration) (*Result, error) {
+	return RLSPMCtx(nil, inst, timeLimit)
+}
+
+// RLSPMCtx is RLSPM under a context. RL-SPM must serve every request,
+// so unlike SPMCtx there is no always-feasible fallback: with a warm
+// MAA incumbent an expiry degrades to it (Canceled set); without one
+// the call returns an error matching solvectx.ErrCanceled/ErrDeadline.
+func RLSPMCtx(ctx context.Context, inst *sched.Instance, timeLimit time.Duration) (*Result, error) {
 	start := time.Now()
 	var warm *sched.Schedule
-	if m, err := maa.Solve(inst, maa.Options{RNG: stats.NewRNG(1), Rounds: 20}); err == nil {
+	if m, err := maa.Solve(inst, maa.Options{RNG: stats.NewRNG(1), Rounds: 20, Ctx: ctx}); err == nil {
 		warm = m.Schedule
 	}
-	res, err := spm.SolveExactRL(inst, spm.ExactOptions{TimeLimit: timeLimit, Warm: warm})
+	res, err := spm.SolveExactRL(inst, spm.ExactOptions{TimeLimit: timeLimit, Warm: warm, Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}
@@ -91,5 +117,6 @@ func wrap(res *spm.ExactResult, start time.Time) *Result {
 		Nodes:    res.Nodes,
 		Status:   res.Status.String(),
 		Elapsed:  time.Since(start),
+		Canceled: res.Canceled,
 	}
 }

@@ -1,0 +1,54 @@
+// Package solvectx defines the typed cancellation errors shared by the
+// whole solver stack. Every package that accepts a context reports a
+// ctx-driven stop as one of exactly two sentinel errors, so callers can
+// errors.Is against a single vocabulary regardless of which stage
+// (simplex, B&B, MAA rounding, TAA walk, alternation loop) noticed the
+// expiry first.
+package solvectx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled reports a solve stopped because its context was canceled.
+// It wraps context.Canceled, so errors.Is(err, context.Canceled) also
+// holds.
+var ErrCanceled = fmt.Errorf("solve canceled: %w", context.Canceled)
+
+// ErrDeadline reports a solve stopped because its context deadline
+// passed. It wraps context.DeadlineExceeded.
+var ErrDeadline = fmt.Errorf("solve deadline exceeded: %w", context.DeadlineExceeded)
+
+// Err maps ctx's current state to the solver vocabulary: nil when ctx
+// is nil or still live, ErrDeadline when its deadline passed, and
+// ErrCanceled otherwise.
+func Err(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	switch err := ctx.Err(); {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadline
+	default:
+		return ErrCanceled
+	}
+}
+
+// Canceled is Err with a fallback: when a stage observed a stop but ctx
+// does not (or no ctx was threaded — e.g. a fault-injected
+// StatusCanceled), it still returns ErrCanceled rather than nil.
+func Canceled(ctx context.Context) error {
+	if err := Err(ctx); err != nil {
+		return err
+	}
+	return ErrCanceled
+}
+
+// Is reports whether err is one of the two solver stop sentinels.
+func Is(err error) bool {
+	return errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline)
+}

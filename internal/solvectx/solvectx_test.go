@@ -1,0 +1,49 @@
+package solvectx
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestErr(t *testing.T) {
+	if Err(nil) != nil {
+		t.Fatal("Err(nil ctx) != nil")
+	}
+	if Err(context.Background()) != nil {
+		t.Fatal("Err(live ctx) != nil")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Err(ctx); !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err(canceled) = %v", err)
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if err := Err(dctx); !errors.Is(err, ErrDeadline) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Err(expired) = %v", err)
+	}
+}
+
+func TestCanceledFallback(t *testing.T) {
+	if err := Canceled(nil); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Canceled(nil) = %v, want ErrCanceled fallback", err)
+	}
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if err := Canceled(dctx); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("Canceled(expired) = %v, want ErrDeadline", err)
+	}
+}
+
+func TestIs(t *testing.T) {
+	if !Is(ErrCanceled) || !Is(ErrDeadline) {
+		t.Fatal("Is rejects its own sentinels")
+	}
+	if Is(errors.New("boom")) || Is(nil) {
+		t.Fatal("Is accepts non-sentinels")
+	}
+}

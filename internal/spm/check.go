@@ -1,0 +1,130 @@
+package spm
+
+import (
+	"fmt"
+	"math"
+
+	"metis/internal/sched"
+)
+
+// checkEps absorbs float accumulation noise when comparing recomputed
+// loads and profits against solver output.
+const checkEps = 1e-6
+
+// CheckFeasible verifies a schedule against the SPM ground rules from
+// first principles, recomputing every quantity from the instance rather
+// than trusting the schedule's own accounting:
+//
+//   - every accepted request routes on a path index that exists for it,
+//     whose links form a contiguous Src→Dst walk in the network;
+//   - link loads, re-accumulated request by request over each request's
+//     [Start, End] window, never exceed caps[e] at any slot (when caps
+//     is non-nil).
+//
+// caps may be nil to skip the capacity comparison (MAA buys whatever
+// bandwidth the peak needs, so its schedules have no fixed caps).
+// It returns nil when the schedule is feasible.
+func CheckFeasible(s *sched.Schedule, caps []int) error {
+	inst := s.Instance()
+	net := inst.Network()
+	if caps != nil && len(caps) != net.NumLinks() {
+		return fmt.Errorf("spm: check: capacity vector has %d entries, want %d", len(caps), net.NumLinks())
+	}
+
+	loads := make([][]float64, net.NumLinks())
+	for e := range loads {
+		loads[e] = make([]float64, inst.Slots())
+	}
+	for i := 0; i < inst.NumRequests(); i++ {
+		j := s.Choice(i)
+		if j == sched.Declined {
+			continue
+		}
+		if j < 0 || j >= inst.NumPaths(i) {
+			return fmt.Errorf("spm: check: request %d routed on path %d, has %d paths", i, j, inst.NumPaths(i))
+		}
+		r := inst.Request(i)
+		if r.Start < 0 || r.End >= inst.Slots() || r.Start > r.End {
+			return fmt.Errorf("spm: check: request %d window [%d, %d] invalid for %d slots", i, r.Start, r.End, inst.Slots())
+		}
+		path := inst.Path(i, j)
+		if len(path.Links) == 0 {
+			return fmt.Errorf("spm: check: request %d path %d is empty", i, j)
+		}
+		at := r.Src
+		for hop, e := range path.Links {
+			if e < 0 || e >= net.NumLinks() {
+				return fmt.Errorf("spm: check: request %d path %d hop %d: link %d out of range", i, j, hop, e)
+			}
+			l := net.Link(e)
+			if l.From != at {
+				return fmt.Errorf("spm: check: request %d path %d hop %d: link %d starts at DC %d, walk is at %d", i, j, hop, e, l.From, at)
+			}
+			at = l.To
+			for t := r.Start; t <= r.End; t++ {
+				loads[e][t] += r.Rate
+			}
+		}
+		if at != r.Dst {
+			return fmt.Errorf("spm: check: request %d path %d ends at DC %d, want %d", i, j, at, r.Dst)
+		}
+	}
+
+	if caps != nil {
+		for e := range loads {
+			for t, v := range loads[e] {
+				if v > float64(caps[e])+checkEps {
+					return fmt.Errorf("spm: check: link %d slot %d carries %v, capacity %d", e, t, v, caps[e])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckProfit recomputes the schedule's profit from scratch — revenue
+// as the sum of accepted request values, cost as Σ_e price_e times the
+// integer ceiling of link e's recomputed peak load — and verifies the
+// claimed profit matches within tol. It returns nil on agreement.
+func CheckProfit(s *sched.Schedule, profit, tol float64) error {
+	inst := s.Instance()
+	net := inst.Network()
+
+	revenue := 0.0
+	loads := make([][]float64, net.NumLinks())
+	for e := range loads {
+		loads[e] = make([]float64, inst.Slots())
+	}
+	for i := 0; i < inst.NumRequests(); i++ {
+		j := s.Choice(i)
+		if j == sched.Declined {
+			continue
+		}
+		if j < 0 || j >= inst.NumPaths(i) {
+			return fmt.Errorf("spm: check: request %d routed on path %d, has %d paths", i, j, inst.NumPaths(i))
+		}
+		r := inst.Request(i)
+		revenue += r.Value
+		for _, e := range inst.Path(i, j).Links {
+			for t := r.Start; t <= r.End; t++ {
+				loads[e][t] += r.Rate
+			}
+		}
+	}
+	cost := 0.0
+	for e := range loads {
+		peak := 0.0
+		for _, v := range loads[e] {
+			if v > peak {
+				peak = v
+			}
+		}
+		cost += net.Link(e).Price * float64(sched.CeilUnits(peak))
+	}
+
+	want := revenue - cost
+	if math.IsNaN(profit) || math.Abs(profit-want) > tol {
+		return fmt.Errorf("spm: check: claimed profit %v, recomputed %v (revenue %v − cost %v)", profit, want, revenue, cost)
+	}
+	return nil
+}

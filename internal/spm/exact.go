@@ -1,6 +1,7 @@
 package spm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"metis/internal/lp"
 	"metis/internal/mip"
 	"metis/internal/sched"
+	"metis/internal/solvectx"
 )
 
 // ExactOptions tunes the exact MILP reference solvers.
@@ -26,6 +28,13 @@ type ExactOptions struct {
 	// ColdLP disables simplex warm starts in the branch & bound dive
 	// (see mip.Options.ColdLP).
 	ColdLP bool
+	// Ctx, when non-nil, makes the search cancellable (see
+	// mip.Options.Ctx). On expiry the solvers keep their anytime
+	// contract where a fallback incumbent exists (OPT(SPM)/OPT(BL-SPM)
+	// fall back to the empty schedule or the Warm seed) and set
+	// ExactResult.Canceled; OPT(RL-SPM), which has no always-feasible
+	// fallback, returns solvectx.ErrCanceled/ErrDeadline instead.
+	Ctx context.Context
 }
 
 // warmVector encodes a schedule as a MILP point over the given routing
@@ -59,6 +68,8 @@ type ExactResult struct {
 	Nodes int
 	// Status is the underlying branch & bound outcome.
 	Status mip.Status
+	// Canceled reports that ExactOptions.Ctx stopped the search.
+	Canceled bool
 }
 
 // SolveExactSPM solves the full SPM MILP — the paper's OPT(SPM)
@@ -104,7 +115,7 @@ func SolveExactSPM(inst *sched.Instance, opts ExactOptions) (*ExactResult, error
 	}
 	sol, err := mip.Solve(p, lp.Maximize, intCols, mip.Options{
 		LP: opts.LP, TimeLimit: opts.TimeLimit, MaxNodes: opts.MaxNodes,
-		WarmStart: warm, ColdLP: opts.ColdLP,
+		WarmStart: warm, ColdLP: opts.ColdLP, Ctx: opts.Ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -119,9 +130,10 @@ func SolveExactSPM(inst *sched.Instance, opts ExactOptions) (*ExactResult, error
 			Gap:       math.Abs(sol.Bound),
 			Nodes:     sol.Nodes,
 			Status:    sol.Status,
+			Canceled:  sol.Canceled,
 		}, nil
 	}
-	return decodeExact(inst, xCols, sol, "OPT(SPM)")
+	return decodeExact(inst, xCols, sol, "OPT(SPM)", opts.Ctx)
 }
 
 // SolveExactRL solves the exact RL-SPM MILP — the paper's OPT(RL-SPM)
@@ -167,12 +179,12 @@ func SolveExactRL(inst *sched.Instance, opts ExactOptions) (*ExactResult, error)
 	}
 	sol, err := mip.Solve(p, lp.Minimize, intCols, mip.Options{
 		LP: opts.LP, TimeLimit: opts.TimeLimit, MaxNodes: opts.MaxNodes,
-		WarmStart: warm, ColdLP: opts.ColdLP,
+		WarmStart: warm, ColdLP: opts.ColdLP, Ctx: opts.Ctx,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return decodeExact(inst, xCols, sol, "OPT(RL-SPM)")
+	return decodeExact(inst, xCols, sol, "OPT(RL-SPM)", opts.Ctx)
 }
 
 // SolveExactBL solves the exact BL-SPM MILP: maximize revenue under
@@ -221,7 +233,7 @@ func SolveExactBL(inst *sched.Instance, caps []int, opts ExactOptions) (*ExactRe
 	}
 	sol, err := mip.Solve(p, lp.Maximize, intCols, mip.Options{
 		LP: opts.LP, TimeLimit: opts.TimeLimit, MaxNodes: opts.MaxNodes,
-		WarmStart: warm, ColdLP: opts.ColdLP,
+		WarmStart: warm, ColdLP: opts.ColdLP, Ctx: opts.Ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -233,9 +245,10 @@ func SolveExactBL(inst *sched.Instance, caps []int, opts ExactOptions) (*ExactRe
 			Gap:      math.Abs(sol.Bound),
 			Nodes:    sol.Nodes,
 			Status:   sol.Status,
+			Canceled: sol.Canceled,
 		}, nil
 	}
-	return decodeExact(inst, xCols, sol, "OPT(BL-SPM)")
+	return decodeExact(inst, xCols, sol, "OPT(BL-SPM)", opts.Ctx)
 }
 
 func collectIntCols(xCols [][]int, cCols []int) []int {
@@ -247,10 +260,13 @@ func collectIntCols(xCols [][]int, cCols []int) []int {
 	return intCols
 }
 
-func decodeExact(inst *sched.Instance, xCols [][]int, sol *mip.Solution, what string) (*ExactResult, error) {
+func decodeExact(inst *sched.Instance, xCols [][]int, sol *mip.Solution, what string, ctx context.Context) (*ExactResult, error) {
 	switch sol.Status {
 	case mip.StatusOptimal, mip.StatusFeasible:
 	default:
+		if sol.Canceled {
+			return nil, solvectx.Canceled(ctx)
+		}
 		return nil, fmt.Errorf("spm: %s: %v", what, sol.Status)
 	}
 	s := sched.NewSchedule(inst)
@@ -271,5 +287,6 @@ func decodeExact(inst *sched.Instance, xCols [][]int, sol *mip.Solution, what st
 		Gap:       sol.Gap,
 		Nodes:     sol.Nodes,
 		Status:    sol.Status,
+		Canceled:  sol.Canceled,
 	}, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"metis/internal/lp"
 	"metis/internal/sched"
+	"metis/internal/solvectx"
 )
 
 // RLModel is a reusable RL-SPM relaxation over the full instance.
@@ -91,6 +92,9 @@ func (m *RLModel) SolveSubset(subset []int) (*RelaxedRL, error) {
 	sol, err := m.p.Solve(opts)
 	if err != nil {
 		return nil, err
+	}
+	if sol.Status == lp.StatusCanceled {
+		return nil, solvectx.Canceled(opts.Ctx)
 	}
 	if sol.Status != lp.StatusOptimal {
 		return nil, fmt.Errorf("spm: relaxed RL-SPM: %v", sol.Status)
@@ -242,6 +246,9 @@ func (m *BLModel) SolveSubset(subset []int, caps []int) (*RelaxedBL, error) {
 	sol, err := m.p.Solve(opts)
 	if err != nil {
 		return nil, err
+	}
+	if sol.Status == lp.StatusCanceled {
+		return nil, solvectx.Canceled(opts.Ctx)
 	}
 	if sol.Status != lp.StatusOptimal {
 		return nil, fmt.Errorf("spm: relaxed BL-SPM: %v", sol.Status)

@@ -15,6 +15,7 @@ import (
 
 	"metis/internal/lp"
 	"metis/internal/sched"
+	"metis/internal/solvectx"
 )
 
 // RelaxedRL is the optimal solution of the relaxed RL-SPM LP.
@@ -75,6 +76,9 @@ func SolveRLRelaxation(inst *sched.Instance, opts lp.Options) (*RelaxedRL, error
 	sol, err := p.Solve(opts)
 	if err != nil {
 		return nil, err
+	}
+	if sol.Status == lp.StatusCanceled {
+		return nil, solvectx.Canceled(opts.Ctx)
 	}
 	if sol.Status != lp.StatusOptimal {
 		return nil, fmt.Errorf("spm: relaxed RL-SPM: %v", sol.Status)
@@ -146,6 +150,9 @@ func SolveBLRelaxationVar(inst *sched.Instance, caps [][]float64, opts lp.Option
 	sol, err := p.Solve(opts)
 	if err != nil {
 		return nil, err
+	}
+	if sol.Status == lp.StatusCanceled {
+		return nil, solvectx.Canceled(opts.Ctx)
 	}
 	if sol.Status != lp.StatusOptimal {
 		return nil, fmt.Errorf("spm: relaxed BL-SPM: %v", sol.Status)

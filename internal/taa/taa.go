@@ -14,15 +14,18 @@
 package taa
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"metis/internal/chernoff"
+	"metis/internal/fault"
 	"metis/internal/lp"
 	"metis/internal/obs"
 	"metis/internal/sched"
+	"metis/internal/solvectx"
 	"metis/internal/spm"
 )
 
@@ -36,6 +39,13 @@ type Options struct {
 	// is skipped. Its X must cover exactly the instance's requests, and
 	// it must have been solved under the same capacities.
 	Relaxed *spm.RelaxedBL
+	// Ctx, when non-nil, makes the call cancellable: it is threaded into
+	// the relaxation solve (unless LP.Ctx is already set) and polled
+	// between stages and every 32 levels of the estimator walk. On
+	// expiry SolveVar returns an error matching
+	// solvectx.ErrCanceled/ErrDeadline. Nil preserves the old behavior
+	// exactly.
+	Ctx context.Context
 }
 
 // Result is TAA's output.
@@ -89,6 +99,16 @@ func SolveVar(inst *sched.Instance, caps [][]float64, opts Options) (*Result, er
 	}
 	if inst.NumRequests() == 0 {
 		return &Result{Schedule: sched.NewSchedule(inst)}, nil
+	}
+	if opts.LP.Ctx == nil {
+		opts.LP.Ctx = opts.Ctx
+	}
+	ctx := opts.LP.Ctx
+	if fault.Active() {
+		fault.Hit("taa.solve")
+	}
+	if err := solvectx.Err(ctx); err != nil {
+		return nil, fmt.Errorf("taa: %w", err)
 	}
 	var t0 time.Time
 	if opts.LP.Tracer != nil {
@@ -150,7 +170,14 @@ func SolveVar(inst *sched.Instance, caps [][]float64, opts Options) (*Result, er
 	s := sched.NewSchedule(inst)
 	loads := newLoadTracker(inst, caps)
 	order := walkOrder(inst)
-	for _, i := range order {
+	for idx, i := range order {
+		// Mid-walk checkpoint: the estimator walk is the long sequential
+		// stage of TAA, so poll every 32 levels.
+		if ctx != nil && idx&31 == 0 {
+			if err := solvectx.Err(ctx); err != nil {
+				return nil, fmt.Errorf("taa: %w", err)
+			}
+		}
 		best := chernoff.Decline
 		bestU := est.CandidateU(i, chernoff.Decline)
 		for j := 0; j < inst.NumPaths(i); j++ {
@@ -172,6 +199,12 @@ func SolveVar(inst *sched.Instance, caps [][]float64, opts Options) (*Result, er
 				return nil, err
 			}
 		}
+	}
+
+	// Checkpoint between the walk and the polishing passes; the passes
+	// themselves are cheap relative to the walk.
+	if err := solvectx.Err(ctx); err != nil {
+		return nil, fmt.Errorf("taa: %w", err)
 	}
 
 	// Augmentation pass: the estimator walk guards the probabilistic

@@ -29,6 +29,7 @@
 package metis
 
 import (
+	"context"
 	"time"
 
 	"metis/internal/baseline"
@@ -37,9 +38,20 @@ import (
 	"metis/internal/maa"
 	"metis/internal/opt"
 	"metis/internal/sched"
+	"metis/internal/solvectx"
 	"metis/internal/stats"
 	"metis/internal/taa"
 	"metis/internal/wan"
+)
+
+// Typed reasons a context-aware solve stopped early; match them with
+// errors.Is. ErrCanceled also matches context.Canceled and ErrDeadline
+// context.DeadlineExceeded, so callers can test either way.
+var (
+	// ErrCanceled reports that the context was canceled.
+	ErrCanceled = solvectx.ErrCanceled
+	// ErrDeadline reports that the context's deadline passed.
+	ErrDeadline = solvectx.ErrDeadline
 )
 
 // Re-exported model types. These aliases are the public names of the
@@ -150,6 +162,17 @@ func Solve(inst *Instance, cfg Config) (*Result, error) {
 	return core.Solve(inst, cfg)
 }
 
+// SolveCtx is Solve under a context deadline or cancellation. A nil (or
+// never-expiring) ctx behaves exactly like Solve. When ctx expires
+// before any work has run, SolveCtx returns an error matching
+// ErrCanceled or ErrDeadline; when it expires mid-run, the alternation
+// stops at the next checkpoint and the best schedule found so far is
+// returned with Result.Degraded set and Result.Cause holding the typed
+// reason — degradation is a successful (shorter) solve, not an error.
+func SolveCtx(ctx context.Context, inst *Instance, cfg Config) (*Result, error) {
+	return core.SolveCtx(ctx, inst, cfg)
+}
+
 // SolveMAA runs the Multistage Approximation Algorithm on RL-SPM:
 // serve every request of inst at (approximately) minimal bandwidth
 // cost. rounds is the number of randomized roundings (best one wins;
@@ -171,10 +194,24 @@ func OptSPM(inst *Instance, timeLimit time.Duration) (*OptResult, error) {
 	return opt.SPM(inst, timeLimit)
 }
 
+// OptSPMCtx is OptSPM under a context: an expiry stops the branch &
+// bound search at its next checkpoint and returns the best incumbent
+// with OptResult.Canceled set (anytime contract).
+func OptSPMCtx(ctx context.Context, inst *Instance, timeLimit time.Duration) (*OptResult, error) {
+	return opt.SPMCtx(ctx, inst, timeLimit)
+}
+
 // OptRLSPM computes the exact (anytime, time-limited) OPT(RL-SPM)
 // reference: the cost-minimal schedule serving every request.
 func OptRLSPM(inst *Instance, timeLimit time.Duration) (*OptResult, error) {
 	return opt.RLSPM(inst, timeLimit)
+}
+
+// OptRLSPMCtx is OptRLSPM under a context. RL-SPM must serve every
+// request, so when no feasible incumbent exists yet an expiry returns
+// an error matching ErrCanceled/ErrDeadline instead of a result.
+func OptRLSPMCtx(ctx context.Context, inst *Instance, timeLimit time.Duration) (*OptResult, error) {
+	return opt.RLSPMCtx(ctx, inst, timeLimit)
 }
 
 // MinCost is the fixed-rule baseline: every request on its min-price

@@ -1,6 +1,8 @@
 package metis
 
 import (
+	"context"
+
 	"metis/internal/online"
 )
 
@@ -20,6 +22,15 @@ type (
 // starts.
 func SimulateOnline(inst *Instance, p OnlinePolicy) (*OnlineResult, error) {
 	return online.Simulate(inst, p)
+}
+
+// SimulateOnlineCtx is SimulateOnline under a context, checked before
+// every slot's decision batch. A partial cycle has no meaningful profit
+// accounting, so an expiry aborts with an error matching
+// ErrCanceled/ErrDeadline rather than returning a degraded result. A
+// nil ctx behaves exactly like SimulateOnline.
+func SimulateOnlineCtx(ctx context.Context, inst *Instance, p OnlinePolicy) (*OnlineResult, error) {
+	return online.SimulateCtx(ctx, inst, p)
 }
 
 // OnlineGreedy returns the buy-as-you-go marginal-cost admission

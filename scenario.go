@@ -92,6 +92,10 @@ type Decision struct {
 	Cost    float64 `json:"cost"`
 	// ElapsedMillis is the solver wall time.
 	ElapsedMillis int64 `json:"elapsedMillis"`
+	// Degraded reports that a deadline or cancellation cut the solve
+	// short and the decision is the best incumbent, not the full-θ
+	// result. Omitted (false) for uninterrupted solves.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // NewDecision converts a solved schedule into its serializable form.
@@ -105,6 +109,7 @@ func NewDecision(res *Result) *Decision {
 		Revenue:          res.Revenue,
 		Cost:             res.Cost,
 		ElapsedMillis:    res.Elapsed.Milliseconds(),
+		Degraded:         res.Degraded,
 	}
 	for i := 0; i < inst.NumRequests(); i++ {
 		r := inst.Request(i)
