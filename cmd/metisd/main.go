@@ -1,0 +1,158 @@
+// Command metisd is the long-running admission-control daemon: it
+// accepts bandwidth-reservation requests over HTTP, batches arrivals
+// into epoch ticks, decides each batch with the configured policy
+// against the billing cycle's ledger, and answers queries about
+// decisions, link state and counters.
+//
+// Usage:
+//
+//	metisd -addr :8080 -network SUB-B4 -epoch 250ms
+//	metisd -policy metis -replan-every 4 -theta 4
+//	metisd -policy taa -plan-units 20
+//	metisd -snapshot state.json -snapshot-every 8     # resumes from state.json on restart
+//
+//	curl -s localhost:8080/v1/requests -d '{"src":0,"dst":1,"start":0,"end":11,"rate":0.2,"value":40}'
+//	curl -s localhost:8080/v1/decisions/1
+//	curl -s localhost:8080/v1/stats
+//
+// SIGINT/SIGTERM triggers the graceful drain: intake stops (503), one
+// final tick decides everything still queued, and a last snapshot is
+// written when -snapshot is set.
+//
+// API:
+//
+//	POST /v1/requests        submit a request → 202 {id} (422 invalid, 429 shed, 503 draining)
+//	GET  /v1/decisions/{id}  decision record
+//	GET  /v1/links           per-link ledger state
+//	GET  /v1/stats           counters + daemon time
+//	GET  /v1/healthz         liveness
+//	POST /v1/snapshot        write a snapshot now
+//	GET  /metrics            Prometheus metrics (plus /debug/vars, /debug/pprof)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"metis"
+	"metis/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "metisd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) (err error) {
+	fs := flag.NewFlagSet("metisd", flag.ContinueOnError)
+	var (
+		addr          = fs.String("addr", ":8080", "HTTP listen address")
+		network       = fs.String("network", "B4", "topology: B4 or SUB-B4")
+		slots         = fs.Int("slots", metis.DefaultSlots, "billing-cycle slots")
+		epoch         = fs.Duration("epoch", 500*time.Millisecond, "epoch tick interval")
+		tickBudget    = fs.Float64("tick-budget", 0.8, "fraction of the epoch granted to each tick's decision")
+		policyName    = fs.String("policy", "greedy", "epoch policy: greedy, taa or metis")
+		planUnits     = fs.Int("plan-units", 0, "taa: uniform per-link provision in units (0 = only capacity bought so far)")
+		replanEvery   = fs.Int("replan-every", 1, "metis: re-solve period in epochs")
+		theta         = fs.Int("theta", 0, "metis: alternation rounds θ (0 = default)")
+		maaRounds     = fs.Int("maa-rounds", 0, "metis: randomized roundings per MAA call (0 = default)")
+		seed          = fs.Int64("seed", 1, "metis: randomized-rounding seed")
+		queueLimit    = fs.Int("queue-limit", 0, "arrival-queue bound; submits beyond it are shed with 429 (0 = default)")
+		snapshotPath  = fs.String("snapshot", "", "snapshot file: restored on start when present, rewritten periodically and on drain")
+		snapshotEvery = fs.Int("snapshot-every", 0, "snapshot period in epochs (0 = only on drain)")
+		traceOut      = fs.String("trace", "", "write a JSONL trace of epoch spans to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc := &metis.Scenario{Network: *network}
+	net, err := sc.BuildNetwork()
+	if err != nil {
+		return err
+	}
+
+	var plan []int
+	if *planUnits > 0 {
+		plan = make([]int, net.NumLinks())
+		for e := range plan {
+			plan[e] = *planUnits
+		}
+	}
+	policy, err := metis.NewServePolicy(*policyName, plan, *replanEvery, metis.Config{
+		Theta:     *theta,
+		MAARounds: *maaRounds,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	var tracer obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		jt := obs.NewJSONLTracer(f)
+		defer func() {
+			if cerr := jt.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		tracer = jt
+	}
+
+	srv, err := metis.NewServer(metis.ServeConfig{
+		Net:           net,
+		Slots:         *slots,
+		Epoch:         *epoch,
+		TickBudget:    *tickBudget,
+		Policy:        policy,
+		QueueLimit:    *queueLimit,
+		SnapshotPath:  *snapshotPath,
+		SnapshotEvery: *snapshotEvery,
+		Tracer:        tracer,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *snapshotPath != "" {
+		if _, statErr := os.Stat(*snapshotPath); statErr == nil {
+			if err := srv.RestoreFile(*snapshotPath); err != nil {
+				return fmt.Errorf("restore %s: %w", *snapshotPath, err)
+			}
+			fmt.Fprintf(os.Stderr, "metisd: restored %s (epoch %d, %d queued)\n",
+				*snapshotPath, srv.Epoch(), srv.Stats().QueueDepth)
+		}
+	}
+
+	ln, closeHTTP, err := srv.Listen(*addr, func(mux *http.ServeMux) { obs.Register(mux) })
+	if err != nil {
+		return err
+	}
+	defer closeHTTP()
+	fmt.Fprintf(os.Stderr, "metisd: serving %s (%d links, %d slots) on http://%s policy=%s epoch=%v\n",
+		net.Name(), net.NumLinks(), *slots, ln.Addr(), *policyName, *epoch)
+
+	// SIGINT/SIGTERM cancels the tick loop; Run drains before returning.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx); err != nil {
+		return err
+	}
+
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "metisd: drained after %d epochs: %d accepted, %d rejected, %d shed, %d degraded epochs, revenue=%.3f cost=%.3f\n",
+		st.Epoch, st.Accepted, st.Rejected, st.Shed, st.DegradedEpochs, st.Revenue, st.PurchasedCost)
+	return nil
+}

@@ -1,0 +1,163 @@
+// Command metisload replays a timestamped JSONL arrival stream (see
+// cmd/wangen -stream) against a running metisd and reports sustained
+// throughput. It drives the acceptance bench and the CI smoke:
+//
+//	wangen -network SUB-B4 -k 200 -stream -rate 100 > trace.jsonl
+//	metisd -addr :8080 -network SUB-B4 -epoch 100ms &
+//	metisload -addr http://localhost:8080 -in trace.jsonl -min-accepts 1
+//
+// Each arrival is POSTed at its trace timestamp (scaled by -speedup);
+// after the last submit, metisload waits for the daemon to decide the
+// whole queue and prints a JSON summary with decisions/sec.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"metis"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "metisload:", err)
+		os.Exit(1)
+	}
+}
+
+// summary is the replay report printed to stdout.
+type summary struct {
+	Arrivals        int     `json:"arrivals"`
+	Submitted       int     `json:"submitted"`
+	Shed            int     `json:"shed"`
+	Invalid         int     `json:"invalid"`
+	Accepted        int64   `json:"accepted"`
+	Rejected        int64   `json:"rejected"`
+	DegradedEpochs  int64   `json:"degradedEpochs"`
+	Overruns        int64   `json:"overruns"`
+	Epochs          int     `json:"epochs"`
+	ElapsedMillis   int64   `json:"elapsedMillis"`
+	DecisionsPerSec float64 `json:"decisionsPerSec"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("metisload", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "http://localhost:8080", "metisd base URL")
+		inPath     = fs.String("in", "-", "JSONL arrival trace (\"-\" = stdin)")
+		speedup    = fs.Float64("speedup", 1, "replay time compression (2 = twice as fast as the trace)")
+		settle     = fs.Duration("settle", 30*time.Second, "how long to wait for the daemon to decide the full queue")
+		minAccepts = fs.Int64("min-accepts", 0, "fail unless at least this many requests are accepted")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *speedup <= 0 {
+		return fmt.Errorf("-speedup must be positive")
+	}
+
+	in := os.Stdin
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	arrivals, err := metis.ReadArrivals(in)
+	if err != nil {
+		return err
+	}
+	if len(arrivals) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	var sum summary
+	sum.Arrivals = len(arrivals)
+
+	start := time.Now()
+	for i := range arrivals {
+		due := time.Duration(float64(arrivals[i].AtMillis)/(*speedup)) * time.Millisecond
+		if wait := due - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		body, err := json.Marshal(&arrivals[i].Request)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(*addr+"/v1/requests", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("submit arrival %d: %w", i, err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			sum.Submitted++
+		case http.StatusTooManyRequests:
+			sum.Shed++
+		case http.StatusUnprocessableEntity:
+			sum.Invalid++
+		default:
+			return fmt.Errorf("submit arrival %d: unexpected status %d", i, resp.StatusCode)
+		}
+	}
+
+	// Wait for the daemon to decide everything we managed to enqueue.
+	stats, err := waitDecided(client, *addr, int64(sum.Submitted), *settle)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	sum.Accepted = stats.Accepted
+	sum.Rejected = stats.Rejected
+	sum.DegradedEpochs = stats.DegradedEpochs
+	sum.Overruns = stats.Overruns
+	sum.Epochs = stats.Epoch
+	sum.ElapsedMillis = elapsed.Milliseconds()
+	if s := elapsed.Seconds(); s > 0 {
+		sum.DecisionsPerSec = float64(stats.Accepted+stats.Rejected) / s
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&sum); err != nil {
+		return err
+	}
+	if sum.Accepted < *minAccepts {
+		return fmt.Errorf("accepted %d requests, want at least %d", sum.Accepted, *minAccepts)
+	}
+	return nil
+}
+
+// waitDecided polls /v1/stats until accepted+rejected covers every
+// submitted request (or the settle budget runs out).
+func waitDecided(client *http.Client, addr string, submitted int64, settle time.Duration) (*metis.ServeStats, error) {
+	deadline := time.Now().Add(settle)
+	for {
+		resp, err := client.Get(addr + "/v1/stats")
+		if err != nil {
+			return nil, err
+		}
+		var st metis.ServeStats
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if st.Accepted+st.Rejected >= submitted {
+			return &st, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("daemon decided %d of %d submits within %v", st.Accepted+st.Rejected, submitted, settle)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

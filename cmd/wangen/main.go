@@ -5,12 +5,20 @@
 //
 //	wangen -network B4 -k 200 -seed 7 > scenario.json
 //	wangen -network SUB-B4 -k 50 -rate-hi 0.8 -markup-hi 3
+//	wangen -network SUB-B4 -k 200 -stream -rate 100 > trace.jsonl   # metisd replay trace
+//
+// In -stream mode the workload is emitted as timestamped JSONL
+// arrivals for replaying against a running metisd (see cmd/metisload):
+// requests arrive in start-slot order at -rate arrivals per second.
+// The stream is a pure function of the flags, so replay benches are
+// reproducible.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"metis"
 )
@@ -34,6 +42,8 @@ func run(args []string) error {
 		markupLo = fs.Float64("markup-lo", 0.5, "min value markup")
 		markupHi = fs.Float64("markup-hi", 6, "max value markup")
 		dot      = fs.Bool("dot", false, "emit the topology as Graphviz DOT instead of a scenario")
+		stream   = fs.Bool("stream", false, "emit timestamped JSONL arrivals for metisd replay instead of a scenario")
+		rate     = fs.Float64("rate", 50, "stream: arrivals per second")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +68,33 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *stream {
+		if *rate <= 0 {
+			return fmt.Errorf("-rate must be positive")
+		}
+		return writeStream(os.Stdout, reqs, *rate)
+	}
 	sc.Requests = reqs
 	return metis.WriteScenario(os.Stdout, sc)
+}
+
+// writeStream converts the workload into a deterministic arrival
+// trace: requests ordered by start slot (ties by id) land evenly
+// spaced at rate arrivals per second, so each request is submitted
+// before the daemon's tick loop reaches its window.
+func writeStream(w *os.File, reqs []metis.Request, rate float64) error {
+	sort.SliceStable(reqs, func(i, j int) bool {
+		if reqs[i].Start != reqs[j].Start {
+			return reqs[i].Start < reqs[j].Start
+		}
+		return reqs[i].ID < reqs[j].ID
+	})
+	arrivals := make([]metis.Arrival, len(reqs))
+	for i, r := range reqs {
+		arrivals[i] = metis.Arrival{
+			AtMillis: int64(float64(i) * 1000 / rate),
+			Request:  r,
+		}
+	}
+	return metis.WriteArrivals(w, arrivals)
 }

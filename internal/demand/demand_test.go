@@ -1,6 +1,7 @@
 package demand
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -50,6 +51,42 @@ func TestRequestValidate(t *testing.T) {
 			tt.mut(&r)
 			if err := r.Validate(net, 12); err == nil {
 				t.Fatal("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestRequestValidateTypedErrors(t *testing.T) {
+	net := wan.SubB4()
+	valid := Request{ID: 7, Src: 0, Dst: 1, Start: 0, End: 11, Rate: 0.2, Value: 1}
+	tests := []struct {
+		name  string
+		mut   func(*Request)
+		field string
+	}{
+		{name: "src out of range", mut: func(r *Request) { r.Src = 9 }, field: FieldSrc},
+		{name: "dst out of range", mut: func(r *Request) { r.Dst = -1 }, field: FieldDst},
+		{name: "src == dst", mut: func(r *Request) { r.Dst = r.Src }, field: FieldDst},
+		{name: "negative start", mut: func(r *Request) { r.Start = -1 }, field: FieldWindow},
+		{name: "out of horizon", mut: func(r *Request) { r.End = 12 }, field: FieldWindow},
+		{name: "inverted window", mut: func(r *Request) { r.Start = 5; r.End = 4 }, field: FieldWindow},
+		{name: "zero rate", mut: func(r *Request) { r.Rate = 0 }, field: FieldRate},
+		{name: "negative value", mut: func(r *Request) { r.Value = -1 }, field: FieldValue},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := valid
+			tt.mut(&r)
+			err := r.Validate(net, 12)
+			var verr *ValidationError
+			if !errors.As(err, &verr) {
+				t.Fatalf("want *ValidationError, got %T: %v", err, err)
+			}
+			if verr.Field != tt.field {
+				t.Fatalf("field = %q, want %q (err: %v)", verr.Field, tt.field, verr)
+			}
+			if verr.RequestID != 7 {
+				t.Fatalf("request id = %d, want 7", verr.RequestID)
 			}
 		})
 	}

@@ -28,21 +28,55 @@ func (r Request) ActiveAt(t int) bool { return t >= r.Start && t <= r.End }
 // Duration returns the number of slots the request occupies.
 func (r Request) Duration() int { return r.End - r.Start + 1 }
 
-// Validate checks the request against a network and billing-cycle length.
+// Validation fields: the request attribute a ValidationError blames.
+const (
+	FieldSrc    = "src"
+	FieldDst    = "dst"
+	FieldWindow = "window"
+	FieldRate   = "rate"
+	FieldValue  = "value"
+	// FieldPaths and FieldPrice are reported by instance-level
+	// validation (candidate path sets, link prices) rather than by
+	// Request.Validate itself.
+	FieldPaths = "paths"
+	FieldPrice = "price"
+)
+
+// ValidationError is a typed rejection of one request (or of the
+// instance state backing it). Ingest layers (metisd, scenario loading)
+// surface Field and Msg to clients; match with errors.As.
+type ValidationError struct {
+	// RequestID is the offending request's ID (not its instance index).
+	RequestID int `json:"requestId"`
+	// Field names the attribute that failed (Field* constants).
+	Field string `json:"field"`
+	// Msg is the human-readable reason.
+	Msg string `json:"msg"`
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("demand: request %d: %s: %s", e.RequestID, e.Field, e.Msg)
+}
+
+// Validate checks the request against a network and billing-cycle
+// length. Failures are *ValidationError values.
 func (r Request) Validate(net *wan.Network, slots int) error {
+	fail := func(field, format string, args ...any) error {
+		return &ValidationError{RequestID: r.ID, Field: field, Msg: fmt.Sprintf(format, args...)}
+	}
 	switch {
 	case r.Src < 0 || r.Src >= net.NumDCs():
-		return fmt.Errorf("demand: request %d: src %d out of range", r.ID, r.Src)
+		return fail(FieldSrc, "src %d out of range [0, %d)", r.Src, net.NumDCs())
 	case r.Dst < 0 || r.Dst >= net.NumDCs():
-		return fmt.Errorf("demand: request %d: dst %d out of range", r.ID, r.Dst)
+		return fail(FieldDst, "dst %d out of range [0, %d)", r.Dst, net.NumDCs())
 	case r.Src == r.Dst:
-		return fmt.Errorf("demand: request %d: src == dst == %d", r.ID, r.Src)
+		return fail(FieldDst, "src == dst == %d", r.Src)
 	case r.Start < 0 || r.End >= slots || r.Start > r.End:
-		return fmt.Errorf("demand: request %d: slot window [%d, %d] invalid for %d slots", r.ID, r.Start, r.End, slots)
+		return fail(FieldWindow, "slot window [%d, %d] invalid for %d slots", r.Start, r.End, slots)
 	case r.Rate <= 0:
-		return fmt.Errorf("demand: request %d: non-positive rate %v", r.ID, r.Rate)
+		return fail(FieldRate, "non-positive rate %v", r.Rate)
 	case r.Value < 0:
-		return fmt.Errorf("demand: request %d: negative value %v", r.ID, r.Value)
+		return fail(FieldValue, "negative value %v", r.Value)
 	}
 	return nil
 }

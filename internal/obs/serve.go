@@ -27,22 +27,16 @@ type MetricsServer struct {
 	ln   net.Listener
 }
 
-// ServeMetrics starts an HTTP server on addr exposing
+// Register mounts the metrics endpoints onto mux:
 //
 //	/metrics        Prometheus text exposition of the obs registry
 //	/debug/vars     expvar (includes the registry under "metis")
 //	/debug/pprof/   the standard pprof handlers
 //
-// It returns as soon as the listener is bound; the server runs until
-// Close. Handler errors are ignored — metrics must never take the
-// solver down.
-func ServeMetrics(addr string) (*MetricsServer, error) {
+// Embedding daemons (metisd) use this to expose solver metrics on
+// their own API mux instead of a second listener.
+func Register(mux *http.ServeMux) {
 	publishExpvar()
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WritePrometheus(w)
@@ -53,6 +47,19 @@ func ServeMetrics(addr string) (*MetricsServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// ServeMetrics starts an HTTP server on addr exposing the Register
+// endpoints. It returns as soon as the listener is bound; the server
+// runs until Close. Handler errors are ignored — metrics must never
+// take the solver down.
+func ServeMetrics(addr string) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	Register(mux)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	ms := &MetricsServer{Addr: ln.Addr().String(), srv: srv, ln: ln}
 	go func() { _ = srv.Serve(ln) }()

@@ -37,6 +37,50 @@ type State struct {
 	ctx       context.Context // nil outside SimulateCtx
 }
 
+// NewState returns a fresh provider state over inst: nothing purchased,
+// nothing committed, an all-declined schedule. ctx (which may be nil) is
+// threaded into policy-run solvers via Context. SimulateCtx builds its
+// state this way; external drivers (e.g. metisd's epoch loop) construct
+// one per decision batch.
+func NewState(ctx context.Context, inst *sched.Instance) *State {
+	st := &State{
+		inst:      inst,
+		purchased: make([]int, inst.Network().NumLinks()),
+		loads:     make([][]float64, inst.Network().NumLinks()),
+		schedule:  sched.NewSchedule(inst),
+		ctx:       ctx,
+	}
+	for e := range st.loads {
+		st.loads[e] = make([]float64, inst.Slots())
+	}
+	return st
+}
+
+// NewStateAt is NewState seeded with prior commitments: purchased units
+// per link and committed load per (link, slot), both copied. It lets a
+// long-running driver whose ledger outlives any single instance (metisd
+// decides each epoch's arrival batch as its own instance) run the same
+// policies against the capacity already committed to earlier batches.
+// Shapes must match inst's network and slot count.
+func NewStateAt(ctx context.Context, inst *sched.Instance, purchased []int, loads [][]float64) (*State, error) {
+	links := inst.Network().NumLinks()
+	if len(purchased) != links {
+		return nil, fmt.Errorf("online: purchased has %d links, want %d", len(purchased), links)
+	}
+	if len(loads) != links {
+		return nil, fmt.Errorf("online: loads has %d links, want %d", len(loads), links)
+	}
+	st := NewState(ctx, inst)
+	copy(st.purchased, purchased)
+	for e := range loads {
+		if len(loads[e]) != inst.Slots() {
+			return nil, fmt.Errorf("online: loads[%d] has %d slots, want %d", e, len(loads[e]), inst.Slots())
+		}
+		copy(st.loads[e], loads[e])
+	}
+	return st, nil
+}
+
 // Context returns the simulation's context (nil when the run was not
 // started through SimulateCtx); policies that run solvers thread it in
 // so a mid-batch solve stops promptly too.
@@ -44,6 +88,19 @@ func (st *State) Context() context.Context { return st.ctx }
 
 // Instance returns the underlying instance.
 func (st *State) Instance() *sched.Instance { return st.inst }
+
+// Schedule returns the live schedule the state is building. Callers
+// must treat it as read-only; commitments go through Commit.
+func (st *State) Schedule() *sched.Schedule { return st.schedule }
+
+// Loads returns a copy of the committed per-(link, slot) load matrix.
+func (st *State) Loads() [][]float64 {
+	out := make([][]float64, len(st.loads))
+	for e := range st.loads {
+		out[e] = append([]float64(nil), st.loads[e]...)
+	}
+	return out
+}
 
 // Purchased returns a copy of the per-link purchased units.
 func (st *State) Purchased() []int {
@@ -160,16 +217,7 @@ func Simulate(inst *sched.Instance, p Policy) (*Result, error) {
 // solvectx.ErrCanceled/ErrDeadline rather than degrading. A nil ctx
 // reproduces Simulate exactly.
 func SimulateCtx(ctx context.Context, inst *sched.Instance, p Policy) (*Result, error) {
-	st := &State{
-		inst:      inst,
-		purchased: make([]int, inst.Network().NumLinks()),
-		loads:     make([][]float64, inst.Network().NumLinks()),
-		schedule:  sched.NewSchedule(inst),
-		ctx:       ctx,
-	}
-	for e := range st.loads {
-		st.loads[e] = make([]float64, inst.Slots())
-	}
+	st := NewState(ctx, inst)
 
 	batches := make([][]int, inst.Slots())
 	for i := 0; i < inst.NumRequests(); i++ {

@@ -1,12 +1,15 @@
 package online
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"metis/internal/core"
 	"metis/internal/demand"
 	"metis/internal/maa"
 	"metis/internal/sched"
+	"metis/internal/solvectx"
 	"metis/internal/stats"
 	"metis/internal/wan"
 )
@@ -141,6 +144,121 @@ func TestOnlineNeverBeatsOffline(t *testing.T) {
 	}
 	if off.Profit < on.Profit-1e-6 {
 		t.Fatalf("offline Metis %v below online greedy %v", off.Profit, on.Profit)
+	}
+}
+
+// cancelAfter wraps a policy and cancels the run's context once
+// decided slots have been handled, modeling an operator abort
+// mid-cycle.
+type cancelAfter struct {
+	inner   Policy
+	cancel  context.CancelFunc
+	decided int
+	after   int
+}
+
+func (c *cancelAfter) Name() string { return c.inner.Name() }
+
+func (c *cancelAfter) DecideBatch(st *State, slot int, batch []int) error {
+	if c.decided >= c.after {
+		c.cancel()
+	}
+	c.decided++
+	return c.inner.DecideBatch(st, slot, batch)
+}
+
+func TestGreedyMidCycleCancellation(t *testing.T) {
+	inst := instance(t, wan.SubB4(), 150, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel after the second decided batch: the simulation must abort
+	// at the next slot checkpoint with the typed sentinel, not return a
+	// partial result.
+	p := &cancelAfter{inner: Greedy{}, cancel: cancel, after: 1}
+	res, err := SimulateCtx(ctx, inst, p)
+	if res != nil {
+		t.Fatalf("want nil result on cancellation, got %+v", res)
+	}
+	if !errors.Is(err, solvectx.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled to match too, got %v", err)
+	}
+	if p.decided < 2 {
+		t.Fatalf("policy decided %d batches, want at least 2", p.decided)
+	}
+}
+
+func TestProvisionedTAAMidCycleCancellation(t *testing.T) {
+	net := wan.SubB4()
+	inst := instance(t, net, 150, 3)
+	plan := forecastPlan(t, net, 150)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel before the first batch's TAA solve runs: the already-dead
+	// context must surface from inside taa.SolveVar (threaded via
+	// State.Context), not only from the per-slot checkpoint.
+	p := &cancelAfter{inner: ProvisionedTAA{Plan: plan}, cancel: cancel, after: 0}
+	res, err := SimulateCtx(ctx, inst, p)
+	if res != nil {
+		t.Fatalf("want nil result on cancellation, got %+v", res)
+	}
+	if !solvectx.Is(err) {
+		t.Fatalf("want a solver stop sentinel, got %v", err)
+	}
+	if p.decided != 1 {
+		t.Fatalf("policy decided %d batches, want exactly 1 (TAA solve must abort)", p.decided)
+	}
+}
+
+func TestProvisionedTAADeadlineMidCycle(t *testing.T) {
+	net := wan.SubB4()
+	inst := instance(t, net, 200, 5)
+	plan := forecastPlan(t, net, 200)
+	// An already-expired deadline aborts before any slot is decided.
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	res, err := SimulateCtx(ctx, inst, ProvisionedTAA{Plan: plan})
+	if res != nil {
+		t.Fatalf("want nil result on expiry, got %+v", res)
+	}
+	if !errors.Is(err, solvectx.ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+}
+
+func TestNewStateAtSeedsCommitments(t *testing.T) {
+	inst := instance(t, wan.SubB4(), 20, 11)
+	links := inst.Network().NumLinks()
+	purchased := make([]int, links)
+	loads := make([][]float64, links)
+	for e := range loads {
+		loads[e] = make([]float64, inst.Slots())
+		purchased[e] = 2
+		loads[e][0] = 1.5
+	}
+	st, err := NewStateAt(nil, inst, purchased, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Purchased(); got[0] != 2 {
+		t.Fatalf("purchased[0] = %d, want 2", got[0])
+	}
+	res := st.Residual()
+	if res[0][0] != 0.5 {
+		t.Fatalf("residual[0][0] = %v, want 0.5", res[0][0])
+	}
+	// Seeded state is copied, not aliased.
+	loads[0][0] = 99
+	if st.Loads()[0][0] != 1.5 {
+		t.Fatal("NewStateAt aliased the caller's loads")
+	}
+	if _, err := NewStateAt(nil, inst, purchased[:1], loads); err == nil {
+		t.Fatal("want shape error for short purchased vector")
+	}
+	if _, err := NewStateAt(nil, inst, purchased, loads[:1]); err == nil {
+		t.Fatal("want shape error for short loads matrix")
 	}
 }
 

@@ -103,6 +103,65 @@ func (in *Instance) Subset(keep []int) (*Instance, error) {
 	return &Instance{net: in.net, slots: in.slots, reqs: reqs, paths: paths}, nil
 }
 
+// Validate re-checks the full instance state: every request against the
+// network and billing cycle (window inside the horizon, positive rate,
+// non-negative value), every candidate path set (non-empty, link ids in
+// range, contiguous src→dst walk), and every link price (non-negative).
+// NewInstance establishes these invariants at construction; Validate is
+// for ingest layers that receive instances or requests from outside
+// (metisd, scenario files) and want a typed *demand.ValidationError to
+// surface to clients.
+func (in *Instance) Validate() error {
+	if in.slots <= 0 {
+		return fmt.Errorf("sched: slots %d must be positive", in.slots)
+	}
+	for _, l := range in.net.Links() {
+		if l.Price < 0 {
+			return &demand.ValidationError{RequestID: -1, Field: demand.FieldPrice,
+				Msg: fmt.Sprintf("link %d has negative price %v", l.ID, l.Price)}
+		}
+	}
+	for i, r := range in.reqs {
+		if err := r.Validate(in.net, in.slots); err != nil {
+			return err
+		}
+		if len(in.paths[i]) == 0 {
+			return &demand.ValidationError{RequestID: r.ID, Field: demand.FieldPaths,
+				Msg: fmt.Sprintf("no candidate path from %d to %d", r.Src, r.Dst)}
+		}
+		for j, p := range in.paths[i] {
+			if err := validatePath(in.net, r, p); err != nil {
+				return &demand.ValidationError{RequestID: r.ID, Field: demand.FieldPaths,
+					Msg: fmt.Sprintf("candidate path %d: %v", j, err)}
+			}
+		}
+	}
+	return nil
+}
+
+// validatePath checks that p is a contiguous r.Src→r.Dst walk over
+// existing links.
+func validatePath(net *wan.Network, r demand.Request, p wan.Path) error {
+	if len(p.Links) == 0 {
+		return fmt.Errorf("empty link list")
+	}
+	at := r.Src
+	for _, e := range p.Links {
+		if e < 0 || e >= net.NumLinks() {
+			return fmt.Errorf("link id %d out of range", e)
+		}
+		l := net.Link(e)
+		if l.From != at {
+			return fmt.Errorf("link %d starts at %d, walk is at %d", e, l.From, at)
+		}
+		at = l.To
+	}
+	if at != r.Dst {
+		return fmt.Errorf("walk ends at %d, want dst %d", at, r.Dst)
+	}
+	return nil
+}
+
 // UniformCaps returns a capacity vector with the same integer capacity
 // on every link (e.g. 10 units = 100 Gbps in Fig. 4c/4d).
 func (in *Instance) UniformCaps(units int) []int {

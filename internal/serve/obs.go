@@ -1,0 +1,24 @@
+package serve
+
+import "metis/internal/obs"
+
+// Admission-control counters, incremented once per request decision or
+// per epoch tick. They live in the process-wide obs registry, so
+// metisd's /metrics endpoint exposes them next to the solver counters.
+var (
+	cSubmitted = obs.NewCounter("serve.submitted", "reservation requests admitted to the arrival queue")
+	cAccepted  = obs.NewCounter("serve.accepted", "reservation requests accepted and committed to the ledger")
+	cRejected  = obs.NewCounter("serve.rejected", "reservation requests decided and declined")
+	cShed      = obs.NewCounter("serve.shed", "reservation requests shed at ingest (queue full → HTTP 429)")
+	cInvalid   = obs.NewCounter("serve.invalid", "reservation requests rejected at ingest by validation")
+
+	cEpochs          = obs.NewCounter("serve.epochs", "epoch ticks processed")
+	cDegraded        = obs.NewCounter("serve.degraded", "epochs whose policy overran the tick budget and degraded to the greedy fallback")
+	cOverruns        = obs.NewCounter("serve.overruns", "epochs whose decision exceeded the tick budget wall-clock (missed-budget ticks)")
+	cCycles          = obs.NewCounter("serve.cycles", "billing-cycle wraps (ledger resets)")
+	cReplans         = obs.NewCounter("serve.replans", "full Metis re-solves run by the metis policy")
+	cReplansDegraded = obs.NewCounter("serve.replans_degraded", "metis re-solves cut short by the tick budget (incumbent or previous plan kept)")
+	cSnapshots       = obs.NewCounter("serve.snapshots", "ledger snapshots written")
+	gQueueDepth      = obs.NewGauge("serve.queue_depth", "arrivals waiting for the next epoch tick")
+	gPurchasedUnits  = obs.NewGauge("serve.purchased_units", "total bandwidth units purchased this cycle")
+)

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"metis/internal/core"
+	"metis/internal/demand"
+	"metis/internal/online"
+	"metis/internal/sched"
+	"metis/internal/solvectx"
+)
+
+// Policy decides one epoch's arrival batch. inst holds the batch's
+// requests (instance index k ↔ batch position k, windows already
+// clamped to start no earlier than the deciding slot) and led is the
+// cycle ledger the decision must respect. Decide returns an
+// online.State seeded from the ledger whose schedule carries the
+// accept/route choices; the Server commits accepted requests back into
+// the ledger afterwards.
+//
+// Policies are invoked only from the Server's single epoch goroutine,
+// so implementations may keep unsynchronized cross-epoch state (the
+// Metis policy caches its capacity plan this way). A ctx expiry inside
+// a solver surfaces as an error matching solvectx.ErrCanceled/
+// ErrDeadline; the Server then degrades the epoch to the greedy
+// fallback rather than stalling the tick loop.
+type Policy interface {
+	Name() string
+	Decide(ctx context.Context, led *Ledger, inst *sched.Instance, epoch, slot int) (*online.State, error)
+	// Reset is called when the billing cycle wraps (the ledger has been
+	// cleared); policies drop any cycle-scoped state.
+	Reset()
+}
+
+// NewPolicy builds a policy by name:
+//
+//	greedy  — buy-as-you-go marginal-cost admission (online.Greedy)
+//	taa     — per-epoch TAA admission into a fixed provisioned plan
+//	metis   — periodic full Metis re-solve over the cycle's observed
+//	          workload to (re)plan capacity, TAA admission in between
+//
+// plan provisions the taa policy (units per link; nil means admit only
+// into capacity bought by earlier epochs). replanEvery is the metis
+// policy's re-solve period in epochs (≤0 means every epoch).
+func NewPolicy(name string, plan []int, replanEvery int, cfg core.Config) (Policy, error) {
+	switch name {
+	case "greedy", "":
+		return GreedyPolicy{}, nil
+	case "taa", "provisioned-taa":
+		return &TAAPolicy{Plan: plan}, nil
+	case "metis":
+		if replanEvery <= 0 {
+			replanEvery = 1
+		}
+		return &MetisPolicy{ReplanEvery: replanEvery, Config: cfg}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown policy %q (have: greedy, taa, metis)", name)
+	}
+}
+
+// seededState builds an online.State over inst carrying the ledger's
+// committed loads and purchases.
+func seededState(ctx context.Context, led *Ledger, inst *sched.Instance) (*online.State, error) {
+	return online.NewStateAt(ctx, inst, led.Purchased(), led.Loads())
+}
+
+// allIndices returns [0, n).
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// GreedyPolicy is buy-as-you-go marginal-cost admission: each request
+// is accepted on its cheapest-marginal-cost path iff its value exceeds
+// the price of the extra units it forces. It never solves an LP, so a
+// tick budget cannot expire inside it; it doubles as the Server's
+// degradation fallback.
+type GreedyPolicy struct{}
+
+// Name implements Policy.
+func (GreedyPolicy) Name() string { return "greedy" }
+
+// Reset implements Policy.
+func (GreedyPolicy) Reset() {}
+
+// Decide implements Policy.
+func (GreedyPolicy) Decide(ctx context.Context, led *Ledger, inst *sched.Instance, _, slot int) (*online.State, error) {
+	st, err := seededState(ctx, led, inst)
+	if err != nil {
+		return nil, err
+	}
+	if err := (online.Greedy{}).DecideBatch(st, slot, allIndices(inst.NumRequests())); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// TAAPolicy admits each epoch batch with the paper's BL-SPM machinery
+// (TAA) against the residual of a provisioned capacity plan: revenue is
+// maximized under what has already been bought, and nothing new is
+// purchased beyond the plan.
+type TAAPolicy struct {
+	// Plan is the upfront per-link provision in units; nil admits only
+	// into capacity purchased by earlier epochs.
+	Plan []int
+}
+
+// Name implements Policy.
+func (*TAAPolicy) Name() string { return "taa" }
+
+// Reset implements Policy.
+func (*TAAPolicy) Reset() {}
+
+// Decide implements Policy.
+func (p *TAAPolicy) Decide(ctx context.Context, led *Ledger, inst *sched.Instance, _, slot int) (*online.State, error) {
+	st, err := seededState(ctx, led, inst)
+	if err != nil {
+		return nil, err
+	}
+	plan := p.Plan
+	if plan == nil {
+		plan = led.Purchased()
+	}
+	if err := (online.ProvisionedTAA{Plan: plan}).DecideBatch(st, slot, allIndices(inst.NumRequests())); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// MetisPolicy periodically re-solves the full Metis alternation over
+// every request observed this cycle to produce a capacity plan, and
+// admits each epoch's batch with TAA against that plan's residual. The
+// re-solve runs under the epoch's tick deadline: an overrun degrades to
+// the best incumbent inside core.SolveCtx (the PR 4 contract) instead
+// of stalling the tick loop, and the previous plan is kept when the
+// degraded solve found nothing better. Warm LP bases are reused across
+// the alternation rounds within each re-solve (the PR 2 machinery);
+// across epochs the policy reuses the previous plan outright whenever
+// no new requests have arrived, which skips the solve entirely.
+type MetisPolicy struct {
+	// ReplanEvery is the re-solve period in epochs (1 = every epoch).
+	ReplanEvery int
+	// Config parameterizes the re-solve (θ, τ, seeds, LP options).
+	Config core.Config
+
+	seen       []demand.Request // cycle's observed workload (original windows)
+	plan       []int            // current capacity plan
+	plannedLen int              // len(seen) at the last completed re-solve
+	lastReplan int              // epoch of the last re-solve attempt
+	havePlan   bool
+}
+
+// Name implements Policy.
+func (*MetisPolicy) Name() string { return "metis" }
+
+// Reset implements Policy.
+func (p *MetisPolicy) Reset() {
+	p.seen, p.plan, p.plannedLen, p.havePlan, p.lastReplan = nil, nil, 0, false, 0
+}
+
+// Decide implements Policy.
+func (p *MetisPolicy) Decide(ctx context.Context, led *Ledger, inst *sched.Instance, epoch, slot int) (*online.State, error) {
+	// The replan instance uses the original request windows (still valid
+	// for the cycle horizon): the plan is a whole-cycle provision, not a
+	// per-epoch one.
+	for i := 0; i < inst.NumRequests(); i++ {
+		p.seen = append(p.seen, inst.Request(i))
+	}
+
+	due := !p.havePlan || epoch-p.lastReplan >= p.ReplanEvery
+	if due && len(p.seen) > p.plannedLen {
+		p.lastReplan = epoch
+		cReplans.Inc()
+		replanInst, err := sched.NewInstance(inst.Network(), inst.Slots(), p.seen, sched.DefaultPathsPerRequest)
+		if err != nil {
+			return nil, fmt.Errorf("serve: metis replan: %w", err)
+		}
+		res, err := core.SolveCtx(ctx, replanInst, p.Config)
+		switch {
+		case err == nil:
+			// A degraded solve still returns its best incumbent; adopt
+			// its plan — at worst the greedy seed's purchase.
+			p.plan, p.plannedLen, p.havePlan = res.Charged, len(p.seen), true
+			if res.Degraded {
+				cReplansDegraded.Inc()
+			}
+		case solvectx.Is(err):
+			// The budget expired before any incumbent existed; keep the
+			// previous plan (or none) and let TAA admit into it.
+			cReplansDegraded.Inc()
+		default:
+			return nil, fmt.Errorf("serve: metis replan: %w", err)
+		}
+	}
+
+	st, err := seededState(ctx, led, inst)
+	if err != nil {
+		return nil, err
+	}
+	plan := p.plan
+	if plan == nil {
+		plan = led.Purchased()
+	}
+	if err := (online.ProvisionedTAA{Plan: plan}).DecideBatch(st, slot, allIndices(inst.NumRequests())); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

@@ -1,0 +1,660 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"metis/internal/demand"
+	"metis/internal/obs"
+	"metis/internal/sched"
+	"metis/internal/solvectx"
+	"metis/internal/wan"
+)
+
+// Default configuration values.
+const (
+	// DefaultEpoch is the default tick interval.
+	DefaultEpoch = 500 * time.Millisecond
+	// DefaultTickBudget is the fraction of the epoch the decision may
+	// spend before it is degraded.
+	DefaultTickBudget = 0.8
+	// DefaultQueueLimit bounds the arrival queue; submits beyond it are
+	// shed with HTTP 429.
+	DefaultQueueLimit = 4096
+	// DefaultDecisionRetention bounds the decision-record history; the
+	// oldest records are dropped past it so a long-running daemon's
+	// memory stays flat.
+	DefaultDecisionRetention = 1 << 17
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Net is the WAN topology served.
+	Net *wan.Network
+	// Slots is the billing-cycle length (default demand.DefaultSlots).
+	// The daemon maps epoch ticks onto cycle slots round-robin: tick n
+	// decides slot n mod Slots, and the ledger resets when the cycle
+	// wraps.
+	Slots int
+	// Epoch is the tick interval (default DefaultEpoch).
+	Epoch time.Duration
+	// TickBudget is the fraction of Epoch granted to each tick's
+	// decision as a context deadline (default DefaultTickBudget). An
+	// overrun degrades the epoch to the greedy fallback; it never
+	// stalls the tick loop.
+	TickBudget float64
+	// Policy decides each epoch's batch (default GreedyPolicy).
+	Policy Policy
+	// PathsPerRequest sizes candidate path sets (default
+	// sched.DefaultPathsPerRequest).
+	PathsPerRequest int
+	// QueueLimit bounds the arrival queue (default DefaultQueueLimit).
+	QueueLimit int
+	// DecisionRetention bounds the decision-record history (default
+	// DefaultDecisionRetention; must exceed QueueLimit so queued
+	// requests are never pruned).
+	DecisionRetention int
+	// SnapshotPath, when set, is where Run persists the ledger + queue:
+	// every SnapshotEvery epochs and once more on drain.
+	SnapshotPath string
+	// SnapshotEvery is the snapshot period in epochs (0 = only on
+	// drain).
+	SnapshotEvery int
+	// Tracer, when non-nil, receives one "serve.epoch" span per tick.
+	Tracer obs.Tracer
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Net == nil {
+		return c, errors.New("serve: config needs a network")
+	}
+	if c.Slots <= 0 {
+		c.Slots = demand.DefaultSlots
+	}
+	if c.Epoch <= 0 {
+		c.Epoch = DefaultEpoch
+	}
+	if c.TickBudget <= 0 || c.TickBudget > 1 {
+		c.TickBudget = DefaultTickBudget
+	}
+	if c.Policy == nil {
+		c.Policy = GreedyPolicy{}
+	}
+	if c.PathsPerRequest <= 0 {
+		c.PathsPerRequest = sched.DefaultPathsPerRequest
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = DefaultQueueLimit
+	}
+	if c.DecisionRetention <= 0 {
+		c.DecisionRetention = DefaultDecisionRetention
+	}
+	if c.DecisionRetention <= c.QueueLimit {
+		c.DecisionRetention = 2 * c.QueueLimit
+	}
+	return c, nil
+}
+
+// Decision statuses.
+const (
+	StatusQueued   = "queued"
+	StatusAccepted = "accepted"
+	StatusRejected = "rejected"
+)
+
+// Decision is the recorded outcome of one submitted request.
+type Decision struct {
+	// ID is the server-assigned request id.
+	ID int64 `json:"id"`
+	// Status is queued, accepted or rejected.
+	Status string `json:"status"`
+	// Reason explains a rejection ("declined by policy", "window
+	// expired", "degraded: …").
+	Reason string `json:"reason,omitempty"`
+	// Links is the assigned path (link ids) of an accepted request.
+	Links []int `json:"links,omitempty"`
+	// Epoch, Cycle and Slot locate the decision in daemon time (set
+	// once decided).
+	Epoch int `json:"epoch,omitempty"`
+	Cycle int `json:"cycle,omitempty"`
+	Slot  int `json:"slot,omitempty"`
+	// Degraded marks a decision made by the greedy fallback after the
+	// policy overran the tick budget.
+	Degraded bool `json:"degraded,omitempty"`
+	// Request echoes the submitted request (with the server-assigned
+	// id).
+	Request demand.Request `json:"request"`
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	Policy         string  `json:"policy"`
+	Epoch          int     `json:"epoch"`
+	Cycle          int     `json:"cycle"`
+	Slot           int     `json:"slot"`
+	QueueDepth     int     `json:"queueDepth"`
+	Submitted      int64   `json:"submitted"`
+	Accepted       int64   `json:"accepted"`
+	Rejected       int64   `json:"rejected"`
+	Shed           int64   `json:"shed"`
+	DegradedEpochs int64   `json:"degradedEpochs"`
+	Overruns       int64   `json:"overruns"`
+	Committed      int     `json:"committed"`
+	PurchasedUnits int     `json:"purchasedUnits"`
+	PurchasedCost  float64 `json:"purchasedCost"`
+	Revenue        float64 `json:"revenue"`
+	Draining       bool    `json:"draining"`
+	EpochMillis    int64   `json:"epochMillis"`
+	Slots          int     `json:"slots"`
+}
+
+// LinkState is one entry of the /v1/links payload.
+type LinkState struct {
+	ID        int     `json:"id"`
+	From      int     `json:"from"`
+	To        int     `json:"to"`
+	Price     float64 `json:"price"`
+	Purchased int     `json:"purchased"`
+	PeakLoad  float64 `json:"peakLoad"`
+}
+
+// pending is one queued arrival.
+type pending struct {
+	id  int64
+	req demand.Request
+}
+
+// Server is the admission-control daemon: an HTTP ingest surface over a
+// bounded arrival queue, an epoch tick loop deciding batches against
+// the ledger, and snapshot/restore for crash recovery.
+type Server struct {
+	cfg Config
+
+	mu        sync.Mutex
+	led       *Ledger
+	queue     []pending
+	deciding  []pending // batch owned by an in-flight tick (still snapshot-visible)
+	decisions map[int64]*Decision
+	nextID    int64
+	pruneFrom int64 // lowest decision id possibly still retained
+	epoch     int   // ticks processed
+	draining  bool
+
+	// Per-instance stats (the obs counters are process-global).
+	nSubmitted, nAccepted, nRejected, nShed, nDegraded, nOverruns int64
+	revenue                                                       float64
+}
+
+// New builds a Server from cfg (defaults applied, plan lengths
+// validated).
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := cfg.Policy.(*TAAPolicy); ok && p.Plan != nil && len(p.Plan) != cfg.Net.NumLinks() {
+		return nil, fmt.Errorf("serve: plan has %d links, network has %d", len(p.Plan), cfg.Net.NumLinks())
+	}
+	return &Server{
+		cfg:       cfg,
+		led:       NewLedger(cfg.Net, cfg.Slots),
+		decisions: make(map[int64]*Decision),
+		nextID:    1,
+		pruneFrom: 1,
+	}, nil
+}
+
+// Epoch returns the number of ticks processed so far.
+func (s *Server) Epoch() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// LedgerCopy returns a deep copy of the current ledger (tests,
+// consistency checks).
+func (s *Server) LedgerCopy() *Ledger {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := NewLedger(s.cfg.Net, s.cfg.Slots)
+	cp.restoreMust(s.led.snap())
+	return cp
+}
+
+func (l *Ledger) restoreMust(snap ledgerSnap) {
+	if err := l.restore(snap); err != nil {
+		panic("serve: ledger copy: " + err.Error())
+	}
+}
+
+// ErrDraining is returned by Submit once drain has begun.
+var ErrDraining = errors.New("serve: draining, not accepting new requests")
+
+// ErrQueueFull is returned by Submit when the arrival queue is at its
+// limit; the HTTP layer maps it to 429.
+var ErrQueueFull = errors.New("serve: arrival queue full")
+
+// Submit validates and enqueues one reservation request for the next
+// epoch tick. The request's ID field is ignored; the server assigns its
+// own. On success the returned decision has StatusQueued.
+func (s *Server) Submit(req demand.Request) (*Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	req.ID = 0 // assigned below; validate with a neutral id
+	if err := req.Validate(s.cfg.Net, s.cfg.Slots); err != nil {
+		cInvalid.Inc()
+		return nil, err
+	}
+	if len(s.queue) >= s.cfg.QueueLimit {
+		s.nShed++
+		cShed.Inc()
+		return nil, ErrQueueFull
+	}
+	id := s.nextID
+	s.nextID++
+	req.ID = int(id)
+	d := &Decision{ID: id, Status: StatusQueued, Request: req}
+	s.decisions[id] = d
+	s.queue = append(s.queue, pending{id: id, req: req})
+	s.nSubmitted++
+	cSubmitted.Inc()
+	gQueueDepth.Set(int64(len(s.queue)))
+	return d, nil
+}
+
+// Decision returns the decision record for id, or nil.
+func (s *Server) Decision(id int64) *Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.decisions[id]
+	if !ok {
+		return nil
+	}
+	cp := *d
+	cp.Links = append([]int(nil), d.Links...)
+	return &cp
+}
+
+// Stats returns a consistent snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Policy:         s.cfg.Policy.Name(),
+		Epoch:          s.epoch,
+		Cycle:          s.epoch / s.cfg.Slots,
+		Slot:           s.epoch % s.cfg.Slots,
+		QueueDepth:     len(s.queue) + len(s.deciding),
+		Submitted:      s.nSubmitted,
+		Accepted:       s.nAccepted,
+		Rejected:       s.nRejected,
+		Shed:           s.nShed,
+		DegradedEpochs: s.nDegraded,
+		Overruns:       s.nOverruns,
+		Committed:      s.led.Committed(),
+		PurchasedUnits: s.led.PurchasedUnits(),
+		PurchasedCost:  s.led.Cost(),
+		Revenue:        s.revenue,
+		Draining:       s.draining,
+		EpochMillis:    s.cfg.Epoch.Milliseconds(),
+		Slots:          s.cfg.Slots,
+	}
+}
+
+// Links returns the per-link ledger view.
+func (s *Server) Links() []LinkState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]LinkState, s.cfg.Net.NumLinks())
+	for e := range out {
+		l := s.cfg.Net.Link(e)
+		out[e] = LinkState{
+			ID: l.ID, From: l.From, To: l.To, Price: l.Price,
+			Purchased: s.led.purchased[e], PeakLoad: s.led.PeakLoad(e),
+		}
+	}
+	return out
+}
+
+// Tick processes one epoch synchronously: it takes the queued batch,
+// decides it with the policy under the tick budget derived from ctx,
+// commits accepted requests into the ledger, and records every
+// decision. It is the unit the Run loop schedules; tests call it
+// directly for deterministic epochs.
+func (s *Server) Tick(ctx context.Context) {
+	start := time.Now()
+	budget := time.Duration(float64(s.cfg.Epoch) * s.cfg.TickBudget)
+	tickCtx, cancel := context.WithTimeout(contextOrBackground(ctx), budget)
+	defer cancel()
+
+	// Claim the batch; keep it snapshot-visible in s.deciding so a
+	// concurrent snapshot cannot lose in-flight arrivals.
+	s.mu.Lock()
+	epoch := s.epoch
+	slot := epoch % s.cfg.Slots
+	if slot == 0 && epoch > 0 {
+		// The billing cycle wrapped: new cycle, fresh ledger and
+		// cycle-scoped policy state. Purchases do not carry over.
+		s.led.Reset()
+		s.cfg.Policy.Reset()
+		cCycles.Inc()
+	}
+	batch := s.queue
+	s.queue = nil
+	s.deciding = batch
+	gQueueDepth.Set(0)
+	s.mu.Unlock()
+
+	var (
+		accepted   []committedReq // commits to apply under mu
+		rejected   []rejection
+		purchased  []int
+		degraded   bool
+		batchInst  *sched.Instance
+		liveIdx    []int // batch positions that made it into the instance
+		expiredIdx []int // batch positions whose window already ended
+	)
+
+	if len(batch) > 0 {
+		// Clamp windows to the deciding slot: slots already in the past
+		// cannot be reserved, and a request whose window has fully
+		// passed is rejected outright.
+		var reqs []demand.Request
+		for k, p := range batch {
+			r := p.req
+			if r.End < slot {
+				expiredIdx = append(expiredIdx, k)
+				continue
+			}
+			if r.Start < slot {
+				r.Start = slot
+			}
+			r.ID = int(p.id)
+			reqs = append(reqs, r)
+			liveIdx = append(liveIdx, k)
+		}
+		if len(reqs) > 0 {
+			var err error
+			batchInst, err = sched.NewInstance(s.cfg.Net, s.cfg.Slots, reqs, s.cfg.PathsPerRequest)
+			if err != nil {
+				// Validated at ingest, so this is unreachable in
+				// practice; reject the batch rather than crash the loop.
+				for _, k := range liveIdx {
+					rejected = append(rejected, rejection{pos: k, reason: "internal: " + err.Error()})
+				}
+				batchInst, liveIdx = nil, nil
+			}
+		}
+		if batchInst != nil {
+			led := s.LedgerCopy()
+			st, err := s.cfg.Policy.Decide(tickCtx, led, batchInst, epoch, slot)
+			if err != nil && solvectx.Is(err) {
+				// Tick budget exhausted mid-solve: degrade to the
+				// greedy fallback (never solves an LP, always decides)
+				// instead of stalling or dropping the epoch.
+				degraded = true
+				st, err = GreedyPolicy{}.Decide(nil, led, batchInst, epoch, slot)
+			}
+			if err != nil {
+				for _, k := range liveIdx {
+					rejected = append(rejected, rejection{pos: k, reason: "policy error: " + err.Error(), degraded: degraded})
+				}
+			} else {
+				purchased = st.Purchased()
+				schedule := st.Schedule()
+				for j, k := range liveIdx {
+					if c := schedule.Choice(j); c != sched.Declined {
+						accepted = append(accepted, committedReq{
+							pos:   k,
+							req:   batchInst.Request(j),
+							links: append([]int(nil), batchInst.Path(j, c).Links...),
+						})
+					} else {
+						rejected = append(rejected, rejection{pos: k, reason: "declined by policy", degraded: degraded})
+					}
+				}
+			}
+		}
+	}
+
+	// Commit phase: apply the decisions under the lock.
+	s.mu.Lock()
+	for _, k := range expiredIdx {
+		d := s.decisions[batch[k].id]
+		d.Status, d.Reason = StatusRejected, "window expired before decision"
+		d.Epoch, d.Cycle, d.Slot = epoch, epoch/s.cfg.Slots, slot
+		s.nRejected++
+		cRejected.Inc()
+	}
+	for _, rej := range rejected {
+		d := s.decisions[batch[rej.pos].id]
+		d.Status, d.Reason, d.Degraded = StatusRejected, rej.reason, rej.degraded
+		d.Epoch, d.Cycle, d.Slot = epoch, epoch/s.cfg.Slots, slot
+		s.nRejected++
+		cRejected.Inc()
+	}
+	for _, acc := range accepted {
+		s.led.Commit(acc.req, acc.links)
+		d := s.decisions[batch[acc.pos].id]
+		d.Status, d.Links, d.Degraded = StatusAccepted, acc.links, degraded
+		d.Epoch, d.Cycle, d.Slot = epoch, epoch/s.cfg.Slots, slot
+		s.nAccepted++
+		s.revenue += acc.req.Value
+		cAccepted.Inc()
+	}
+	if purchased != nil {
+		// Adopt plan-driven provisioning beyond what the commits bought.
+		s.led.Provision(purchased)
+	}
+	gPurchasedUnits.Set(int64(s.led.PurchasedUnits()))
+	s.deciding = nil
+	if degraded {
+		s.nDegraded++
+		cDegraded.Inc()
+	}
+	elapsed := time.Since(start)
+	if elapsed > budget {
+		s.nOverruns++
+		cOverruns.Inc()
+	}
+	// Bound the decision history: drop the oldest records once the map
+	// outgrows the retention window. Queued requests always carry
+	// recent ids (retention > queue limit), so they are never pruned.
+	for s.nextID-s.pruneFrom > int64(s.cfg.DecisionRetention) {
+		delete(s.decisions, s.pruneFrom)
+		s.pruneFrom++
+	}
+	s.epoch++
+	cEpochs.Inc()
+	s.mu.Unlock()
+
+	if s.cfg.Tracer != nil {
+		obs.Span(s.cfg.Tracer, "serve.epoch", start, obs.Fields{
+			"epoch":    epoch,
+			"slot":     slot,
+			"batch":    len(batch),
+			"accepted": len(accepted),
+			"rejected": len(rejected) + len(expiredIdx),
+			"degraded": degraded,
+			"policy":   s.cfg.Policy.Name(),
+		})
+	}
+}
+
+type committedReq struct {
+	pos   int
+	req   demand.Request
+	links []int
+}
+
+type rejection struct {
+	pos      int
+	reason   string
+	degraded bool
+}
+
+func contextOrBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// Run drives the epoch tick loop until ctx is canceled, then drains:
+// intake stops (Submit returns ErrDraining), one final tick decides
+// everything still queued, and — when configured — a last snapshot is
+// written. Periodic snapshots honor Config.SnapshotEvery.
+func (s *Server) Run(ctx context.Context) error {
+	ticker := time.NewTicker(s.cfg.Epoch)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return s.Drain()
+		case <-ticker.C:
+			// The tick context must not die with ctx mid-decision: the
+			// drain path owns cancellation semantics.
+			s.Tick(context.Background())
+			if s.cfg.SnapshotPath != "" && s.cfg.SnapshotEvery > 0 && s.Epoch()%s.cfg.SnapshotEvery == 0 {
+				if err := s.SnapshotFile(s.cfg.SnapshotPath); err != nil {
+					return fmt.Errorf("serve: periodic snapshot: %w", err)
+				}
+			}
+		}
+	}
+}
+
+// Drain performs the graceful-shutdown sequence: stop intake, decide
+// the remaining queue in one final tick, and write a final snapshot
+// when configured. It is idempotent.
+func (s *Server) Drain() error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	pendingCount := len(s.queue)
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	if pendingCount > 0 {
+		s.Tick(context.Background())
+	}
+	if s.cfg.SnapshotPath != "" {
+		if err := s.SnapshotFile(s.cfg.SnapshotPath); err != nil {
+			return fmt.Errorf("serve: drain snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/requests        submit a reservation request → 202 {id}
+//	GET  /v1/decisions/{id}  decision record → 200/404
+//	GET  /v1/links           per-link ledger state
+//	GET  /v1/stats           counters + daemon time
+//	GET  /v1/healthz         liveness
+//	POST /v1/snapshot        write a snapshot now (needs SnapshotPath)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/requests", s.handleSubmit)
+	mux.HandleFunc("GET /v1/decisions/{id}", s.handleDecision)
+	mux.HandleFunc("GET /v1/links", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.Links())
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		if s.cfg.SnapshotPath == "" {
+			writeJSON(w, http.StatusConflict, map[string]string{"error": "no snapshot path configured"})
+			return
+		}
+		if err := s.SnapshotFile(s.cfg.SnapshotPath); err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"path": s.cfg.SnapshotPath})
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req demand.Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "decode request: " + err.Error()})
+		return
+	}
+	d, err := s.Submit(req)
+	if err != nil {
+		var verr *demand.ValidationError
+		switch {
+		case errors.As(err, &verr):
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+				"error": verr.Msg, "field": verr.Field,
+			})
+		case errors.Is(err, ErrQueueFull):
+			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+		case errors.Is(err, ErrDraining):
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, d)
+}
+
+func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad id"})
+		return
+	}
+	d := s.Decision(id)
+	if d == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown decision id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// Listen binds addr and serves the HTTP API until the server is
+// closed; it returns the bound listener (useful with ":0") and a close
+// function.
+func (s *Server) Listen(addr string, extra func(*http.ServeMux)) (net.Listener, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	if extra != nil {
+		extra(mux)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, srv.Close, nil
+}

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"metis/internal/demand"
+)
+
+// SnapshotVersion is the wire version of the snapshot format; Restore
+// rejects mismatches.
+const SnapshotVersion = 1
+
+// Snapshot is the JSON crash-recovery image of a Server: the committed
+// ledger plus every queued-but-undecided arrival, with enough daemon
+// time (epoch, next id) to resume exactly where the process stopped.
+// Decision history is observability, not ledger state, and is not
+// persisted.
+type Snapshot struct {
+	Version int    `json:"version"`
+	Network string `json:"network"`
+	Links   int    `json:"links"`
+	Slots   int    `json:"slots"`
+	Epoch   int    `json:"epoch"`
+	NextID  int64  `json:"nextId"`
+	// Ledger is the committed per-(link, slot) state.
+	Ledger ledgerSnap `json:"ledger"`
+	// Queue holds the pending arrivals in submission order.
+	Queue []QueuedRequest `json:"queue"`
+}
+
+// QueuedRequest is one pending arrival in a snapshot.
+type QueuedRequest struct {
+	ID      int64          `json:"id"`
+	Request demand.Request `json:"request"`
+}
+
+// Snapshot writes the server's crash-recovery image to w. It is safe
+// to call concurrently with Submit and Tick: the image is consistent —
+// the committed ledger plus every arrival not yet committed (including
+// a batch an in-flight tick is still deciding).
+func (s *Server) Snapshot(w io.Writer) error {
+	s.mu.Lock()
+	snap := Snapshot{
+		Version: SnapshotVersion,
+		Network: s.cfg.Net.Name(),
+		Links:   s.cfg.Net.NumLinks(),
+		Slots:   s.cfg.Slots,
+		Epoch:   s.epoch,
+		NextID:  s.nextID,
+		Ledger:  s.led.snap(),
+	}
+	// An in-flight tick's batch is re-queued on restore: its decisions
+	// have not been committed, so replaying it is the consistent choice.
+	for _, p := range s.deciding {
+		snap.Queue = append(snap.Queue, QueuedRequest{ID: p.id, Request: p.req})
+	}
+	for _, p := range s.queue {
+		snap.Queue = append(snap.Queue, QueuedRequest{ID: p.id, Request: p.req})
+	}
+	s.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&snap); err != nil {
+		return fmt.Errorf("serve: encode snapshot: %w", err)
+	}
+	cSnapshots.Inc()
+	return nil
+}
+
+// SnapshotFile atomically writes the snapshot to path (tmp + rename),
+// so a crash mid-write never corrupts the previous image.
+func (s *Server) SnapshotFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".metisd-snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := s.Snapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Restore loads a snapshot into a freshly constructed server. It must
+// run before the first Submit or Tick; restoring onto a server that has
+// already accepted state is an error. The snapshot's topology
+// fingerprint (network name, link count, slot count) must match the
+// server's configuration.
+func (s *Server) Restore(r io.Reader) error {
+	var snap Snapshot
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		return fmt.Errorf("serve: decode snapshot: %w", err)
+	}
+	if snap.Version != SnapshotVersion {
+		return fmt.Errorf("serve: snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	}
+	if snap.Network != s.cfg.Net.Name() || snap.Links != s.cfg.Net.NumLinks() {
+		return fmt.Errorf("serve: snapshot is for network %q (%d links), server runs %q (%d links)",
+			snap.Network, snap.Links, s.cfg.Net.Name(), s.cfg.Net.NumLinks())
+	}
+	if snap.Slots != s.cfg.Slots {
+		return fmt.Errorf("serve: snapshot has %d slots, server runs %d", snap.Slots, s.cfg.Slots)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.epoch != 0 || s.nextID != 1 || len(s.queue) != 0 {
+		return fmt.Errorf("serve: restore onto a server that already has state")
+	}
+	if err := s.led.restore(snap.Ledger); err != nil {
+		return err
+	}
+	s.epoch = snap.Epoch
+	s.nextID = snap.NextID
+	s.pruneFrom = snap.NextID
+	for _, q := range snap.Queue {
+		if err := q.Request.Validate(s.cfg.Net, s.cfg.Slots); err != nil {
+			return fmt.Errorf("serve: snapshot queue entry %d: %w", q.ID, err)
+		}
+		s.queue = append(s.queue, pending{id: q.ID, req: q.Request})
+		s.decisions[q.ID] = &Decision{ID: q.ID, Status: StatusQueued, Request: q.Request}
+		if q.ID < s.pruneFrom {
+			s.pruneFrom = q.ID
+		}
+	}
+	gQueueDepth.Set(int64(len(s.queue)))
+	return nil
+}
+
+// RestoreFile is Restore from a file path.
+func (s *Server) RestoreFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Restore(f)
+}

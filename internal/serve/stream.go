@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"metis/internal/demand"
+)
+
+// Arrival is one line of a timestamped workload stream (JSONL):
+// Request arrives AtMillis milliseconds after the stream starts.
+// cmd/wangen -stream emits these and cmd/metisload replays them against
+// a running metisd, so acceptance benches are reproducible end to end.
+type Arrival struct {
+	AtMillis int64          `json:"atMillis"`
+	Request  demand.Request `json:"request"`
+}
+
+// WriteArrivals writes arrivals as JSONL, one per line.
+func WriteArrivals(w io.Writer, arrivals []Arrival) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range arrivals {
+		if err := enc.Encode(&arrivals[i]); err != nil {
+			return fmt.Errorf("serve: encode arrival %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadArrivals decodes a JSONL arrival stream. Blank lines are skipped;
+// a malformed line fails with its line number.
+func ReadArrivals(r io.Reader) ([]Arrival, error) {
+	var out []Arrival
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var a Arrival
+		if err := json.Unmarshal(raw, &a); err != nil {
+			return nil, fmt.Errorf("serve: arrival line %d: %w", line, err)
+		}
+		out = append(out, a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serve: read arrivals: %w", err)
+	}
+	return out, nil
+}

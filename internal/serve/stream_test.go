@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"metis/internal/demand"
+)
+
+func TestArrivalsRoundTrip(t *testing.T) {
+	in := []Arrival{
+		{AtMillis: 0, Request: demand.Request{ID: 1, Src: 0, Dst: 1, Start: 0, End: 3, Rate: 0.5, Value: 2}},
+		{AtMillis: 20, Request: demand.Request{ID: 2, Src: 2, Dst: 3, Start: 1, End: 4, Rate: 0.25, Value: 7}},
+	}
+	var buf bytes.Buffer
+	if err := WriteArrivals(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadArrivals(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip: %d arrivals, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("arrival %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadArrivalsSkipsBlanksAndReportsLine(t *testing.T) {
+	got, err := ReadArrivals(strings.NewReader("\n{\"atMillis\":5,\"request\":{}}\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].AtMillis != 5 {
+		t.Fatalf("got %+v", got)
+	}
+	_, err = ReadArrivals(strings.NewReader("{\"atMillis\":1,\"request\":{}}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 error, got %v", err)
+	}
+}

@@ -94,6 +94,11 @@ type (
 	OptResult = opt.Result
 	// EcoFlowResult is the outcome of the EcoFlow baseline.
 	EcoFlowResult = baseline.EcoFlowResult
+	// ValidationError is the typed rejection of a malformed request or
+	// instance (match with errors.As). Request.Validate and
+	// Instance.Validate return it; metisd's ingest surfaces its Field
+	// and Msg to clients.
+	ValidationError = demand.ValidationError
 )
 
 // Re-exported constants.

@@ -55,7 +55,18 @@ func (sc *Scenario) Instance() (*Instance, error) {
 	if paths == 0 {
 		paths = DefaultPathsPerRequest
 	}
-	return NewInstance(net, slots, sc.Requests, paths)
+	inst, err := NewInstance(net, slots, sc.Requests, paths)
+	if err != nil {
+		return nil, err
+	}
+	// NewInstance validates the requests; Validate additionally
+	// re-checks the enumerated path sets and link prices, so a scenario
+	// with a malformed custom topology fails here with a typed
+	// *ValidationError instead of deep inside a solver.
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("metis: scenario: %w", err)
+	}
+	return inst, nil
 }
 
 // ReadScenario decodes a Scenario from JSON.
