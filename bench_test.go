@@ -166,6 +166,28 @@ func BenchmarkMetisSolveK100(b *testing.B) {
 	}
 }
 
+// BenchmarkMetisSolveK10000 is the scale target the LU-factorized basis
+// exists for: a four-orders-of-magnitude request count whose working
+// problems have tens of thousands of rows. A dense m×m basis inverse at
+// that size would need multiple gigabytes and O(m²) work per pivot;
+// PivotAuto selects the sparse LU representation, which keeps memory
+// proportional to factor fill. The benchmark's job is to complete —
+// it is the existence proof for the K=10⁴ regime. Run it manually with
+// -benchtime=1x -timeout 0 (~10 min single-core); -short skips it and
+// CI does not run it.
+func BenchmarkMetisSolveK10000(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping K=10000 instance in -short mode")
+	}
+	inst := benchInstance(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metis.Solve(inst, metis.Config{Theta: 4, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMetisSolveK100Traced is the same solve with a live JSONL
 // tracer attached (sink discarded): the cost of span emission on every
 // LP/MAA/TAA/round boundary, benchmarked so the tracing overhead stays

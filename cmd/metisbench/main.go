@@ -11,6 +11,7 @@
 //	metisbench -list                # known experiment ids
 //	metisbench -fig fig3 -seed 7 -opt-limit 30s
 //	metisbench -fig fig5 -warm off  # disable LP warm starts (seed path)
+//	metisbench -fig fig5 -factorized # force the LU-factorized simplex basis
 //	metisbench -fig fig5 -cpuprofile cpu.out -memprofile mem.out
 //	metisbench -fig fig5 -trace trace.jsonl      # structured solve trace (see cmd/metistrace)
 //	metisbench -fig all -metrics-addr :9090      # live /metrics, /debug/vars, /debug/pprof
@@ -37,6 +38,7 @@ import (
 
 	"metis/internal/exp"
 	"metis/internal/fault"
+	"metis/internal/lp"
 	"metis/internal/obs"
 	"metis/internal/solvectx"
 )
@@ -62,6 +64,7 @@ type jsonReport struct {
 	Parallel   int           `json:"parallel"`
 	Seed       int64         `json:"seed"`
 	Warm       bool          `json:"warm"`
+	Factorized bool          `json:"factorized"`
 	Figures    []*exp.Figure `json:"figures"`
 	Benchmarks []benchRecord `json:"benchmarks"`
 	// SolverStats carries the per-point solver statistics collected
@@ -90,6 +93,7 @@ func run(args []string) (err error) {
 		optLimit    = fs.Duration("opt-limit", 0, "override exact-solver time limit (0 = config default)")
 		parallel    = fs.Int("parallel", 1, "scenario-point workers per experiment (0 = all CPUs, 1 = sequential)")
 		warm        = fs.String("warm", "on", "LP warm starts: on (incremental relaxation models) or off (every LP solved cold; bit-identical to the pre-warm-start code path)")
+		factorized  = fs.Bool("factorized", false, "force the LU-factorized simplex basis for every LP solve (default: chosen per problem by size); refactorization and update stats land in the -json counters")
 		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 		memProf     = fs.String("memprofile", "", "write an allocation profile (after the run) to this file")
 		traceOut    = fs.String("trace", "", "write a JSONL trace of every solve to this file (summarize with cmd/metistrace)")
@@ -100,12 +104,17 @@ func run(args []string) (err error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Flag validation, before any work: conflicting or malformed
+	// combinations fail fast with the usage text instead of surfacing
+	// minutes into a run (or silently letting one flag win).
+	if err := validateFlags(*warm, *csv, *chart, *jsonOut, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "metisbench:", err)
+		fs.Usage()
+		return err
+	}
 	if *list {
 		fmt.Println(strings.Join(append(exp.IDs(), "all"), "\n"))
 		return nil
-	}
-	if *warm != "on" && *warm != "off" {
-		return fmt.Errorf("-warm must be \"on\" or \"off\", got %q", *warm)
 	}
 
 	cfg := exp.DefaultConfig()
@@ -125,6 +134,9 @@ func run(args []string) (err error) {
 	}
 	cfg.Parallel = *parallel
 	cfg.ColdLP = *warm == "off"
+	if *factorized {
+		cfg.LP.Pivot = lp.PivotFactorized
+	}
 	cfg.Deadline = *deadline
 
 	// Ctrl-C cancels every solve through the context plumbing; deferred
@@ -235,6 +247,29 @@ func run(args []string) (err error) {
 	return writeMemProfile()
 }
 
+// validateFlags rejects flag combinations that contradict each other.
+// -csv, -chart and -json each claim the whole output stream, so at most
+// one may be set; -list exits before any experiment runs, so combining
+// it with an output format is a mistake worth stopping on.
+func validateFlags(warm string, csv, chart, jsonOut, list bool) error {
+	if warm != "on" && warm != "off" {
+		return fmt.Errorf("-warm must be \"on\" or \"off\", got %q", warm)
+	}
+	formats := 0
+	for _, f := range []bool{csv, chart, jsonOut} {
+		if f {
+			formats++
+		}
+	}
+	if formats > 1 {
+		return fmt.Errorf("at most one of -csv, -chart, -json may be set")
+	}
+	if list && formats > 0 {
+		return fmt.Errorf("-list cannot be combined with -csv, -chart or -json")
+	}
+	return nil
+}
+
 // runJSON regenerates each selected experiment separately, recording
 // wall time and allocation counts per experiment id, and emits one JSON
 // document with both the figure data and the perf records.
@@ -245,7 +280,10 @@ func runJSON(w io.Writer, figID, cfgName string, cfg exp.Config) error {
 	}
 	stats := &exp.RunStats{}
 	cfg.Stats = stats
-	report := jsonReport{Config: cfgName, Parallel: cfg.Parallel, Seed: cfg.Seed, Warm: !cfg.ColdLP}
+	report := jsonReport{
+		Config: cfgName, Parallel: cfg.Parallel, Seed: cfg.Seed,
+		Warm: !cfg.ColdLP, Factorized: cfg.LP.Pivot == lp.PivotFactorized,
+	}
 	var ms runtime.MemStats
 	for _, id := range ids {
 		runtime.ReadMemStats(&ms)

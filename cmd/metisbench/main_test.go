@@ -32,6 +32,32 @@ func TestRunUnknownFigure(t *testing.T) {
 	}
 }
 
+// TestRunConflictingFlags: contradictory combinations must fail fast at
+// validation, before any experiment starts (each of these would
+// otherwise run minutes of figures with one flag silently ignored).
+func TestRunConflictingFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-fig", "fig4a", "-csv", "-chart"},
+		{"-fig", "fig4a", "-csv", "-json"},
+		{"-fig", "fig4a", "-chart", "-json"},
+		{"-fig", "fig4a", "-csv", "-chart", "-json"},
+		{"-list", "-json"},
+		{"-fig", "fig4a", "-warm", "lukewarm"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): want validation error, got nil", args)
+		}
+	}
+}
+
+// TestRunFactorizedQuick: the -factorized flag must thread through to a
+// completed run (every LP solved on the LU basis).
+func TestRunFactorizedQuick(t *testing.T) {
+	if err := run([]string{"-fig", "fig4a", "-quick", "-factorized"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunSeedOverride(t *testing.T) {
 	if err := run([]string{"-fig", "fig4a", "-quick", "-seed", "9"}); err != nil {
 		t.Fatal(err)

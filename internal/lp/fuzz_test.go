@@ -135,7 +135,10 @@ func (fz fuzzLP) build(t *testing.T) *Problem {
 
 // checkAgainstReference solves the instance with both implementations
 // and compares. Iteration-limited runs (either side) are skipped — the
-// oracle only judges runs both solvers finished.
+// oracle only judges runs both solvers finished. Every instance is also
+// re-solved through the LU-factorized basis, which must agree with the
+// dense-inverse path on status and objective: the fuzzer is the widest
+// net we have over the two basis representations disagreeing.
 func checkAgainstReference(t *testing.T, fz fuzzLP) {
 	t.Helper()
 	sol, err := fz.build(t).Solve(Options{})
@@ -153,12 +156,43 @@ func checkAgainstReference(t *testing.T, fz fuzzLP) {
 	if sol.Status != want {
 		t.Fatalf("%v\nstatus mismatch: simplex=%v reference=%v", fz, sol.Status, want)
 	}
+	checkFactorizedParity(t, fz, sol)
 	if sol.Status != StatusOptimal {
 		return
 	}
 	if math.Abs(sol.Objective-refObj) > 1e-6 {
 		t.Fatalf("%v\nobjective mismatch: simplex=%.12g reference=%.12g (Δ=%g)",
 			fz, sol.Objective, refObj, math.Abs(sol.Objective-refObj))
+	}
+}
+
+// checkFactorizedParity re-solves the instance with Pivot set to
+// PivotFactorized and requires status equality with — and, at
+// optimality, objective agreement within 1e-6 of — the dense-inverse
+// solution. The printed fuzzLP is the full reproducer: paste it into a
+// test (or re-feed the fuzz input) to replay the divergence.
+func checkFactorizedParity(t *testing.T, fz fuzzLP, dense *Solution) {
+	t.Helper()
+	fsol, err := fz.build(t).Solve(Options{Pivot: PivotFactorized})
+	if err != nil {
+		t.Fatalf("%v\nfactorized Solve: %v", fz, err)
+	}
+	if !fsol.Factorized && fsol.Status == StatusOptimal {
+		t.Fatalf("%v\nfactorized solve did not report Factorized", fz)
+	}
+	if fsol.Status == StatusIterLimit {
+		t.Skip("factorized iteration limit")
+	}
+	if fsol.Status != dense.Status {
+		t.Fatalf("%v\nfactorized/dense status mismatch: factorized=%v dense=%v",
+			fz, fsol.Status, dense.Status)
+	}
+	if fsol.Status != StatusOptimal {
+		return
+	}
+	if math.Abs(fsol.Objective-dense.Objective) > 1e-6 {
+		t.Fatalf("%v\nfactorized/dense objective mismatch: factorized=%.12g dense=%.12g (Δ=%g)",
+			fz, fsol.Objective, dense.Objective, math.Abs(fsol.Objective-dense.Objective))
 	}
 }
 

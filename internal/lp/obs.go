@@ -12,8 +12,16 @@ var (
 	cPhase2Iters = obs.NewCounter("lp.phase2_iters", "phase-2 (optimality) simplex iterations of cold solves")
 	cPivots      = obs.NewCounter("lp.pivots", "basis-changing pivots, primal and dual")
 	cBoundFlips  = obs.NewCounter("lp.bound_flips", "bound-flip iterations (entering variable crossed its range; no basis change)")
+	cDegenerate  = obs.NewCounter("lp.degenerate_pivots", "primal pivots with a (near-)zero step; sustained runs trigger Bland's anti-cycling rule")
 	cIterLimit   = obs.NewCounter("lp.iterlimit", "solves that stopped at Options.MaxIters")
 	cCanceled    = obs.NewCounter("lp.canceled", "solves stopped by Options.Ctx cancellation or deadline")
+
+	cLUFactors      = obs.NewCounter("lp.lu.factors", "sparse LU (re)factorizations of the basis matrix")
+	cLUUpdates      = obs.NewCounter("lp.lu.updates", "product-form (Forrest-Tomlin family) rank-1 basis updates applied between refactorizations")
+	cLURefactorStab = obs.NewCounter("lp.lu.refactor_unstable", "refactorizations forced by an unstable eta pivot")
+	cLURefactorFill = obs.NewCounter("lp.lu.refactor_fill", "refactorizations forced by eta-file fill growth or the eta-count cap")
+	cLUFillNNZ      = obs.NewCounter("lp.lu.fill_nnz", "cumulative nonzeros (L+U+diag) across factorizations; divide by lp.lu.factors for mean fill")
+	cLUSingular     = obs.NewCounter("lp.lu.singular", "factorization attempts that found the basis numerically singular")
 
 	cWarmAttempts  = obs.NewCounter("lp.warm.attempts", "warm solves attempted from a valid retained basis")
 	cWarmHits      = obs.NewCounter("lp.warm.hits", "warm solves completed by basis repair")

@@ -46,6 +46,12 @@ const (
 	// deadline passed) before the solve finished. The Solution carries no
 	// X; a warm-start Basis interrupted mid-repair stays usable.
 	StatusCanceled
+	// StatusNumeric reports that the factorized basis path broke down
+	// numerically (singular or unstable LU refactorization) and the
+	// problem was too large to retry against the dense fallback. The
+	// Solution carries no X. Rare in practice: the solver retries small
+	// problems densely and refactorizes before giving up.
+	StatusNumeric
 )
 
 // String returns the status name.
@@ -61,6 +67,8 @@ func (s Status) String() string {
 		return "iteration-limit"
 	case StatusCanceled:
 		return "canceled"
+	case StatusNumeric:
+		return "numeric-breakdown"
 	default:
 		return fmt.Sprintf("status(%d)", int(s))
 	}
@@ -306,4 +314,8 @@ type Solution struct {
 	// always false otherwise. Consumers that need the exact vertex a cold
 	// solve would pick must re-solve cold when this is set.
 	Degenerate bool
+	// Factorized reports whether the solve ran against the sparse
+	// LU-factorized basis (PivotFactorized, or PivotAuto on a large
+	// problem) rather than a dense basis inverse.
+	Factorized bool
 }

@@ -28,6 +28,17 @@ const (
 	// most coefficients are nonzero; kept as the fallback for dense
 	// inputs.
 	PivotDense
+	// PivotFactorized represents the basis as a sparse LU factorization
+	// with product-form updates instead of a dense m×m inverse: FTRAN/
+	// BTRAN triangular solves replace the O(m²) inverse maintenance, and
+	// per-pivot cost drops to the factor's nonzero count. This is the
+	// only mode whose memory is O(nnz) rather than O(m²), so it is what
+	// makes K=10000-scale instances (m ≈ 10⁴ rows) tractable. PivotAuto
+	// selects it for any problem with at least luAutoRows rows. The
+	// dense-inverse modes are retained as the differential oracle: both
+	// representations must agree on status and objective within
+	// tolerance on every instance (see the parity and fuzz tests).
+	PivotFactorized
 )
 
 // denseDensityThreshold is the nonzero fraction above which PivotAuto
@@ -37,6 +48,31 @@ const denseDensityThreshold = 0.4
 // maxDenseCells caps the dense-path working matrix (n·m cells) so huge
 // sparse problems can never be blown up into dense storage by accident.
 const maxDenseCells = 1 << 22
+
+// luAutoRows is the row count at which PivotAuto switches from the
+// dense basis inverse to the LU-factorized basis. Below it the m×m
+// inverse fits comfortably in cache and its branch-free row operations
+// win; above it the O(m²) per-pivot cost (and O(m²) memory) loses to
+// sparse triangular solves.
+const luAutoRows = 128
+
+// maxFallbackBinvCells caps the dense-inverse retry after a factorized
+// numeric failure: beyond this, allocating the m×m inverse would be
+// worse than the failure, so the retry re-runs factorized instead.
+const maxFallbackBinvCells = 1 << 24
+
+// pricingSection is the sectional-pricing window: the number of
+// candidate columns priced per section before the best improving one
+// (if any) is taken. Lists at most this long get plain full Dantzig
+// pricing.
+const pricingSection = 1024
+
+// statusNumeric is an internal sentinel: the LU-factorized basis went
+// numerically singular mid-solve. It never escapes the package —
+// solveCold retries on the dense-inverse path and solveWarm converts it
+// to a cold fallback; only when every fallback fails does a solve
+// surface StatusNumeric.
+const statusNumeric Status = -1
 
 // Options tunes the simplex solver.
 type Options struct {
@@ -116,25 +152,53 @@ type simplex struct {
 	state []int     // per column: atLower / atUpper / isBasic
 	basic []int     // per row: basic column
 	xB    []float64 // basic variable values
-	binv  []float64 // m×m row-major basis inverse
+	// Basis representation: exactly one of the two is active. binv is
+	// the dense m×m row-major basis inverse (PivotSparse/PivotDense);
+	// lu is the sparse LU factorization with product-form updates
+	// (PivotFactorized). All basis operations dispatch on lu != nil.
+	binv []float64
+	lu   *luBasis
+	// luFail records a numerically singular (re)factorization; the
+	// solve-level paths translate it into a dense-inverse or cold
+	// fallback.
+	luFail bool
 
 	opts  Options
 	iters int
 
 	// scratch buffers reused across iterations.
-	y  []float64
-	w  []float64
-	nz []int32
+	y   []float64
+	w   []float64
+	nz  []int32
+	rho []float64 // dual-simplex pivot row scratch (factorized mode)
+	// wNZ is the nonzero pattern of the direction w in factorized mode:
+	// ftranSparse returns it, the ratio test / basic-value update /
+	// eta append iterate it, and the next direction solve clears w
+	// through it. Meaningless (and unused) on the dense paths.
+	wNZ []int32
+	// Sparse-BTRAN buffers (factorized mode): cB gathers the basic cost
+	// vector and is all-zero between uses (computeDuals re-zeroes the
+	// cbNZ pattern after each solve); yNZp / rhoNZp are the output
+	// patterns of the previous dual / pivot-row BTRANs, cleared before
+	// the buffers are refilled.
+	cB     []float64
+	cbNZ   []int32
+	yNZp   []int32
+	rhoNZp []int32
+	// yDense records that the last duals BTRAN ran dense (cost vector
+	// too dense for the hypersparse path to win) and left y valid
+	// everywhere; the next sparse call must then clear all of y instead
+	// of just the yNZp pattern.
+	yDense bool
 
 	// Cold-solve scratch recycled through simplexPool: the phase-1 cost
-	// vector, the slack-layout map, the row-sign vector and the pricing
-	// cache. Like every other working array they are fully rewritten (or
-	// explicitly cleared) by Solve before use, so pooled garbage can
-	// never leak into a solve.
+	// vector, the slack-layout map and the row-sign vector. Like every
+	// other working array they are fully rewritten (or explicitly
+	// cleared) by Solve before use, so pooled garbage can never leak
+	// into a solve.
 	phase1  []float64
 	slackNB []int
 	signBuf []float64
-	dCache  []float64
 }
 
 // simplexPool recycles simplex working arrays across cold solves. The
@@ -240,13 +304,38 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	return sol, nil
 }
 
-// solveCold runs two-phase primal simplex from the all-slack basis.
+// solveCold runs two-phase primal simplex from the all-slack basis,
+// retrying on the dense-inverse path if the factorized basis goes
+// numerically singular (a nil return from the attempt).
 func (p *Problem) solveCold(opts Options) *Solution {
+	sol := p.solveColdAttempt(opts)
+	if sol != nil {
+		return sol
+	}
+	// Factorized numeric failure. Small problems rerun on the dense
+	// inverse, which cannot go singular mid-pivot; a retry would replay
+	// the identical pivot sequence on a problem too big for an m×m
+	// inverse, so that case surfaces StatusNumeric instead.
+	cLUSingular.Inc()
+	if m := len(p.rel); m*m <= maxFallbackBinvCells {
+		opts.Pivot = PivotSparse
+		sol = p.solveColdAttempt(opts)
+	}
+	if sol == nil {
+		sol = &Solution{Status: StatusNumeric}
+	}
+	return sol
+}
+
+// solveColdAttempt is one cold solve; it returns nil when the
+// LU-factorized basis went numerically singular and the caller should
+// retry on another path.
+func (p *Problem) solveColdAttempt(opts Options) *Solution {
 	nStruct := len(p.obj)
 	m := len(p.rel)
 	s := simplexPool.Get().(*simplex)
 	s.m, s.opts = m, opts.withDefaults(m, nStruct)
-	s.nArt, s.iters = 0, 0
+	s.nArt, s.iters, s.luFail = 0, 0, false
 	mat := p.matrixCSC()
 
 	// Shift structural variables to lower bound 0 and compute the
@@ -349,10 +438,12 @@ func (p *Problem) solveCold(opts Options) *Solution {
 	clear(s.state) // atLower == 0
 	s.basic = growInts(s.basic, m)
 	s.xB = growFloats(s.xB, m)
-	s.binv = growFloats(s.binv, m*m)
-	clear(s.binv)
-	for i := 0; i < m; i++ {
-		s.binv[i*m+i] = 1
+	if s.lu == nil {
+		s.binv = growFloats(s.binv, m*m)
+		clear(s.binv)
+		for i := 0; i < m; i++ {
+			s.binv[i*m+i] = 1
+		}
 	}
 	s.y = growFloats(s.y, m)
 	s.w = growFloats(s.w, m)
@@ -368,6 +459,14 @@ func (p *Problem) solveCold(opts Options) *Solution {
 		s.state[j] = isBasic
 		s.xB[i] = s.b[i]
 	}
+	if s.lu != nil && !s.refactorLU() {
+		// The initial basis is a +1 diagonal; a singular factorization
+		// here means scratch corruption, not bad data — bail to the
+		// dense-inverse retry rather than guessing.
+		opts.Warm.invalidate()
+		s.release()
+		return nil
+	}
 
 	// Phase 1: minimize the sum of artificials (skipped when none).
 	p1 := 0
@@ -379,6 +478,12 @@ func (p *Problem) solveCold(opts Options) *Solution {
 			phase1[j] = 1
 		}
 		st := s.iterate(phase1)
+		if st == statusNumeric {
+			cPhase1Iters.Add(int64(s.iters))
+			opts.Warm.invalidate()
+			s.release()
+			return nil
+		}
 		if st == StatusIterLimit || st == StatusCanceled {
 			iters := s.iters
 			cPhase1Iters.Add(int64(iters))
@@ -408,6 +513,10 @@ func (p *Problem) solveCold(opts Options) *Solution {
 	st := s.iterate(s.cost)
 	cPhase2Iters.Add(int64(s.iters - p1))
 	switch st {
+	case statusNumeric:
+		opts.Warm.invalidate()
+		s.release()
+		return nil
 	case StatusIterLimit, StatusUnbounded, StatusCanceled:
 		iters := s.iters
 		opts.Warm.invalidate()
@@ -457,19 +566,28 @@ func (p *Problem) extract(s *simplex, sign []float64, shiftObj float64) *Solutio
 		obj = -obj
 	}
 
-	// Duals y = c_B^T·Binv accumulated row-major: each duals[i] receives
-	// the same terms in the same ascending-row order as the column-wise
-	// loop, so the result is bit-identical, but Binv streams in storage
-	// order instead of striding down columns.
+	// Duals y = c_B^T·B⁻¹: one BTRAN against the factors, or accumulated
+	// row-major over Binv (each duals[i] receives the same terms in the
+	// same ascending-row order as the column-wise loop, so the result is
+	// bit-identical, but Binv streams in storage order instead of
+	// striding down columns).
 	duals := make([]float64, m)
-	for r, j := range s.basic {
-		cj := s.cost[j]
-		if cj == 0 {
-			continue
+	if s.lu != nil {
+		c := s.lu.posBuf
+		for i, j := range s.basic {
+			c[i] = s.cost[j]
 		}
-		row := s.binv[r*m : r*m+m]
-		for i, bv := range row {
-			duals[i] += cj * bv
+		s.lu.btran(c, duals)
+	} else {
+		for r, j := range s.basic {
+			cj := s.cost[j]
+			if cj == 0 {
+				continue
+			}
+			row := s.binv[r*m : r*m+m]
+			for i, bv := range row {
+				duals[i] += cj * bv
+			}
 		}
 	}
 	for i := 0; i < m; i++ {
@@ -479,24 +597,37 @@ func (p *Problem) extract(s *simplex, sign []float64, shiftObj float64) *Solutio
 		}
 		duals[i] = y
 	}
-	return &Solution{Status: StatusOptimal, Objective: obj, X: x, Duals: duals, Iters: s.iters}
+	return &Solution{Status: StatusOptimal, Objective: obj, X: x, Duals: duals, Iters: s.iters, Factorized: s.lu != nil}
 }
 
 // buildDense decides the pivot path and, for the dense path, mirrors
 // the working matrix into contiguous column-major storage. The dense
 // and sparse paths visit each column's nonzeros in the same row order,
-// so they produce bit-identical pivot sequences.
+// so they produce bit-identical pivot sequences; the factorized path
+// follows the same pricing rules but its own (LU-driven) arithmetic.
 func (s *simplex) buildDense() {
 	mode := s.opts.Pivot
 	if mode == PivotAuto {
 		cells := s.m * s.n
-		if cells > 0 && cells <= maxDenseCells &&
-			float64(len(s.vals)) > denseDensityThreshold*float64(cells) {
+		switch {
+		case s.m >= luAutoRows:
+			mode = PivotFactorized
+		case cells > 0 && cells <= maxDenseCells &&
+			float64(len(s.vals)) > denseDensityThreshold*float64(cells):
 			mode = PivotDense
-		} else {
+		default:
 			mode = PivotSparse
 		}
 	}
+	if mode == PivotFactorized && s.m > 0 {
+		s.dense = nil
+		if s.lu == nil {
+			s.lu = new(luBasis)
+		}
+		s.lu.ok = false // factored once the initial basis is installed
+		return
+	}
+	s.lu = nil
 	if mode != PivotDense || s.m == 0 {
 		s.dense = nil // drop any pooled mirror from a previous dense solve
 		return
@@ -550,7 +681,8 @@ func (s *simplex) objective(cost []float64) float64 {
 }
 
 // refreshXB recomputes basic values from scratch to shed accumulated
-// floating-point drift: xB = Binv·(b − Σ_{j at upper} A_j·up_j).
+// floating-point drift: xB = B⁻¹·(b − Σ_{j at upper} A_j·up_j), by
+// FTRAN against the factors or a dense multiply against Binv.
 func (s *simplex) refreshXB() {
 	m := s.m
 	// s.w is free here — refreshXB only runs between iterate/dualIterate
@@ -569,6 +701,15 @@ func (s *simplex) refreshXB() {
 			}
 		}
 	}
+	if s.lu != nil {
+		s.lu.ftran(rhs, s.xB)
+		for i, v := range s.xB {
+			if v < 0 && v > -s.opts.Tol {
+				s.xB[i] = 0
+			}
+		}
+		return
+	}
 	for i := 0; i < m; i++ {
 		var v float64
 		row := s.binv[i*m : i*m+m]
@@ -580,6 +721,98 @@ func (s *simplex) refreshXB() {
 		}
 		s.xB[i] = v
 	}
+}
+
+// ensureLU (re)factors the basis when the factorized representation is
+// active but stale — a cloned handle, or after an update was refused.
+// It reports false (and sets luFail) on a numerically singular basis.
+func (s *simplex) ensureLU() bool {
+	if s.lu == nil || s.lu.ok {
+		return true
+	}
+	return s.refactorLU()
+}
+
+// refactorLU factors the current basis from scratch and records the
+// factor-size counters. False means singular; s.luFail is set.
+func (s *simplex) refactorLU() bool {
+	cLUFactors.Inc()
+	if !s.lu.factor(s.m, s.colPtr, s.rowIdx, s.vals, s.basic) {
+		s.luFail = true
+		return false
+	}
+	cLUFillNNZ.Add(int64(s.lu.nnz()))
+	return true
+}
+
+// computeDuals fills y = c_B^T·B⁻¹ through whichever basis
+// representation is active: a single BTRAN in factorized mode, or the
+// blocked Binv accumulation. costRows is pass-through scratch for the
+// dense path.
+func (s *simplex) computeDuals(cost, y []float64, costRows []int) []int {
+	if s.lu != nil {
+		// Gather the basic costs and pick a BTRAN flavor by density:
+		// the hypersparse path wins when few basic variables carry cost
+		// (all of phase 1 once artificials start leaving, and any
+		// objective over a small variable subset); with a dense cost
+		// vector its reachability DFS visits nearly every step and the
+		// plain dense solve is cheaper.
+		cb := growFloats(s.cB, s.m)
+		s.cB = cb
+		cbNZ := s.cbNZ[:0]
+		for i, j := range s.basic {
+			if cj := cost[j]; cj != 0 {
+				cb[i] = cj
+				cbNZ = append(cbNZ, int32(i))
+			}
+		}
+		if len(cbNZ)*16 > s.m {
+			c := s.lu.posBuf
+			clear(c)
+			for _, p := range cbNZ {
+				c[p] = cb[p]
+				cb[p] = 0
+			}
+			s.cbNZ = cbNZ[:0]
+			s.lu.btran(c, y) // overwrites all of y
+			s.yDense = true
+			return costRows
+		}
+		if s.yDense {
+			clear(y)
+			s.yDense = false
+			s.yNZp = s.yNZp[:0]
+		}
+		cbNZ, s.yNZp = s.lu.btranSparse(cb, cbNZ, y, s.yNZp)
+		for _, p := range cbNZ {
+			cb[p] = 0
+		}
+		s.cbNZ = cbNZ[:0]
+		return costRows
+	}
+	return s.buildDuals(cost, y, costRows)
+}
+
+// basisPivot applies a basis change at row leave with FTRAN direction w:
+// a product-form update (or, when refused, a refactorization) of the LU
+// factors, or the dense Binv row reduction. False means the refactor
+// found a singular basis and the solve must abort to a fallback path.
+func (s *simplex) basisPivot(leave int, w []float64) bool {
+	if s.lu == nil {
+		s.pivotBinv(leave, w)
+		return true
+	}
+	switch s.lu.appendEta(leave, w, s.wNZ) {
+	case etaOK:
+		cLUUpdates.Inc()
+		return true
+	case etaUnstable:
+		cLURefactorStab.Inc()
+	case etaFill:
+		cLURefactorFill.Inc()
+	}
+	// s.basic already names the post-pivot basis; factor it fresh.
+	return s.refactorLU()
 }
 
 // buildDuals fills y = c_B^T · Binv: one contiguous Binv row per basic
@@ -666,13 +899,16 @@ func (s *simplex) iterate(cost []float64) Status {
 		s.w = make([]float64, m)
 		s.nz = make([]int32, 0, m)
 	}
+	if !s.ensureLU() {
+		return statusNumeric
+	}
 	tol := s.opts.Tol
 	degenerate := 0
 	bland := false
 
-	// Pivot/flip tallies stay in locals through the hot loop and flush to
-	// the atomic counters once per iterate call.
-	pivots, flips := 0, 0
+	// Pivot/flip/degenerate tallies stay in locals through the hot loop
+	// and flush to the atomic counters once per iterate call.
+	pivots, flips, degenTotal := 0, 0, 0
 	defer func() {
 		if pivots != 0 {
 			cPivots.Add(int64(pivots))
@@ -680,9 +916,23 @@ func (s *simplex) iterate(cost []float64) Status {
 		if flips != 0 {
 			cBoundFlips.Add(int64(flips))
 		}
+		if degenTotal != 0 {
+			cDegenerate.Add(int64(degenTotal))
+		}
 	}()
 
 	y, w := s.y, s.w
+	if s.lu != nil {
+		// Establish the hypersparse buffer invariants: w and y all-zero
+		// with no previous pattern (w may be dense-dirty — refreshXB
+		// borrows it — and a pooled pattern may index a larger previous
+		// problem).
+		clear(w)
+		clear(y)
+		s.wNZ = s.wNZ[:0]
+		s.yNZp = s.yNZp[:0]
+		s.yDense = false
+	}
 	colPtr, rowIdx, vals := s.colPtr, s.rowIdx, s.vals
 	state, up := s.state, s.up
 	costRows := make([]int, 0, m) // rows whose basic variable has nonzero cost
@@ -698,17 +948,24 @@ func (s *simplex) iterate(cost []float64) Status {
 		}
 	}
 
-	// Reduced-cost cache for bound-flip iterations. A flip changes only
-	// state[enter] — the basis, Binv, y and every d_j are untouched — so
-	// the iteration after a flip can reuse the cached d values verbatim
-	// and skip both the y-build and the CSC pricing scan. dValid means
-	// dCache[i] holds d for cands[i] for the whole list; any pivot
-	// invalidates it (y changes and cands is reindexed). The replayed
-	// selection sees bit-identical d values in the identical order, so
-	// the chosen column matches a full rescan exactly.
-	s.dCache = growFloats(s.dCache, len(cands))
-	dCache := s.dCache
-	dValid := false
+	// Sectional (partial) pricing state. Pricing every candidate on
+	// every iteration is the single largest per-iteration cost once the
+	// basis work is factorized, and Dantzig's "globally most negative"
+	// rule only changes the path taken, not the optimum. So candidates
+	// are priced in fixed-size sections starting at a rotating cursor:
+	// the first section containing an improving column supplies the
+	// entering variable (best within that section), and a full wrap with
+	// no improving column is exactly the optimality proof the full scan
+	// used. Bland's rule bypasses the cursor and takes the first
+	// improving column of a whole-list ordered scan, preserving its
+	// anti-cycling termination guarantee.
+	//
+	// yValid tracks whether y still prices the current basis: a bound
+	// flip changes only state[enter] — basis, factors and y are
+	// untouched — so the next iteration skips the BTRAN and re-prices
+	// against the same duals; any pivot invalidates y.
+	cursor := 0
+	yValid := false
 	ctx := s.opts.Ctx
 
 	for ; s.iters < s.opts.MaxIters; s.iters++ {
@@ -719,82 +976,76 @@ func (s *simplex) iterate(cost []float64) Status {
 		if ctx != nil && s.iters&255 == 0 && ctx.Err() != nil {
 			return StatusCanceled
 		}
-		if !dValid {
-			costRows = s.buildDuals(cost, y, costRows)
+		if !yValid {
+			costRows = s.computeDuals(cost, y, costRows)
+			yValid = true
 		}
 
-		// Entering variable: most negative (Dantzig) reduced cost, or
-		// first improving column under Bland's rule. The cached branch
-		// replays the same selection over stored d values; the pricing
-		// branch computes them and fills the cache as it goes (a Bland
-		// early-out leaves the tail unwritten, so it marks the cache
-		// incomplete).
 		enter := -1
 		var enterD, enterDir float64
-		if dValid {
-			for idx, j32 := range cands {
+		if bland {
+			for _, j32 := range cands {
 				j := int(j32)
 				st := state[j]
-				d := dCache[idx]
-				var improving bool
-				var dir float64
+				d := s.reducedCost(j, y)
 				if st == atLower && d < -tol {
-					improving, dir = true, 1
-				} else if st == atUpper && d > tol {
-					improving, dir = true, -1
-				}
-				if !improving {
-					continue
-				}
-				if bland {
-					enter, enterD, enterDir = j, d, dir
+					enter, enterD, enterDir = j, d, 1
 					break
 				}
-				if enter == -1 || math.Abs(d) > math.Abs(enterD) {
-					enter, enterD, enterDir = j, d, dir
+				if st == atUpper && d > tol {
+					enter, enterD, enterDir = j, d, -1
+					break
 				}
 			}
 		} else {
-			filled := true
 			dense := s.dense
-			for idx, j32 := range cands {
-				j := int(j32)
-				st := state[j]
-				d := cost[j]
-				if dense != nil {
-					col := dense[j*m : j*m+m]
-					for i, v := range col {
-						d -= y[i] * v
+			nc := len(cands)
+			if cursor >= nc {
+				cursor = 0
+			}
+			base, scanned := cursor, 0
+			for scanned < nc && enter == -1 {
+				sect := pricingSection
+				if rem := nc - scanned; sect > rem {
+					sect = rem
+				}
+				if tail := nc - base; sect > tail {
+					sect = tail
+				}
+				for _, j32 := range cands[base : base+sect] {
+					j := int(j32)
+					st := state[j]
+					d := cost[j]
+					if dense != nil {
+						col := dense[j*m : j*m+m]
+						for i, v := range col {
+							d -= y[i] * v
+						}
+					} else {
+						start, end := colPtr[j], colPtr[j+1]
+						ri := rowIdx[start:end]
+						vv := vals[start:end][:len(ri)]
+						for k, rq := range ri {
+							d -= y[rq] * vv[k]
+						}
 					}
-				} else {
-					start, end := colPtr[j], colPtr[j+1]
-					ri := rowIdx[start:end]
-					vv := vals[start:end][:len(ri)]
-					for k, rq := range ri {
-						d -= y[rq] * vv[k]
+					var improving bool
+					var dir float64
+					if st == atLower && d < -tol {
+						improving, dir = true, 1
+					} else if st == atUpper && d > tol {
+						improving, dir = true, -1
+					}
+					if improving && (enter == -1 || math.Abs(d) > math.Abs(enterD)) {
+						enter, enterD, enterDir = j, d, dir
 					}
 				}
-				dCache[idx] = d
-				var improving bool
-				var dir float64
-				if st == atLower && d < -tol {
-					improving, dir = true, 1
-				} else if st == atUpper && d > tol {
-					improving, dir = true, -1
-				}
-				if !improving {
-					continue
-				}
-				if bland {
-					enter, enterD, enterDir = j, d, dir
-					filled = idx == len(cands)-1
-					break
-				}
-				if enter == -1 || math.Abs(d) > math.Abs(enterD) {
-					enter, enterD, enterDir = j, d, dir
+				scanned += sect
+				if base += sect; base >= nc {
+					base = 0
 				}
 			}
-			dValid = filled
+			cursor = base
 		}
 		if enter == -1 {
 			return StatusOptimal
@@ -802,29 +1053,53 @@ func (s *simplex) iterate(cost []float64) Status {
 
 		s.direction(enter, w)
 
-		// Ratio test.
+		// Ratio test. In factorized mode only the direction's nonzero
+		// pattern is scanned; rows outside it have w[i] == 0 and cannot
+		// limit the step.
 		theta := up[enter] // bound-flip limit (may be +Inf)
 		leave := -1
 		leaveTo := atLower
 		const pivTol = 1e-9
-		for i := 0; i < m; i++ {
+		nRows := m
+		if s.lu != nil {
+			nRows = len(s.wNZ)
+		}
+		for ii := 0; ii < nRows; ii++ {
+			i := ii
+			if s.lu != nil {
+				i = int(s.wNZ[ii])
+			}
 			if w[i] == 0 {
 				continue
 			}
 			g := enterDir * w[i]
+			var limit float64
+			var to int
 			if g > pivTol {
-				limit := s.xB[i] / g
-				if limit < theta-1e-12 || (limit < theta+1e-12 && leave != -1 && math.Abs(g) > math.Abs(enterDir*w[leave])) {
-					theta, leave, leaveTo = limit, i, atLower
-				}
+				limit, to = s.xB[i]/g, atLower
 			} else if g < -pivTol {
 				ub := up[s.basic[i]]
 				if math.IsInf(ub, 1) {
 					continue
 				}
-				limit := (ub - s.xB[i]) / -g
-				if limit < theta-1e-12 || (limit < theta+1e-12 && leave != -1 && math.Abs(g) > math.Abs(enterDir*w[leave])) {
-					theta, leave, leaveTo = limit, i, atUpper
+				limit, to = (ub-s.xB[i])/-g, atUpper
+			} else {
+				continue
+			}
+			// Tie-break among (near-)equal ratios: normally the largest
+			// |pivot| for numerical stability; under Bland's rule the
+			// smallest basic column index — the leaving-variable half of
+			// the anti-cycling guarantee, without which Bland's entering
+			// rule alone can still cycle on degenerate plateaus.
+			if limit < theta-1e-12 {
+				theta, leave, leaveTo = limit, i, to
+			} else if limit < theta+1e-12 && leave != -1 {
+				if bland {
+					if s.basic[i] < s.basic[leave] {
+						theta, leave, leaveTo = limit, i, to
+					}
+				} else if math.Abs(g) > math.Abs(enterDir*w[leave]) {
+					theta, leave, leaveTo = limit, i, to
 				}
 			}
 		}
@@ -839,6 +1114,7 @@ func (s *simplex) iterate(cost []float64) Status {
 		// Bland's rule, which guarantees termination.
 		if theta <= 1e-12 {
 			degenerate++
+			degenTotal++
 			if degenerate > 40 {
 				bland = true
 			}
@@ -852,22 +1128,36 @@ func (s *simplex) iterate(cost []float64) Status {
 		// skipped; every skipped entry was clamped when it was last
 		// written, so the clamp below cannot fire on it either.
 		if theta != 0 {
-			for i := 0; i < m; i++ {
-				wv := w[i]
-				if wv == 0 {
-					continue
+			if s.lu != nil {
+				for _, i32 := range s.wNZ {
+					i := int(i32)
+					wv := w[i]
+					if wv == 0 {
+						continue
+					}
+					s.xB[i] -= enterDir * theta * wv
+					if s.xB[i] < 0 && s.xB[i] > -tol {
+						s.xB[i] = 0
+					}
 				}
-				s.xB[i] -= enterDir * theta * wv
-				if s.xB[i] < 0 && s.xB[i] > -tol {
-					s.xB[i] = 0
+			} else {
+				for i := 0; i < m; i++ {
+					wv := w[i]
+					if wv == 0 {
+						continue
+					}
+					s.xB[i] -= enterDir * theta * wv
+					if s.xB[i] < 0 && s.xB[i] > -tol {
+						s.xB[i] = 0
+					}
 				}
 			}
 		}
 
 		if leave == -1 {
 			// Bound flip: the entering variable crosses its whole range.
-			// The basis is untouched, so the reduced-cost cache (when
-			// complete) stays valid for the next iteration.
+			// The basis is untouched, so y stays valid and the next
+			// iteration skips the BTRAN.
 			if state[enter] == atLower {
 				state[enter] = atUpper
 			} else {
@@ -876,7 +1166,7 @@ func (s *simplex) iterate(cost []float64) Status {
 			flips++
 			continue
 		}
-		dValid = false
+		yValid = false
 		pivots++
 
 		// Pivot: basic[leave] exits, enter becomes basic.
@@ -899,16 +1189,30 @@ func (s *simplex) iterate(cost []float64) Status {
 			cands = insertSorted(cands, int32(exit))
 		}
 
-		s.pivotBinv(leave, w)
+		if !s.basisPivot(leave, w) {
+			return statusNumeric
+		}
 	}
 	return StatusIterLimit
 }
 
-// direction computes w = Binv · A_enter, accumulated row by row so Binv
-// is traversed in storage order.
+// direction computes w = B⁻¹ · A_enter: an FTRAN against the factors
+// in factorized mode, else accumulated row by row so Binv is traversed
+// in storage order.
 func (s *simplex) direction(enter int, w []float64) {
 	m := s.m
 	colPtr, rowIdx, vals := s.colPtr, s.rowIdx, s.vals
+	if s.lu != nil {
+		// Hypersparse solve: w is all-zero outside the previous pattern
+		// (the caller established that before the first call), so
+		// clearing that pattern re-establishes the invariant.
+		for _, p := range s.wNZ {
+			w[p] = 0
+		}
+		start, end := colPtr[enter], colPtr[enter+1]
+		s.wNZ = s.lu.ftranSparse(rowIdx[start:end], vals[start:end], w)
+		return
+	}
 	if s.dense != nil {
 		col := s.dense[enter*m : enter*m+m]
 		for i := 0; i < m; i++ {

@@ -63,7 +63,10 @@ func (w *Basis) capture(p *Problem, s *simplex, sign []float64) {
 // diving: the child may warm-solve and pivot freely without disturbing
 // the parent's basis. Immutable layout arrays (constraint matrix,
 // costs, dense mirror) are shared; basis state (Binv, statuses, values)
-// is copied.
+// is copied. A factorized handle's LU factors are NOT copied — the
+// clone gets an empty factorization that is rebuilt from the copied
+// basic set on first use, which is both cheaper than copying the fill
+// and keeps the parent's eta file private.
 func (w *Basis) Clone() *Basis {
 	if !w.Valid() {
 		return NewBasis()
@@ -75,8 +78,14 @@ func (w *Basis) Clone() *Basis {
 	s.basic = append([]int(nil), w.sx.basic...)
 	s.xB = append([]float64(nil), w.sx.xB...)
 	s.binv = append([]float64(nil), w.sx.binv...)
-	s.y, s.w, s.nz = nil, nil, nil
-	s.phase1, s.slackNB, s.signBuf, s.dCache = nil, nil, nil, nil
+	s.y, s.w, s.nz, s.rho, s.wNZ = nil, nil, nil, nil, nil
+	s.cB, s.cbNZ, s.yNZp, s.rhoNZp = nil, nil, nil, nil
+	s.yDense = false
+	s.phase1, s.slackNB, s.signBuf = nil, nil, nil
+	if s.lu != nil {
+		s.lu = new(luBasis) // refactored on demand from s.basic
+	}
+	s.luFail = false
 	return &Basis{matrix: w.matrix, m: w.m, nStruct: w.nStruct, sign: w.sign, sx: &s, ok: true}
 }
 
@@ -187,6 +196,13 @@ func (p *Problem) solveWarm(opts Options) (*Solution, warmOutcome) {
 		}
 	}
 
+	// A cloned factorized handle carries the basic set but not the
+	// factors; rebuild them before the first FTRAN below.
+	if !s.ensureLU() {
+		w.invalidate()
+		return nil, warmStall
+	}
+
 	s.refreshXB()
 	if !s.primalFeasible() {
 		// Bound/rhs deltas keep the basis dual feasible (costs are
@@ -230,6 +246,10 @@ func (p *Problem) solveWarm(opts Options) (*Solution, warmOutcome) {
 		return &Solution{Status: StatusUnbounded, Iters: s.iters, Warm: true}, warmHit
 	case StatusCanceled:
 		return &Solution{Status: StatusCanceled, Iters: s.iters, Warm: true, Basis: w}, warmCanceled
+	case statusNumeric:
+		// Factorization breakdown mid-cleanup: refactor via a cold solve.
+		w.invalidate()
+		return nil, warmStall
 	}
 
 	s.refreshXB()
@@ -259,7 +279,7 @@ func (s *simplex) degenerateOptimum() bool {
 		s.nz = make([]int32, 0, m)
 	}
 	y := s.y
-	s.buildDuals(s.cost, y, make([]int, 0, m))
+	s.computeDuals(s.cost, y, make([]int, 0, m))
 	tol := s.opts.Tol
 	for j := 0; j < s.n; j++ {
 		if s.state[j] == isBasic || s.up[j] == 0 {
@@ -297,7 +317,7 @@ func (s *simplex) dualFeasible() bool {
 		s.nz = make([]int32, 0, m)
 	}
 	y := s.y
-	s.buildDuals(s.cost, y, make([]int, 0, m))
+	s.computeDuals(s.cost, y, make([]int, 0, m))
 	tol := s.opts.Tol
 	for j := 0; j < s.n; j++ {
 		st := s.state[j]
@@ -348,6 +368,19 @@ func (s *simplex) dualIterate() int {
 	tol := s.opts.Tol
 	const pivTol = 1e-9
 	y, w := s.y, s.w
+	if s.lu != nil {
+		// Same hypersparse buffer invariants as iterate: w, y and the
+		// pivot-row buffer all-zero with no stale patterns before the
+		// first sparse solves.
+		clear(w)
+		clear(y)
+		s.wNZ = s.wNZ[:0]
+		s.yNZp = s.yNZp[:0]
+		s.yDense = false
+		s.rho = growFloats(s.rho, m)
+		clear(s.rho)
+		s.rhoNZp = s.rhoNZp[:0]
+	}
 	state, up := s.state, s.up
 	degenerate := 0
 	bland := false
@@ -370,7 +403,21 @@ func (s *simplex) dualIterate() int {
 	costRows := make([]int, 0, m)
 	ctx := s.opts.Ctx
 
-	for ; s.iters < s.opts.MaxIters; s.iters++ {
+	// A repair is expected to be short: the caller's deltas push a
+	// handful of basic values out of bounds, and a healthy dual repair
+	// returns in pivots proportional to that perturbation, not to the
+	// problem size. A repair grinding past a few multiples of m is
+	// degenerate-crawling under Bland's rule, and the cold two-phase
+	// solve is faster than finishing the crawl — so hand over instead of
+	// burning the caller's whole MaxIters budget here. (Observed before
+	// this cap: K=10⁴ BL repairs consuming the full ~10⁶-iteration
+	// budget, minutes per round, before stalling into the same cold
+	// fallback.)
+	limit := s.opts.MaxIters
+	if rc := 200 + 4*m; rc < limit {
+		limit = rc
+	}
+	for ; s.iters < limit; s.iters++ {
 		// Same batched cancellation poll as iterate: iteration boundary
 		// only, so the basis is always consistent on a canceled return.
 		if ctx != nil && s.iters&255 == 0 && ctx.Err() != nil {
@@ -380,24 +427,42 @@ func (s *simplex) dualIterate() int {
 		// viol is signed: negative below zero, positive above upper.
 		leave := -1
 		var viol float64
-		worst := tol
-		for i := 0; i < m; i++ {
-			xv := s.xB[i]
-			if xv < -worst {
-				leave, viol = i, xv
-				if bland {
-					break
+		if bland {
+			// Bland's dual rule orders by *variable* index, not row
+			// position: among rows outside their bounds, the one whose
+			// basic variable has the smallest index leaves. Taking the
+			// first violated row in row order looks similar but rows
+			// permute as the basis changes, which voids the termination
+			// guarantee — the dual twin of the primal ratio-test
+			// tie-break.
+			for i := 0; i < m; i++ {
+				xv := s.xB[i]
+				var v float64
+				if xv < -tol {
+					v = xv
+				} else if ub := up[s.basic[i]]; !math.IsInf(ub, 1) && xv > ub+tol {
+					v = xv - ub
+				} else {
+					continue
 				}
-				worst = -xv
-				continue
+				if leave == -1 || s.basic[i] < s.basic[leave] {
+					leave, viol = i, v
+				}
 			}
-			ub := up[s.basic[i]]
-			if !math.IsInf(ub, 1) && xv > ub+worst {
-				leave, viol = i, xv-ub
-				if bland {
-					break
+		} else {
+			worst := tol
+			for i := 0; i < m; i++ {
+				xv := s.xB[i]
+				if xv < -worst {
+					leave, viol = i, xv
+					worst = -xv
+					continue
 				}
-				worst = xv - ub
+				ub := up[s.basic[i]]
+				if !math.IsInf(ub, 1) && xv > ub+worst {
+					leave, viol = i, xv-ub
+					worst = xv - ub
+				}
 			}
 		}
 		if leave == -1 {
@@ -405,14 +470,32 @@ func (s *simplex) dualIterate() int {
 		}
 
 		// Duals y = c_B^T·Binv for the ratio test's reduced costs.
-		costRows = s.buildDuals(s.cost, y, costRows)
+		costRows = s.computeDuals(s.cost, y, costRows)
 
 		// Dual ratio test over the pivot row ρ = e_leave^T·Binv: among
 		// eligible entering columns, the smallest |d_j|/|α_j| keeps every
 		// reduced cost on the right side after the pivot. Ties prefer the
 		// larger |α| (numerical stability); Bland's rule takes the first
-		// eligible column.
-		rho := s.binv[leave*m : leave*m+m]
+		// eligible column. The dense path reads the row straight out of
+		// Binv; the factorized path BTRANs a unit vector instead.
+		var rho []float64
+		if s.lu != nil {
+			// Hypersparse unit-vector BTRAN: the cB buffer (all-zero
+			// between uses) carries the single seed, and rho keeps the
+			// zero-outside-pattern invariant across iterations.
+			rho = s.rho
+			cb := growFloats(s.cB, m)
+			s.cB = cb
+			cbNZ := append(s.cbNZ[:0], int32(leave))
+			cb[leave] = 1
+			cbNZ, s.rhoNZp = s.lu.btranSparse(cb, cbNZ, rho, s.rhoNZp)
+			for _, p := range cbNZ {
+				cb[p] = 0
+			}
+			s.cbNZ = cbNZ[:0]
+		} else {
+			rho = s.binv[leave*m : leave*m+m]
+		}
 		enter := -1
 		var bestRatio, bestAlpha float64
 		for _, j32 := range cands {
@@ -489,9 +572,17 @@ func (s *simplex) dualIterate() int {
 		if state[enter] == atUpper {
 			enterBase = up[enter]
 		}
-		for i := 0; i < m; i++ {
-			if wv := w[i]; wv != 0 {
-				s.xB[i] -= t * wv
+		if s.lu != nil {
+			for _, i32 := range s.wNZ {
+				if wv := w[i32]; wv != 0 {
+					s.xB[i32] -= t * wv
+				}
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				if wv := w[i]; wv != 0 {
+					s.xB[i] -= t * wv
+				}
 			}
 		}
 		exit := s.basic[leave]
@@ -508,7 +599,9 @@ func (s *simplex) dualIterate() int {
 		if up[exit] != 0 {
 			cands = insertSorted(cands, int32(exit))
 		}
-		s.pivotBinv(leave, w)
+		if !s.basisPivot(leave, w) {
+			return dualStalled
+		}
 		pivots++
 	}
 	return dualStalled

@@ -326,6 +326,98 @@ func TestWarmColdEquivalenceRandom(t *testing.T) {
 	t.Logf("warm path engaged on %d/%d perturbed solves", warmHits, solves)
 }
 
+// TestWarmColdFactorizedEquivalence reruns the randomized warm-vs-cold
+// parity drill entirely on the LU-factorized basis, with the dense
+// inverse as a third oracle: after every perturbation round, the warm
+// factorized repair, a cold factorized solve and a cold dense solve
+// must agree on status, and at optimality on the objective within
+// relative 1e-9. Every failure message carries the trial seed; rebuild
+// the instance with randomBoundedLP(stats.NewRNG(seed+1), ...) to
+// replay.
+func TestWarmColdFactorizedEquivalence(t *testing.T) {
+	warmHits := 0
+	for trial := 0; trial < 20; trial++ {
+		seed := int64(9100 + trial)
+		shape := stats.NewRNG(seed)
+		m := 4 + shape.Intn(12)
+		n := 4 + shape.Intn(25)
+		density := shape.Uniform(0.1, 0.8)
+		p := randomBoundedLP(t, stats.NewRNG(seed+1), m, n, density)
+		q := randomBoundedLP(t, stats.NewRNG(seed+1), m, n, density)
+		r := randomBoundedLP(t, stats.NewRNG(seed+1), m, n, density)
+
+		basis := NewBasis()
+		if _, err := p.Solve(Options{Warm: basis, Pivot: PivotFactorized}); err != nil {
+			t.Fatal(err)
+		}
+		pert := stats.NewRNG(seed + 2)
+		for round := 0; round < 4; round++ {
+			for j := 0; j < n; j++ {
+				if pert.Float64() < 0.25 {
+					pe := perturbation{kind: 0, idx: j}
+					switch pert.Intn(3) {
+					case 0:
+						pe.lo, pe.hi = 0, 0
+					case 1:
+						pe.lo, pe.hi = 0, pert.Uniform(0.2, 4)
+					default:
+						pe.hi = pert.Uniform(0.5, 2)
+						pe.lo = pert.Uniform(0, 0.5*pe.hi)
+					}
+					applyPerturbation(t, p, pe)
+					applyPerturbation(t, q, pe)
+					applyPerturbation(t, r, pe)
+				}
+			}
+			for i := 0; i < m; i++ {
+				if pert.Float64() < 0.3 {
+					pe := perturbation{kind: 1, idx: i, rhs: pert.Uniform(0.3, 7)}
+					applyPerturbation(t, p, pe)
+					applyPerturbation(t, q, pe)
+					applyPerturbation(t, r, pe)
+				}
+			}
+
+			warm, err := p.Solve(Options{Warm: basis, Pivot: PivotFactorized})
+			if err != nil {
+				t.Fatalf("seed %d round %d warm factorized: %v", seed, round, err)
+			}
+			coldF, err := q.Solve(Options{Pivot: PivotFactorized})
+			if err != nil {
+				t.Fatalf("seed %d round %d cold factorized: %v", seed, round, err)
+			}
+			coldD, err := r.Solve(Options{Pivot: PivotSparse})
+			if err != nil {
+				t.Fatalf("seed %d round %d cold dense-inverse: %v", seed, round, err)
+			}
+			if warm.Warm {
+				warmHits++
+			}
+			if warm.Status != coldD.Status || coldF.Status != coldD.Status {
+				t.Fatalf("seed %d round %d: status mismatch: warm-factorized=%v cold-factorized=%v cold-dense=%v (warm path: %v)",
+					seed, round, warm.Status, coldF.Status, coldD.Status, warm.Warm)
+			}
+			if coldD.Status != StatusOptimal {
+				continue
+			}
+			tol := 1e-9 * (1 + math.Abs(coldD.Objective))
+			if math.Abs(warm.Objective-coldD.Objective) > tol {
+				t.Fatalf("seed %d round %d: warm-factorized objective %.15g != cold-dense %.15g (Δ=%g, warm path: %v)",
+					seed, round, warm.Objective, coldD.Objective,
+					warm.Objective-coldD.Objective, warm.Warm)
+			}
+			if math.Abs(coldF.Objective-coldD.Objective) > tol {
+				t.Fatalf("seed %d round %d: cold-factorized objective %.15g != cold-dense %.15g (Δ=%g)",
+					seed, round, coldF.Objective, coldD.Objective,
+					coldF.Objective-coldD.Objective)
+			}
+		}
+	}
+	if warmHits == 0 {
+		t.Fatal("factorized warm path never engaged across all trials")
+	}
+}
+
 // TestWarmNilBitIdentical: Options.Warm == nil must leave the cold path
 // untouched — two fresh solves of the same problem, one built alongside
 // a warm-capable one, produce byte-identical solutions.

@@ -42,14 +42,14 @@ func NewRLModel(inst *sched.Instance, opts lp.Options) (*RLModel, error) {
 	}
 	cCols := make([]int, net.NumLinks())
 	for e := range cCols {
-		cCols[e], err = p.AddVariable(net.Link(e).Price, 0, math.Inf(1), fmt.Sprintf("c[%d]", e))
+		cCols[e], err = p.AddVariable(net.Link(e).Price, 0, math.Inf(1), nameIdx("c", e))
 		if err != nil {
 			return nil, err
 		}
 	}
 	serveRows := make([]int, inst.NumRequests())
 	for i := 0; i < inst.NumRequests(); i++ {
-		row, err := p.AddConstraint(lp.EQ, 1, fmt.Sprintf("serve[%d]", i))
+		row, err := p.AddConstraint(lp.EQ, 1, nameIdx("serve", i))
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +171,7 @@ func NewBLModel(inst *sched.Instance, opts lp.Options) (*BLModel, error) {
 		return nil, err
 	}
 	for i := 0; i < inst.NumRequests(); i++ {
-		row, err := p.AddConstraint(lp.LE, 1, fmt.Sprintf("accept[%d]", i))
+		row, err := p.AddConstraint(lp.LE, 1, nameIdx("accept", i))
 		if err != nil {
 			return nil, err
 		}

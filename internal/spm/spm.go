@@ -12,6 +12,7 @@ package spm
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"metis/internal/lp"
 	"metis/internal/sched"
@@ -46,7 +47,7 @@ func SolveRLRelaxation(inst *sched.Instance, opts lp.Options) (*RelaxedRL, error
 	}
 	cCols := make([]int, net.NumLinks())
 	for e := range cCols {
-		cCols[e], err = p.AddVariable(net.Link(e).Price, 0, math.Inf(1), fmt.Sprintf("c[%d]", e))
+		cCols[e], err = p.AddVariable(net.Link(e).Price, 0, math.Inf(1), nameIdx("c", e))
 		if err != nil {
 			return nil, err
 		}
@@ -54,7 +55,7 @@ func SolveRLRelaxation(inst *sched.Instance, opts lp.Options) (*RelaxedRL, error
 
 	// Σ_j x[i][j] = 1 for every request.
 	for i := 0; i < inst.NumRequests(); i++ {
-		row, err := p.AddConstraint(lp.EQ, 1, fmt.Sprintf("serve[%d]", i))
+		row, err := p.AddConstraint(lp.EQ, 1, nameIdx("serve", i))
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +134,7 @@ func SolveBLRelaxationVar(inst *sched.Instance, caps [][]float64, opts lp.Option
 		return nil, err
 	}
 	for i := 0; i < inst.NumRequests(); i++ {
-		row, err := p.AddConstraint(lp.LE, 1, fmt.Sprintf("accept[%d]", i))
+		row, err := p.AddConstraint(lp.LE, 1, nameIdx("accept", i))
 		if err != nil {
 			return nil, err
 		}
@@ -193,6 +194,32 @@ func validateVarCaps(inst *sched.Instance, caps [][]float64) error {
 // objMode selects the objective placed on routing variables.
 //   - 0: zero objective (RL-SPM; cost sits on the bandwidth variables)
 //   - 1: request value (BL-SPM / SPM revenue)
+//
+// nameIdx and nameIdx2 format the "x[i]" / "x[i][j]" style names every
+// model builder stamps onto its variables and constraints. They are on
+// the model-construction hot path (thousands of names per build), where
+// fmt.Sprintf's reflection shows up in profiles; strconv keeps the cost
+// to the string allocation itself.
+func nameIdx(prefix string, i int) string {
+	b := make([]byte, 0, len(prefix)+8)
+	b = append(b, prefix...)
+	b = append(b, '[')
+	b = strconv.AppendInt(b, int64(i), 10)
+	b = append(b, ']')
+	return string(b)
+}
+
+func nameIdx2(prefix string, i, j int) string {
+	b := make([]byte, 0, len(prefix)+16)
+	b = append(b, prefix...)
+	b = append(b, '[')
+	b = strconv.AppendInt(b, int64(i), 10)
+	b = append(b, ']', '[')
+	b = strconv.AppendInt(b, int64(j), 10)
+	b = append(b, ']')
+	return string(b)
+}
+
 func addRoutingVars(p *lp.Problem, inst *sched.Instance, objMode int) ([][]int, error) {
 	xCols := make([][]int, inst.NumRequests())
 	for i := range xCols {
@@ -203,7 +230,7 @@ func addRoutingVars(p *lp.Problem, inst *sched.Instance, objMode int) ([][]int, 
 		}
 		xCols[i] = make([]int, inst.NumPaths(i))
 		for j := range xCols[i] {
-			col, err := p.AddVariable(obj, 0, 1, fmt.Sprintf("x[%d][%d]", i, j))
+			col, err := p.AddVariable(obj, 0, 1, nameIdx2("x", i, j))
 			if err != nil {
 				return nil, err
 			}
@@ -223,41 +250,64 @@ func addCapacityRows(p *lp.Problem, inst *sched.Instance, xCols [][]int, bwVar f
 	net := inst.Network()
 	slots := inst.Slots()
 
-	// terms[e][t] accumulates (column, rate) pairs.
+	// terms for cell (e, t) live at flat[off[e*slots+t]:off[e*slots+t+1]]:
+	// a counting pass sizes each cell exactly, then a second pass fills a
+	// single flat backing array. The per-cell append version of this loop
+	// was a model-construction hot spot (tens of thousands of tiny slice
+	// growths per build).
 	type term struct {
 		col  int
 		rate float64
 	}
-	terms := make([][][]term, net.NumLinks())
-	for e := range terms {
-		terms[e] = make([][]term, slots)
-	}
+	cells := net.NumLinks() * slots
+	off := make([]int, cells+1)
 	for i := 0; i < inst.NumRequests(); i++ {
 		r := inst.Request(i)
 		for j := range xCols[i] {
 			for _, e := range inst.Path(i, j).Links {
+				base := e*slots + 1
 				for t := r.Start; t <= r.End; t++ {
-					terms[e][t] = append(terms[e][t], term{col: xCols[i][j], rate: r.Rate})
+					off[base+t]++
+				}
+			}
+		}
+	}
+	for c := 0; c < cells; c++ {
+		off[c+1] += off[c]
+	}
+	flat := make([]term, off[cells])
+	fill := make([]int, cells)
+	copy(fill, off[:cells])
+	for i := 0; i < inst.NumRequests(); i++ {
+		r := inst.Request(i)
+		for j := range xCols[i] {
+			col := xCols[i][j]
+			for _, e := range inst.Path(i, j).Links {
+				base := e * slots
+				for t := r.Start; t <= r.End; t++ {
+					flat[fill[base+t]] = term{col: col, rate: r.Rate}
+					fill[base+t]++
 				}
 			}
 		}
 	}
 
 	rows := make([][]int, net.NumLinks())
-	for e := range terms {
+	for e := 0; e < net.NumLinks(); e++ {
 		col := bwVar(e)
 		rows[e] = make([]int, slots)
 		for t := 0; t < slots; t++ {
 			rows[e][t] = -1
-			if len(terms[e][t]) == 0 {
+			c := e*slots + t
+			if off[c] == off[c+1] {
 				continue
 			}
-			row, err := p.AddConstraint(lp.LE, rhs(e, t), fmt.Sprintf("cap[%d][%d]", e, t))
+			row, err := p.AddConstraint(lp.LE, rhs(e, t), nameIdx2("cap", e, t))
 			if err != nil {
 				return nil, err
 			}
 			rows[e][t] = row
-			for _, tm := range terms[e][t] {
+			for _, tm := range flat[off[c]:off[c+1]] {
 				if err := p.AddTerm(row, tm.col, tm.rate); err != nil {
 					return nil, err
 				}
