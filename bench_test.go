@@ -159,11 +159,35 @@ func benchInstance(b *testing.B, k int) *metis.Instance {
 func BenchmarkMetisSolveK100(b *testing.B) {
 	inst := benchInstance(b, 100)
 	b.ResetTimer()
+	start := lpIters()
 	for i := 0; i < b.N; i++ {
 		if _, err := metis.Solve(inst, metis.Config{Theta: 4, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric((lpIters()-start)/float64(b.N), "lp-iters/op")
+}
+
+// lpIters reads the global simplex-iteration counter so the solve
+// benchmarks can report iterations alongside ns/op: pricing-rule work
+// (devex vs Dantzig) moves the iteration count, not just the per-
+// iteration cost, and the delta makes that visible per benchmark run.
+func lpIters() float64 { return obs.Snapshot()["lp.iters"] }
+
+// BenchmarkMetisSolveK1000 fills the gap between the K100 latency
+// benchmark and the ~10-minute K10000 existence proof: big enough that
+// the working problems are thousands of rows (pricing quality dominates
+// wall-clock), small enough to run on every bench invocation.
+func BenchmarkMetisSolveK1000(b *testing.B) {
+	inst := benchInstance(b, 1000)
+	b.ResetTimer()
+	start := lpIters()
+	for i := 0; i < b.N; i++ {
+		if _, err := metis.Solve(inst, metis.Config{Theta: 4, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric((lpIters()-start)/float64(b.N), "lp-iters/op")
 }
 
 // BenchmarkMetisSolveK10000 is the scale target the LU-factorized basis

@@ -1,0 +1,35 @@
+package lp
+
+import (
+	"testing"
+
+	"metis/internal/stats"
+)
+
+func TestDevexIterCompare(t *testing.T) {
+	for _, sz := range []struct{ m, n int }{{60, 120}, {150, 300}, {300, 600}} {
+		var itD, itX, itB int
+		for trial := 0; trial < 5; trial++ {
+			seed := int64(555 + trial)
+			d, err := randomBoundedLP(t, stats.NewRNG(seed), sz.m, sz.n, 0.05).
+				Solve(Options{Pivot: PivotFactorized, Pricing: PricingDantzig})
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, err := randomBoundedLP(t, stats.NewRNG(seed), sz.m, sz.n, 0.05).
+				Solve(Options{Pivot: PivotFactorized, Pricing: PricingDevex})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := randomBoundedLP(t, stats.NewRNG(seed), sz.m, sz.n, 0.05).
+				Solve(Options{Pivot: PivotFactorized, Pricing: PricingBland})
+			if err != nil {
+				t.Fatal(err)
+			}
+			itD += d.Iters
+			itX += x.Iters
+			itB += b.Iters
+		}
+		t.Logf("m=%d n=%d: dantzig=%d devex=%d bland=%d", sz.m, sz.n, itD, itX, itB)
+	}
+}

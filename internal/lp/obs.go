@@ -23,6 +23,13 @@ var (
 	cLUFillNNZ      = obs.NewCounter("lp.lu.fill_nnz", "cumulative nonzeros (L+U+diag) across factorizations; divide by lp.lu.factors for mean fill")
 	cLUSingular     = obs.NewCounter("lp.lu.singular", "factorization attempts that found the basis numerically singular")
 
+	cPricingScanned   = obs.NewCounter("lp.pricing.scanned", "candidate columns priced across primal entering scans (all rules)")
+	cPricingResets    = obs.NewCounter("lp.pricing.devex_resets", "devex reference-framework (weight) resets, primal and dual: solve starts, weight drift past the cap, unstable refactorizations, ladder returns")
+	cPricingFallbacks = obs.NewCounter("lp.pricing.fallbacks", "pricing-rule demotions down the fallback ladder devex -> sectional Dantzig -> Bland on degenerate plateaus")
+
+	cDualColdStarts = obs.NewCounter("lp.pricing.dual_cold_starts", "cold solves that skipped primal phase 1 via a dual-devex cold start (slack basis dual feasible; dual simplex restores primal feasibility)")
+	cDualColdBails  = obs.NewCounter("lp.pricing.dual_cold_bails", "dual cold starts that stalled and fell back to classic two-phase primal simplex")
+
 	cWarmAttempts  = obs.NewCounter("lp.warm.attempts", "warm solves attempted from a valid retained basis")
 	cWarmHits      = obs.NewCounter("lp.warm.hits", "warm solves completed by basis repair")
 	cWarmStale     = obs.NewCounter("lp.warm.stale", "warm attempts dropped because the basis was stale (matrix or shape changed)")

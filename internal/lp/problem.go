@@ -318,4 +318,10 @@ type Solution struct {
 	// LU-factorized basis (PivotFactorized, or PivotAuto on a large
 	// problem) rather than a dense basis inverse.
 	Factorized bool
+	// Pricing is the resolved primal pricing rule the solve ran under
+	// (never PricingAuto): PricingDevex on factorized solves by default,
+	// PricingDantzig on the dense-inverse oracle paths, or whatever the
+	// caller pinned. Degenerate plateaus may demote the rule mid-solve
+	// (see Options.Pricing); this field reports the configured rung.
+	Pricing Pricing
 }

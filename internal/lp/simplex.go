@@ -61,11 +61,11 @@ const luAutoRows = 128
 // worse than the failure, so the retry re-runs factorized instead.
 const maxFallbackBinvCells = 1 << 24
 
-// pricingSection is the sectional-pricing window: the number of
-// candidate columns priced per section before the best improving one
-// (if any) is taken. Lists at most this long get plain full Dantzig
-// pricing.
-const pricingSection = 1024
+// defaultPricingSection is the default sectional-pricing window: the
+// number of candidate columns priced per section before the best
+// improving one (if any) is taken. Lists at most this long get a plain
+// full scan. Tunable via Options.PricingSection.
+const defaultPricingSection = 1024
 
 // statusNumeric is an internal sentinel: the LU-factorized basis went
 // numerically singular mid-solve. It never escapes the package —
@@ -85,6 +85,23 @@ type Options struct {
 	// PivotAuto). Both paths compute identical floating-point results;
 	// the switch is purely a storage/speed trade.
 	Pivot PivotMode
+	// Pricing selects the entering-column rule of the primal simplex
+	// and the leaving-row rule of the warm dual repair (default
+	// PricingAuto, which resolves to sectional Dantzig — the measured
+	// winner on the well-scaled path-formulation LPs; devex is the
+	// opt-in for badly scaled inputs). Every rule reaches the same
+	// optimum;
+	// degenerate plateaus demote down the ladder devex → Dantzig →
+	// Bland, so the anti-cycling guarantee holds under any setting.
+	// Invalid values are rejected by Solve.
+	Pricing Pricing
+	// PricingSection is the sectional-pricing window: how many
+	// candidate columns are priced per section before the best
+	// improving one found (if any) enters. 0 means the default (1024);
+	// explicit values must be >= 1 or Solve rejects them. Larger
+	// sections pick steeper columns per pivot at more pricing work per
+	// iteration; section size and pricing rule are tuned together.
+	PricingSection int
 	// Warm is an optional warm-start handle. When non-nil, Solve first
 	// tries to repair the handle's retained basis with bounded-variable
 	// dual simplex (or a primal cleanup) instead of running two-phase
@@ -113,6 +130,9 @@ func (o Options) withDefaults(m, n int) Options {
 	}
 	if o.MaxIters <= 0 {
 		o.MaxIters = 200 + 40*(m+n)
+	}
+	if o.PricingSection == 0 {
+		o.PricingSection = defaultPricingSection
 	}
 	return o
 }
@@ -199,6 +219,35 @@ type simplex struct {
 	phase1  []float64
 	slackNB []int
 	signBuf []float64
+
+	// Devex pricing state (pricing.go). gamma/beta are the primal
+	// (per-column) and dual (per-row) reference-framework weights;
+	// the OK flags are cleared at solve start, on weight drift and on
+	// unstable refactorizations, and the rules re-seed unit frameworks
+	// when they next run. rowPtr/colInd/rVals mirror the working matrix
+	// row-major (CSR) for the pivot-row gather; alpha* is the stamped
+	// pivot-row accumulator.
+	gamma      []float64
+	gammaRef   []bool
+	gammaBad   int
+	beta       []float64
+	gammaOK    bool
+	betaOK     bool
+	rowPtr     []int32
+	colInd     []int32
+	rVals      []float64
+	csrOK      bool
+	alpha      []float64
+	alphaNZ    []int32
+	alphaMark  []int32
+	alphaStamp int32
+	// pricedBy records the primal rule the last iterate resolved to
+	// (surfaced as Solution.Pricing). refactored/unstableRefactor are
+	// set by the LU refactorization paths so the devex loops refresh
+	// incremental duals and reset drifting weight frameworks.
+	pricedBy         Pricing
+	refactored       bool
+	unstableRefactor bool
 }
 
 // simplexPool recycles simplex working arrays across cold solves. The
@@ -250,12 +299,26 @@ func growInt32s(buf []int32, n, c int) []int32 {
 	return make([]int32, n, c)
 }
 
+// growBools is growFloats for bool slices.
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]bool, n)
+}
+
 // Solve optimizes the problem. It returns a Solution whose Status is
 // StatusOptimal, StatusInfeasible, StatusUnbounded or StatusIterLimit;
 // X is populated only for StatusOptimal.
 func (p *Problem) Solve(opts Options) (*Solution, error) {
 	if p.sense != Minimize && p.sense != Maximize {
 		return nil, fmt.Errorf("lp: invalid sense %d", p.sense)
+	}
+	if opts.Pricing < PricingAuto || opts.Pricing > PricingBland {
+		return nil, fmt.Errorf("lp: invalid pricing rule %d", opts.Pricing)
+	}
+	if opts.PricingSection < 0 {
+		return nil, fmt.Errorf("lp: invalid pricing section %d (must be >= 1; 0 selects the default)", opts.PricingSection)
 	}
 	var t0 time.Time
 	if opts.Tracer != nil {
@@ -292,13 +355,21 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	if sol.Status == StatusCanceled {
 		cCanceled.Inc()
 	}
+	if sol.Pricing == PricingAuto {
+		// Solutions that never reached extract (infeasible, canceled,
+		// iteration limit) still report the rule the solve resolved to.
+		factorized := opts.Pivot == PivotFactorized ||
+			(opts.Pivot == PivotAuto && len(p.rel) >= luAutoRows)
+		sol.Pricing = opts.effectivePricing(factorized && len(p.rel) > 0)
+	}
 	if opts.Tracer != nil {
 		obs.Span(opts.Tracer, "lp.solve", t0, obs.Fields{
-			"m":      len(p.rel),
-			"n":      len(p.obj),
-			"iters":  sol.Iters,
-			"status": sol.Status.String(),
-			"warm":   outcome.String(),
+			"m":       len(p.rel),
+			"n":       len(p.obj),
+			"iters":   sol.Iters,
+			"status":  sol.Status.String(),
+			"warm":    outcome.String(),
+			"pricing": sol.Pricing.String(),
 		})
 	}
 	return sol, nil
@@ -336,6 +407,9 @@ func (p *Problem) solveColdAttempt(opts Options) *Solution {
 	s := simplexPool.Get().(*simplex)
 	s.m, s.opts = m, opts.withDefaults(m, nStruct)
 	s.nArt, s.iters, s.luFail = 0, 0, false
+	// The working matrix is rebuilt below, so any pooled CSR mirror is
+	// stale; devex weight frameworks always start fresh per solve.
+	s.csrOK, s.gammaOK, s.betaOK = false, false, false
 	mat := p.matrixCSC()
 
 	// Shift structural variables to lower bound 0 and compute the
@@ -468,9 +542,103 @@ func (p *Problem) solveColdAttempt(opts Options) *Solution {
 		return nil
 	}
 
-	// Phase 1: minimize the sum of artificials (skipped when none).
+	// Dual cold start. At y = 0 every nonbasic column prices out at its
+	// own cost, so when each negative-cost column has a finite upper
+	// bound the all-slack basis is dual feasible outright — flip those
+	// columns to their upper bound and every reduced cost has the
+	// optimal sign. Locking the artificials at zero then turns phase 1
+	// on its head: instead of minimizing Σ artificials with primal
+	// pivots, the dual-devex repair drives the now out-of-bounds
+	// artificial rows back inside while KEEPING dual feasibility, and
+	// the basis it lands on is primal and dual feasible at once —
+	// optimal, modulo the certification scan below. On the SPM path LPs
+	// this replaces the largest iteration block of a cold solve (all of
+	// phase 1 and most of phase 2) with about one dual pivot per
+	// equality row. Gated to the factorized basis and the devex/Dantzig
+	// pricing rungs (the repair's row rule follows the configured
+	// pricing: devex row weights or plain most-violated); explicit
+	// Bland keeps PR 6 cold-solve semantics as the all-primal baseline
+	// and its termination reproducers. A stalled repair restores the
+	// pristine start and falls back to classic two-phase.
 	p1 := 0
-	if s.nArt > 0 {
+	dualStart := false
+	if s.nArt > 0 && s.lu != nil && s.opts.effectivePricing(true) != PricingBland {
+		eligible := true
+		for j := 0; j < s.artStart; j++ {
+			if s.cost[j] < 0 && math.IsInf(s.up[j], 1) {
+				eligible = false
+				break
+			}
+		}
+		if eligible {
+			dualStart = true
+			cDualColdStarts.Inc()
+			for j := s.artStart; j < s.n; j++ {
+				s.up[j] = 0
+			}
+			for j := 0; j < s.artStart; j++ {
+				if s.cost[j] < 0 && s.state[j] == atLower && s.up[j] > 0 {
+					s.state[j] = atUpper
+				}
+			}
+			s.refreshXB()
+			dst := dualDone
+			if !s.primalFeasible() {
+				dst = s.dualIterate()
+			}
+			switch dst {
+			case dualDone:
+				s.refreshXB()
+				dualStart = s.primalFeasible()
+			case dualInfeasible:
+				iters := s.iters
+				cPhase1Iters.Add(int64(iters))
+				opts.Warm.invalidate()
+				s.release()
+				return &Solution{Status: StatusInfeasible, Iters: iters}
+			case dualCanceled:
+				iters := s.iters
+				cPhase1Iters.Add(int64(iters))
+				opts.Warm.invalidate()
+				s.release()
+				return &Solution{Status: StatusCanceled, Iters: iters}
+			default: // dualStalled
+				dualStart = false
+			}
+			if dualStart {
+				p1 = s.iters
+				cPhase1Iters.Add(int64(p1))
+			} else {
+				// Restore the pristine slack/artificial start for the
+				// classic two-phase fallback. The repair's iterations stay
+				// on s.iters, counting against the same MaxIters budget.
+				cDualColdBails.Inc()
+				for j := s.artStart; j < s.n; j++ {
+					s.up[j] = math.Inf(1)
+				}
+				clear(s.state)
+				art = s.artStart
+				for i := 0; i < m; i++ {
+					j := slackBasic[i]
+					if j == -1 {
+						j = art
+						art++
+					}
+					s.basic[i] = j
+					s.state[j] = isBasic
+					s.xB[i] = s.b[i]
+				}
+				if !s.refactorLU() {
+					opts.Warm.invalidate()
+					s.release()
+					return nil
+				}
+			}
+		}
+	}
+
+	// Phase 1: minimize the sum of artificials (skipped when none).
+	if !dualStart && s.nArt > 0 {
 		s.phase1 = growFloats(s.phase1, s.n)
 		phase1 := s.phase1
 		clear(phase1)
@@ -597,7 +765,7 @@ func (p *Problem) extract(s *simplex, sign []float64, shiftObj float64) *Solutio
 		}
 		duals[i] = y
 	}
-	return &Solution{Status: StatusOptimal, Objective: obj, X: x, Duals: duals, Iters: s.iters, Factorized: s.lu != nil}
+	return &Solution{Status: StatusOptimal, Objective: obj, X: x, Duals: duals, Iters: s.iters, Factorized: s.lu != nil, Pricing: s.pricedBy}
 }
 
 // buildDense decides the pivot path and, for the dense path, mirrors
@@ -737,6 +905,7 @@ func (s *simplex) ensureLU() bool {
 // factor-size counters. False means singular; s.luFail is set.
 func (s *simplex) refactorLU() bool {
 	cLUFactors.Inc()
+	s.refactored = true // devex loops refresh incremental duals off this
 	if !s.lu.factor(s.m, s.colPtr, s.rowIdx, s.vals, s.basic) {
 		s.luFail = true
 		return false
@@ -808,6 +977,7 @@ func (s *simplex) basisPivot(leave int, w []float64) bool {
 		return true
 	case etaUnstable:
 		cLURefactorStab.Inc()
+		s.unstableRefactor = true // numerical trouble: devex resets weights
 	case etaFill:
 		cLURefactorFill.Inc()
 	}
@@ -904,11 +1074,24 @@ func (s *simplex) iterate(cost []float64) Status {
 	}
 	tol := s.opts.Tol
 	degenerate := 0
-	bland := false
 
-	// Pivot/flip/degenerate tallies stay in locals through the hot loop
-	// and flush to the atomic counters once per iterate call.
+	// Pricing-rule resolution and the fallback ladder. `rule` is what
+	// the caller configured (auto resolved against the live basis
+	// representation); `cur` is the rung currently driving the scan —
+	// degenerate streaks demote it devex → Dantzig → Bland, real
+	// progress promotes it back to rule. A devex promotion re-seeds the
+	// weight framework: the weights saw no updates while demoted.
+	rule := s.opts.effectivePricing(s.lu != nil)
+	s.pricedBy = rule
+	cur := rule
+	bland := cur == PricingBland
+	devexMode := cur == PricingDevex
+	s.refactored, s.unstableRefactor = false, false
+
+	// Pivot/flip/degenerate/pricing tallies stay in locals through the
+	// hot loop and flush to the atomic counters once per iterate call.
 	pivots, flips, degenTotal := 0, 0, 0
+	priced, resets, fallbacks := 0, 0, 0
 	defer func() {
 		if pivots != 0 {
 			cPivots.Add(int64(pivots))
@@ -918,6 +1101,15 @@ func (s *simplex) iterate(cost []float64) Status {
 		}
 		if degenTotal != 0 {
 			cDegenerate.Add(int64(degenTotal))
+		}
+		if priced != 0 {
+			cPricingScanned.Add(int64(priced))
+		}
+		if resets != 0 {
+			cPricingResets.Add(int64(resets))
+		}
+		if fallbacks != 0 {
+			cPricingFallbacks.Add(int64(fallbacks))
 		}
 	}()
 
@@ -932,6 +1124,13 @@ func (s *simplex) iterate(cost []float64) Status {
 		s.wNZ = s.wNZ[:0]
 		s.yNZp = s.yNZp[:0]
 		s.yDense = false
+		if rule == PricingDevex {
+			// The devex weight update BTRANs a unit pivot row into rho;
+			// establish its zero-outside-pattern invariant too.
+			s.rho = growFloats(s.rho, m)
+			clear(s.rho)
+			s.rhoNZp = s.rhoNZp[:0]
+		}
 	}
 	colPtr, rowIdx, vals := s.colPtr, s.rowIdx, s.vals
 	state, up := s.state, s.up
@@ -966,6 +1165,12 @@ func (s *simplex) iterate(cost []float64) Status {
 	// against the same duals; any pivot invalidates y.
 	cursor := 0
 	yValid := false
+	// yExact distinguishes BTRAN'd duals from incrementally updated
+	// ones (devex on the factorized basis folds the pivot row into y
+	// instead of re-solving). Optimality is only ever certified — and
+	// devex promotions re-priced — against exact duals.
+	yExact := false
+	section := s.opts.PricingSection
 	ctx := s.opts.Ctx
 
 	for ; s.iters < s.opts.MaxIters; s.iters++ {
@@ -977,35 +1182,52 @@ func (s *simplex) iterate(cost []float64) Status {
 			return StatusCanceled
 		}
 		if !yValid {
-			costRows = s.computeDuals(cost, y, costRows)
-			yValid = true
+			if devexMode && s.lu != nil {
+				// Incremental-duals mode needs y dense-valid everywhere;
+				// one full BTRAN here replaces one sparse BTRAN per pivot.
+				s.computeDualsFull(cost, y)
+			} else {
+				costRows = s.computeDuals(cost, y, costRows)
+			}
+			yValid, yExact = true, true
+		}
+		if devexMode && !s.gammaOK {
+			s.resetGamma()
+			resets++
 		}
 
 		enter := -1
 		var enterD, enterDir float64
 		if bland {
-			for _, j32 := range cands {
+			for bi, j32 := range cands {
 				j := int(j32)
 				st := state[j]
-				d := s.reducedCost(j, y)
+				d := s.reducedCost(cost, j, y)
 				if st == atLower && d < -tol {
 					enter, enterD, enterDir = j, d, 1
+					priced += bi + 1
 					break
 				}
 				if st == atUpper && d > tol {
 					enter, enterD, enterDir = j, d, -1
+					priced += bi + 1
 					break
 				}
 			}
+			if enter == -1 {
+				priced += len(cands)
+			}
 		} else {
 			dense := s.dense
+			gamma := s.gamma
 			nc := len(cands)
 			if cursor >= nc {
 				cursor = 0
 			}
 			base, scanned := cursor, 0
+			var bestScore float64
 			for scanned < nc && enter == -1 {
-				sect := pricingSection
+				sect := section
 				if rem := nc - scanned; sect > rem {
 					sect = rem
 				}
@@ -1036,7 +1258,16 @@ func (s *simplex) iterate(cost []float64) Status {
 					} else if st == atUpper && d > tol {
 						improving, dir = true, -1
 					}
-					if improving && (enter == -1 || math.Abs(d) > math.Abs(enterD)) {
+					if !improving {
+						continue
+					}
+					if devexMode {
+						// Devex: steepest reduced cost per approximate
+						// edge norm, d²/γ, instead of plain |d|.
+						if sc := d * d / gamma[j]; enter == -1 || sc > bestScore {
+							enter, enterD, enterDir, bestScore = j, d, dir, sc
+						}
+					} else if enter == -1 || math.Abs(d) > math.Abs(enterD) {
 						enter, enterD, enterDir = j, d, dir
 					}
 				}
@@ -1045,9 +1276,18 @@ func (s *simplex) iterate(cost []float64) Status {
 					base = 0
 				}
 			}
+			priced += scanned
 			cursor = base
 		}
 		if enter == -1 {
+			if !yExact {
+				// The wrap priced against incrementally updated duals;
+				// re-derive them exactly from the factors and re-scan
+				// before certifying optimality.
+				s.computeDualsFull(cost, y)
+				yExact = true
+				continue
+			}
 			return StatusOptimal
 		}
 
@@ -1110,17 +1350,37 @@ func (s *simplex) iterate(cost []float64) Status {
 			theta = 0
 		}
 
-		// Anti-cycling: after a run of degenerate pivots switch to
-		// Bland's rule, which guarantees termination.
+		// Anti-cycling fallback ladder: after a run of degenerate pivots
+		// demote one pricing rung (devex hands the plateau to sectional
+		// Dantzig, Dantzig to Bland, whose ordered first-improving scan
+		// guarantees termination); real progress promotes back to the
+		// configured rule.
 		if theta <= 1e-12 {
 			degenerate++
 			degenTotal++
-			if degenerate > 40 {
-				bland = true
+			if degenerate > 40 && cur != PricingBland {
+				cur = demote(cur)
+				degenerate = 0
+				fallbacks++
+				bland = cur == PricingBland
+				devexMode = false
 			}
 		} else {
 			degenerate = 0
-			bland = false
+			if cur != rule {
+				cur = rule
+				bland = cur == PricingBland
+				devexMode = cur == PricingDevex
+				if devexMode {
+					// The framework saw no updates while demoted; re-seed
+					// it, and re-derive exact duals before the incremental
+					// updates resume (they need y dense-valid).
+					s.gammaOK = false
+					if s.lu != nil {
+						yValid = false
+					}
+				}
+			}
 		}
 
 		// Move basic variables. A degenerate step (theta == 0) moves
@@ -1166,8 +1426,23 @@ func (s *simplex) iterate(cost []float64) Status {
 			flips++
 			continue
 		}
-		yValid = false
 		pivots++
+		if devexMode && yValid {
+			// Weight maintenance against the outgoing basis (and, in
+			// factorized mode, the incremental dual update that makes the
+			// per-pivot BTRAN unnecessary). Runs before any state/basic
+			// mutation: the pivot row and the nonbasic set are pre-pivot.
+			incY := s.lu != nil && s.yDense
+			if s.devexPrimalUpdate(enter, leave, enterD, w, y, incY) {
+				s.gammaOK = false // drift past the cap: reset next iteration
+			}
+			yExact = false
+			if !incY {
+				yValid = false
+			}
+		} else {
+			yValid = false
+		}
 
 		// Pivot: basic[leave] exits, enter becomes basic.
 		exit := s.basic[leave]
@@ -1191,6 +1466,23 @@ func (s *simplex) iterate(cost []float64) Status {
 
 		if !s.basisPivot(leave, w) {
 			return statusNumeric
+		}
+		if s.refactored {
+			// Fresh factors: incremental duals were computed against the
+			// old ones, so refresh before the next pricing scan; an
+			// instability-forced refactorization also resets the devex
+			// frameworks (the weights compounded through the bad pivots).
+			s.refactored = false
+			if devexMode && s.lu != nil {
+				yValid = false
+			}
+			if s.unstableRefactor {
+				s.unstableRefactor = false
+				if rule == PricingDevex {
+					s.gammaOK = false
+					s.betaOK = false
+				}
+			}
 		}
 	}
 	return StatusIterLimit

@@ -82,6 +82,13 @@ func (w *Basis) Clone() *Basis {
 	s.cB, s.cbNZ, s.yNZp, s.rhoNZp = nil, nil, nil, nil
 	s.yDense = false
 	s.phase1, s.slackNB, s.signBuf = nil, nil, nil
+	// Devex scratch is per-solve mutable state: the clone re-seeds its
+	// own weight frameworks. The CSR mirror is immutable alongside the
+	// shared matrix arrays, so it (and csrOK) is shared as-is.
+	s.gamma, s.beta = nil, nil
+	s.alpha, s.alphaNZ, s.alphaMark = nil, nil, nil
+	s.alphaStamp = 0
+	s.gammaOK, s.betaOK = false, false
 	if s.lu != nil {
 		s.lu = new(luBasis) // refactored on demand from s.basic
 	}
@@ -164,6 +171,9 @@ func (p *Problem) solveWarm(opts Options) (*Solution, warmOutcome) {
 	s := w.sx
 	s.opts = opts.withDefaults(s.m, nStruct)
 	s.iters = 0
+	// Weight frameworks never carry across solves: the repair re-seeds
+	// them against whatever basis survived since capture.
+	s.gammaOK, s.betaOK = false, false
 	m := s.m
 	sign := w.sign
 
@@ -285,7 +295,7 @@ func (s *simplex) degenerateOptimum() bool {
 		if s.state[j] == isBasic || s.up[j] == 0 {
 			continue
 		}
-		if math.Abs(s.reducedCost(j, y)) <= tol {
+		if math.Abs(s.reducedCost(s.cost, j, y)) <= tol {
 			return true
 		}
 	}
@@ -324,7 +334,7 @@ func (s *simplex) dualFeasible() bool {
 		if st == isBasic || s.up[j] == 0 {
 			continue
 		}
-		d := s.reducedCost(j, y)
+		d := s.reducedCost(s.cost, j, y)
 		if st == atLower && d < -tol {
 			return false
 		}
@@ -335,9 +345,12 @@ func (s *simplex) dualFeasible() bool {
 	return true
 }
 
-// reducedCost returns d_j = c_j − y·A_j.
-func (s *simplex) reducedCost(j int, y []float64) float64 {
-	d := s.cost[j]
+// reducedCost returns d_j = c_j − y·A_j against the given cost vector —
+// which must be the same vector the duals y were derived from (phase-1
+// costs price against phase-1 duals; mixing vectors breaks the Bland
+// termination guarantee and can cycle).
+func (s *simplex) reducedCost(cost []float64, j int, y []float64) float64 {
+	d := cost[j]
 	if s.dense != nil {
 		col := s.dense[j*s.m : (j+1)*s.m]
 		for i, v := range col {
@@ -353,11 +366,16 @@ func (s *simplex) reducedCost(j int, y []float64) float64 {
 
 // dualIterate runs bounded-variable dual simplex from a dual-feasible
 // basis until every basic value is back within its bounds. Each pivot
-// picks the most-violated basic variable to leave (Bland-style smallest
-// index after a degenerate streak, which guarantees termination) and
-// the entering variable by the dual ratio test over the pivot row, so
-// dual feasibility — and thus the optimality certificate — is
-// preserved throughout.
+// picks the leaving basic variable by dual devex (largest violation per
+// approximate row norm, the dual twin of the primal rule) or plain
+// most-violated, and the entering variable by the dual ratio test over
+// the pivot row, so dual feasibility — and thus the optimality
+// certificate — is preserved throughout. Degenerate streaks demote the
+// row rule down the same fallback ladder as the primal (devex →
+// most-violated → Bland's smallest-variable-index rule, which
+// guarantees termination); a repair never promotes back — it is
+// expected to be short, and a plateau that demoted once tends to
+// persist for the rest of it.
 func (s *simplex) dualIterate() int {
 	m := s.m
 	if s.y == nil {
@@ -383,13 +401,24 @@ func (s *simplex) dualIterate() int {
 	}
 	state, up := s.state, s.up
 	degenerate := 0
-	bland := false
+	prevViol := math.Inf(1)
+	yOK := false
+	cur := s.opts.effectivePricing(s.lu != nil)
+	bland := cur == PricingBland
+	s.refactored, s.unstableRefactor = false, false
 
-	// Dual pivots tally locally and flush once per repair.
-	pivots := 0
+	// Dual pivots and pricing events tally locally and flush once per
+	// repair.
+	pivots, resets, fallbacks := 0, 0, 0
 	defer func() {
 		if pivots != 0 {
 			cPivots.Add(int64(pivots))
+		}
+		if resets != 0 {
+			cPricingResets.Add(int64(resets))
+		}
+		if fallbacks != 0 {
+			cPricingFallbacks.Add(int64(fallbacks))
 		}
 	}()
 
@@ -423,24 +452,39 @@ func (s *simplex) dualIterate() int {
 		if ctx != nil && s.iters&255 == 0 && ctx.Err() != nil {
 			return dualCanceled
 		}
-		// Leaving row: the basic variable farthest outside its bounds.
-		// viol is signed: negative below zero, positive above upper.
+		if cur == PricingDevex && !s.betaOK {
+			s.resetBeta()
+			resets++
+		}
+		// Leaving row: the basic variable farthest outside its bounds
+		// (scaled by the devex row weight when that rule drives). viol is
+		// signed: negative below zero, positive above upper. The same
+		// single pass accumulates the total primal infeasibility, which
+		// drives the anti-cycling bookkeeping below: a pivot with a zero
+		// DUAL step can still make real primal progress (on LPs with many
+		// zero-cost columns — the SPM routing variables — every early
+		// cold-start ratio is zero), so demotion keys on this sum
+		// stalling rather than on dual degeneracy. (An upper bound of
+		// +Inf needs no explicit check: xv > ub+tol is then false.)
+		totalViol := 0.0
 		leave := -1
 		var viol float64
-		if bland {
+		switch {
+		case bland:
 			// Bland's dual rule orders by *variable* index, not row
 			// position: among rows outside their bounds, the one whose
 			// basic variable has the smallest index leaves. Taking the
 			// first violated row in row order looks similar but rows
 			// permute as the basis changes, which voids the termination
 			// guarantee — the dual twin of the primal ratio-test
-			// tie-break.
+			// tie-break. (totalViol stays zero: the Bland rung never
+			// demotes, so the stall bookkeeping below is skipped.)
 			for i := 0; i < m; i++ {
 				xv := s.xB[i]
 				var v float64
 				if xv < -tol {
 					v = xv
-				} else if ub := up[s.basic[i]]; !math.IsInf(ub, 1) && xv > ub+tol {
+				} else if ub := up[s.basic[i]]; xv > ub+tol {
 					v = xv - ub
 				} else {
 					continue
@@ -449,19 +493,44 @@ func (s *simplex) dualIterate() int {
 					leave, viol = i, v
 				}
 			}
-		} else {
-			worst := tol
+		case cur == PricingDevex:
+			// Dual devex: maximize violation² per approximate row norm
+			// β_i ≈ ‖e_iᵀB⁻¹‖², so a row is picked for how far the pivot
+			// actually moves the solution, not just how far its basic
+			// value strayed.
+			beta := s.beta
+			var best float64
 			for i := 0; i < m; i++ {
 				xv := s.xB[i]
-				if xv < -worst {
-					leave, viol = i, xv
-					worst = -xv
+				var v float64
+				if xv < -tol {
+					v = xv
+					totalViol -= xv
+				} else if ub := up[s.basic[i]]; xv > ub+tol {
+					v = xv - ub
+					totalViol += v
+				} else {
 					continue
 				}
-				ub := up[s.basic[i]]
-				if !math.IsInf(ub, 1) && xv > ub+worst {
-					leave, viol = i, xv-ub
-					worst = xv - ub
+				if sc := v * v / beta[i]; leave == -1 || sc > best {
+					leave, viol, best = i, v, sc
+				}
+			}
+		default:
+			var worst float64
+			for i := 0; i < m; i++ {
+				xv := s.xB[i]
+				if xv < -tol {
+					totalViol -= xv
+					if -xv > worst {
+						leave, viol, worst = i, xv, -xv
+					}
+				} else if ub := up[s.basic[i]]; xv > ub+tol {
+					v := xv - ub
+					totalViol += v
+					if v > worst {
+						leave, viol, worst = i, v, v
+					}
 				}
 			}
 		}
@@ -469,8 +538,21 @@ func (s *simplex) dualIterate() int {
 			return dualDone
 		}
 
-		// Duals y = c_B^T·Binv for the ratio test's reduced costs.
-		costRows = s.computeDuals(s.cost, y, costRows)
+		// Duals y = c_B^T·Binv for the ratio test's reduced costs. The
+		// factorized path computes them once (dense-valid) and then folds
+		// the pivot row into an incremental update each pivot — the same
+		// y ← y + (d_q/α_rq)·ρ identity as the primal devex loop — with
+		// refreshes after refactorizations; the dense path recomputes,
+		// as before. The final primal cleanup re-derives exact duals
+		// before certifying optimality either way.
+		if s.lu != nil {
+			if !yOK {
+				s.computeDualsFull(s.cost, y)
+				yOK = true
+			}
+		} else {
+			costRows = s.computeDuals(s.cost, y, costRows)
+		}
 
 		// Dual ratio test over the pivot row ρ = e_leave^T·Binv: among
 		// eligible entering columns, the smallest |d_j|/|α_j| keeps every
@@ -497,9 +579,18 @@ func (s *simplex) dualIterate() int {
 			rho = s.binv[leave*m : leave*m+m]
 		}
 		enter := -1
-		var bestRatio, bestAlpha float64
-		for _, j32 := range cands {
-			j := int(j32)
+		// Eligibility: moving x_j off its bound must push the leaving
+		// variable back toward its violated bound.
+		eligible := func(j int, alpha float64) bool {
+			if math.Abs(alpha) <= pivTol {
+				return false
+			}
+			if viol < 0 {
+				return state[j] == atLower && alpha < 0 || state[j] == atUpper && alpha > 0
+			}
+			return state[j] == atLower && alpha > 0 || state[j] == atUpper && alpha < 0
+		}
+		colAlpha := func(j int) float64 {
 			var alpha float64
 			if s.dense != nil {
 				col := s.dense[j*m : j*m+m]
@@ -511,37 +602,89 @@ func (s *simplex) dualIterate() int {
 					alpha += rho[s.rowIdx[q]] * s.vals[q]
 				}
 			}
-			if math.Abs(alpha) <= pivTol {
-				continue
+			return alpha
+		}
+		if bland {
+			// Bland's rung: first eligible column in the fixed ascending
+			// candidate order — the termination guarantee needs that
+			// order, which the gather does not provide.
+			for _, j32 := range cands {
+				j := int(j32)
+				if alpha := colAlpha(j); eligible(j, alpha) {
+					enter = j
+					break
+				}
 			}
-			// Eligibility: moving x_j off its bound must push the leaving
-			// variable back toward its violated bound.
-			if viol < 0 {
-				if !(state[j] == atLower && alpha < 0 || state[j] == atUpper && alpha > 0) {
-					continue
+		} else {
+			// Short-step dual ratio test: argmin |d_j|/|α_j| over the
+			// eligible columns, ties to the larger |α|. (A bound-flipping
+			// long-step variant was tried here and measured consistently
+			// worse on the SPM LPs — flips land columns at box corners
+			// while these optima want many mid-box basics, so every batch
+			// of flips floods other rows with violations and lengthens
+			// the repair; see BENCH_PR7.json notes.)
+			var bestRatio, bestAbs float64
+			if s.lu != nil {
+				// Hypersparse row path: only columns intersecting ρ's
+				// nonzero rows can have α_j ≠ 0, so gather them over the
+				// CSR mirror instead of sweeping every candidate column. A
+				// cold-start repair runs O(m) pivots and the full sweep
+				// would make each one O(nnz). The eligibility and ratio
+				// logic is inlined here — this loop runs for every
+				// gathered column of every repair pivot, and the closure
+				// calls showed up in profiles.
+				for _, j32 := range s.gatherPivotRow(rho, s.rhoNZp) {
+					alpha := s.alpha[j32]
+					aab := math.Abs(alpha)
+					if aab <= pivTol {
+						continue
+					}
+					j := int(j32)
+					st := state[j]
+					if viol < 0 {
+						if !(st == atLower && alpha < 0 || st == atUpper && alpha > 0) {
+							continue
+						}
+					} else if !(st == atLower && alpha > 0 || st == atUpper && alpha < 0) {
+						continue
+					}
+					// Dual feasibility bounds |d| from the feasible side;
+					// clamp tolerance-level excursions to zero.
+					d := s.reducedCost(s.cost, j, y)
+					var dabs float64
+					if st == atLower {
+						if d > 0 {
+							dabs = d
+						}
+					} else if d < 0 {
+						dabs = -d
+					}
+					ratio := dabs / aab
+					if enter == -1 || ratio < bestRatio-1e-12 ||
+						(ratio < bestRatio+1e-12 && aab > bestAbs) {
+						enter, bestRatio, bestAbs = j, ratio, aab
+					}
 				}
 			} else {
-				if !(state[j] == atLower && alpha > 0 || state[j] == atUpper && alpha < 0) {
-					continue
+				for _, j32 := range cands {
+					j := int(j32)
+					alpha := colAlpha(j)
+					if !eligible(j, alpha) {
+						continue
+					}
+					d := s.reducedCost(s.cost, j, y)
+					var dabs float64
+					if state[j] == atLower {
+						dabs = math.Max(d, 0)
+					} else {
+						dabs = math.Max(-d, 0)
+					}
+					ratio := dabs / math.Abs(alpha)
+					if enter == -1 || ratio < bestRatio-1e-12 ||
+						(ratio < bestRatio+1e-12 && math.Abs(alpha) > bestAbs) {
+						enter, bestRatio, bestAbs = j, ratio, math.Abs(alpha)
+					}
 				}
-			}
-			if bland {
-				enter, bestAlpha = j, alpha
-				break
-			}
-			d := s.reducedCost(j, y)
-			// Dual feasibility bounds |d| from the feasible side; clamp
-			// tolerance-level excursions to zero.
-			var dabs float64
-			if state[j] == atLower {
-				dabs = math.Max(d, 0)
-			} else {
-				dabs = math.Max(-d, 0)
-			}
-			ratio := dabs / math.Abs(alpha)
-			if enter == -1 || ratio < bestRatio-1e-12 ||
-				(ratio < bestRatio+1e-12 && math.Abs(alpha) > math.Abs(bestAlpha)) {
-				enter, bestRatio, bestAlpha = j, ratio, alpha
 			}
 		}
 		if enter == -1 {
@@ -550,21 +693,47 @@ func (s *simplex) dualIterate() int {
 			return dualInfeasible
 		}
 
-		// Anti-cycling: a zero dual step leaves the objective unchanged;
-		// after a run of those, Bland's rule guarantees progress.
-		if !bland && bestRatio <= 1e-12 {
-			degenerate++
-			if degenerate > 40 {
-				bland = true
+		// Anti-cycling: any true cycle holds the total primal
+		// infeasibility constant, so a sustained run without it shrinking
+		// demotes one rung down the fallback ladder (Bland's rule, the
+		// final rung, guarantees termination). Dual-degenerate pivots
+		// that still reduce the violation — the normal mode of a dual
+		// cold start over zero-cost columns — keep the streak at zero.
+		if cur != PricingBland {
+			if totalViol >= prevViol-tol {
+				degenerate++
+				if degenerate > 40 {
+					cur = demote(cur)
+					degenerate = 0
+					fallbacks++
+					bland = cur == PricingBland
+				}
+			} else {
+				degenerate = 0
 			}
-		} else if !bland {
-			degenerate = 0
+			prevViol = totalViol
 		}
 
 		s.direction(enter, w)
 		piv := w[leave]
 		if math.Abs(piv) < pivTol {
 			return dualStalled
+		}
+		if s.lu != nil && yOK {
+			// Incremental dual update against the pre-pivot duals, before
+			// state mutates: d_q = c_q − y·A_q is the entering column's
+			// reduced cost and ρ is still this pivot's row.
+			t := s.reducedCost(s.cost, enter, y) / piv
+			if t != 0 {
+				for _, i32 := range s.rhoNZp {
+					y[i32] += t * rho[i32]
+				}
+			}
+		}
+		if cur == PricingDevex {
+			if s.devexDualUpdate(leave, w) {
+				s.betaOK = false // drift past the cap: re-seed next pivot
+			}
 		}
 		t := viol / piv
 
@@ -601,6 +770,17 @@ func (s *simplex) dualIterate() int {
 		}
 		if !s.basisPivot(leave, w) {
 			return dualStalled
+		}
+		if s.refactored {
+			// Fresh factors: refresh the incrementally updated duals.
+			s.refactored = false
+			yOK = false
+			if s.unstableRefactor {
+				s.unstableRefactor = false
+				if cur == PricingDevex {
+					s.betaOK = false
+				}
+			}
 		}
 		pivots++
 	}

@@ -418,6 +418,101 @@ func TestWarmColdFactorizedEquivalence(t *testing.T) {
 	}
 }
 
+// TestWarmColdDevexEquivalence reruns the perturbation drill with the
+// pricing rules pinned per copy: the warm factorized repair under devex
+// (dual devex row selection on the repair, primal devex on cleanup)
+// must agree with a cold factorized Dantzig solve and a cold dense
+// Bland solve on status, and at optimality on the objective within
+// relative 1e-9. Pricing steers the pivot walk, never the destination;
+// this is the warm-path half of that contract. Failure messages carry
+// the trial seed — rebuild with randomBoundedLP(stats.NewRNG(seed+1),
+// m, n, density) to replay.
+func TestWarmColdDevexEquivalence(t *testing.T) {
+	warmHits := 0
+	for trial := 0; trial < 12; trial++ {
+		seed := int64(9500 + trial)
+		shape := stats.NewRNG(seed)
+		m := 4 + shape.Intn(12)
+		n := 4 + shape.Intn(25)
+		density := shape.Uniform(0.1, 0.8)
+		p := randomBoundedLP(t, stats.NewRNG(seed+1), m, n, density)
+		q := randomBoundedLP(t, stats.NewRNG(seed+1), m, n, density)
+		r := randomBoundedLP(t, stats.NewRNG(seed+1), m, n, density)
+
+		warmOpts := Options{Pivot: PivotFactorized, Pricing: PricingDevex}
+		basis := NewBasis()
+		warmOpts.Warm = basis
+		if _, err := p.Solve(warmOpts); err != nil {
+			t.Fatal(err)
+		}
+		pert := stats.NewRNG(seed + 2)
+		for round := 0; round < 4; round++ {
+			for j := 0; j < n; j++ {
+				if pert.Float64() < 0.25 {
+					pe := perturbation{kind: 0, idx: j}
+					switch pert.Intn(3) {
+					case 0:
+						pe.lo, pe.hi = 0, 0
+					case 1:
+						pe.lo, pe.hi = 0, pert.Uniform(0.2, 4)
+					default:
+						pe.hi = pert.Uniform(0.5, 2)
+						pe.lo = pert.Uniform(0, 0.5*pe.hi)
+					}
+					applyPerturbation(t, p, pe)
+					applyPerturbation(t, q, pe)
+					applyPerturbation(t, r, pe)
+				}
+			}
+			for i := 0; i < m; i++ {
+				if pert.Float64() < 0.3 {
+					pe := perturbation{kind: 1, idx: i, rhs: pert.Uniform(0.3, 7)}
+					applyPerturbation(t, p, pe)
+					applyPerturbation(t, q, pe)
+					applyPerturbation(t, r, pe)
+				}
+			}
+
+			warm, err := p.Solve(warmOpts)
+			if err != nil {
+				t.Fatalf("seed %d round %d warm devex: %v", seed, round, err)
+			}
+			coldDzg, err := q.Solve(Options{Pivot: PivotFactorized, Pricing: PricingDantzig})
+			if err != nil {
+				t.Fatalf("seed %d round %d cold dantzig: %v", seed, round, err)
+			}
+			coldBland, err := r.Solve(Options{Pivot: PivotSparse, Pricing: PricingBland})
+			if err != nil {
+				t.Fatalf("seed %d round %d cold bland: %v", seed, round, err)
+			}
+			if warm.Warm {
+				warmHits++
+			}
+			if warm.Status != coldBland.Status || coldDzg.Status != coldBland.Status {
+				t.Fatalf("seed %d round %d: status mismatch: warm-devex=%v cold-dantzig=%v cold-bland=%v (warm path: %v)",
+					seed, round, warm.Status, coldDzg.Status, coldBland.Status, warm.Warm)
+			}
+			if coldBland.Status != StatusOptimal {
+				continue
+			}
+			tol := 1e-9 * (1 + math.Abs(coldBland.Objective))
+			if math.Abs(warm.Objective-coldBland.Objective) > tol {
+				t.Fatalf("seed %d round %d: warm-devex objective %.15g != cold-bland %.15g (Δ=%g, warm path: %v)",
+					seed, round, warm.Objective, coldBland.Objective,
+					warm.Objective-coldBland.Objective, warm.Warm)
+			}
+			if math.Abs(coldDzg.Objective-coldBland.Objective) > tol {
+				t.Fatalf("seed %d round %d: cold-dantzig objective %.15g != cold-bland %.15g (Δ=%g)",
+					seed, round, coldDzg.Objective, coldBland.Objective,
+					coldDzg.Objective-coldBland.Objective)
+			}
+		}
+	}
+	if warmHits == 0 {
+		t.Fatal("devex warm path never engaged across all trials")
+	}
+}
+
 // TestWarmNilBitIdentical: Options.Warm == nil must leave the cold path
 // untouched — two fresh solves of the same problem, one built alongside
 // a warm-capable one, produce byte-identical solutions.

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"metis"
+	"metis/internal/lp"
 	"metis/internal/spm"
 )
 
@@ -125,6 +126,47 @@ func TestInvariantMetisProfitRecomputes(t *testing.T) {
 		}
 		if math.Abs(res.Profit-(res.Revenue-res.Cost)) > 1e-9 {
 			t.Fatalf("%v: result fields inconsistent: profit %v != %v − %v", c, res.Profit, res.Revenue, res.Cost)
+		}
+	}
+}
+
+// TestInvariantPricingRulesAgree: the LP pricing rule steers the
+// simplex's pivot walk, never its destination — a full Metis run under
+// devex, Dantzig, and Bland pricing must land on the same profit (the
+// LP vertex feeds MAA's rounding, so an LP divergence would cascade
+// into a profit divergence) and every schedule must still pass the
+// first-principles feasibility and profit checks. The profit-equality
+// half is a small-instance invariant by design: at these sizes the LP
+// optima are unique enough that every rule rounds identically, while
+// at K≥10³ the relaxations have genuine alternative optima — different
+// rules land on different optimal vertices with equal LP objective,
+// and rounding can then diverge legitimately. The per-rule
+// CheckProfit/CheckFeasible assertions carry the invariant at scale.
+func TestInvariantPricingRulesAgree(t *testing.T) {
+	rules := []lp.Pricing{lp.PricingDantzig, lp.PricingDevex, lp.PricingBland}
+	for _, c := range randomCases(4, 7) {
+		inst := buildRandomInstance(t, c)
+		var profits [3]float64
+		for ri, rule := range rules {
+			res, err := metis.Solve(inst, metis.Config{
+				Theta: 4, Seed: c.seed, LP: lp.Options{Pricing: rule},
+			})
+			if err != nil {
+				t.Fatalf("%v pricing=%v: solve: %v", c, rule, err)
+			}
+			if err := spm.CheckProfit(res.Schedule, res.Profit, 1e-6); err != nil {
+				t.Fatalf("%v pricing=%v: %v", c, rule, err)
+			}
+			if err := spm.CheckFeasible(res.Schedule, res.Charged); err != nil {
+				t.Fatalf("%v pricing=%v: %v", c, rule, err)
+			}
+			profits[ri] = res.Profit
+		}
+		for ri := 1; ri < len(rules); ri++ {
+			if math.Abs(profits[ri]-profits[0]) > 1e-6*(1+math.Abs(profits[0])) {
+				t.Fatalf("%v: profit diverges across pricing rules: %v=%.12g %v=%.12g (Δ=%g)",
+					c, rules[0], profits[0], rules[ri], profits[ri], profits[ri]-profits[0])
+			}
 		}
 	}
 }
