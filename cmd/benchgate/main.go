@@ -12,6 +12,13 @@
 // of BENCH_PR*.json). The measured value is the minimum ns/op across all
 // matching result lines, which filters scheduling noise on shared CI
 // runners; -count 3 or more is recommended.
+//
+// Replay mode compares two `metisload -json` summaries from the same
+// job instead of bench output — CI uses it to bound the overhead of
+// lifecycle tracing (a traced replay must sustain at least -min-ratio
+// of the untraced run's throughput measured on the same machine):
+//
+//	benchgate -replay traced.json -replay-baseline untraced.json -min-ratio 0.95
 package main
 
 import (
@@ -39,9 +46,23 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		benchName    = fs.String("bench", "", "benchmark name to gate (required, without the -N CPU suffix)")
 		slack        = fs.Float64("slack", 1.5, "fail when measured > slack * baseline ns/op")
 		inPath       = fs.String("in", "-", "bench output path (\"-\" = stdin)")
+
+		replayPath   = fs.String("replay", "", "replay mode: candidate metisload -json summary")
+		replayBase   = fs.String("replay-baseline", "", "replay mode: baseline metisload -json summary from the same job")
+		replayMetric = fs.String("metric", "decisionsPerSec", "replay mode: numeric summary field to compare")
+		minRatio     = fs.Float64("min-ratio", 0.95, "replay mode: fail when candidate < min-ratio * baseline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *replayPath != "" || *replayBase != "" {
+		if *replayPath == "" || *replayBase == "" {
+			return fmt.Errorf("replay mode needs both -replay and -replay-baseline")
+		}
+		if *minRatio <= 0 {
+			return fmt.Errorf("-min-ratio must be positive, got %v", *minRatio)
+		}
+		return gateReplay(stdout, *replayPath, *replayBase, *replayMetric, *minRatio)
 	}
 	if *baselinePath == "" || *benchName == "" {
 		return fmt.Errorf("-baseline and -bench are required")
@@ -78,6 +99,52 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			*benchName, measured, limit, ratio, base)
 	}
 	return nil
+}
+
+// gateReplay compares one numeric field of two metisload -json
+// summaries and fails when the candidate falls below minRatio of the
+// baseline.
+func gateReplay(stdout io.Writer, candPath, basePath, metric string, minRatio float64) error {
+	cand, err := readReplayMetric(candPath, metric)
+	if err != nil {
+		return err
+	}
+	base, err := readReplayMetric(basePath, metric)
+	if err != nil {
+		return err
+	}
+	if base <= 0 {
+		return fmt.Errorf("%s: baseline %s is %v, cannot gate", basePath, metric, base)
+	}
+	ratio := cand / base
+	fmt.Fprintf(stdout, "benchgate: replay %s candidate %.3f, baseline %.3f, ratio %.3f, floor %.2fx\n",
+		metric, cand, base, ratio, minRatio)
+	if ratio < minRatio {
+		return fmt.Errorf("replay %s regressed: %.3f < %.2f x baseline %.3f", metric, cand, minRatio, base)
+	}
+	return nil
+}
+
+// readReplayMetric extracts one top-level numeric field from a
+// metisload -json summary.
+func readReplayMetric(path, metric string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	v, ok := doc[metric]
+	if !ok {
+		return 0, fmt.Errorf("%s: no field %q in summary", path, metric)
+	}
+	f, ok := v.(float64)
+	if !ok {
+		return 0, fmt.Errorf("%s: field %q is %T, want number", path, metric, v)
+	}
+	return f, nil
 }
 
 // readBaseline extracts after.ns_per_op from a BENCH_PR*.json file.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -90,5 +91,46 @@ func TestRealBaselineFile(t *testing.T) {
 	}
 	if ns != 43726248 {
 		t.Fatalf("BENCH_PR2.json after.ns_per_op = %d, want 43726248", ns)
+	}
+}
+
+func writeReplaySummary(t *testing.T, name string, dps float64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	doc := fmt.Sprintf(`{"arrivals": 200, "decisionsPerSec": %v, "accepted": 150}`, dps)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReplayGate(t *testing.T) {
+	base := writeReplaySummary(t, "untraced.json", 1000)
+	okCand := writeReplaySummary(t, "traced.json", 980)
+	var out strings.Builder
+	if err := run([]string{"-replay", okCand, "-replay-baseline", base, "-min-ratio", "0.95"},
+		strings.NewReader(""), &out); err != nil {
+		t.Fatalf("2%% overhead failed the 5%% gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "ratio 0.980") {
+		t.Errorf("output missing ratio: %s", out.String())
+	}
+
+	slowCand := writeReplaySummary(t, "slow.json", 900)
+	if err := run([]string{"-replay", slowCand, "-replay-baseline", base, "-min-ratio", "0.95"},
+		strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Fatal("10% regression passed the 5% gate")
+	}
+
+	// A different metric field.
+	if err := run([]string{"-replay", okCand, "-replay-baseline", base, "-metric", "accepted", "-min-ratio", "1"},
+		strings.NewReader(""), &strings.Builder{}); err != nil {
+		t.Fatalf("equal accepted counts failed ratio 1: %v", err)
+	}
+
+	// Missing field is an explicit error.
+	if err := run([]string{"-replay", okCand, "-replay-baseline", base, "-metric", "nope"},
+		strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Fatal("missing metric accepted, want error")
 	}
 }

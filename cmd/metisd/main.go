@@ -24,10 +24,12 @@
 //	POST /v1/requests        submit a request → 202 {id} (422 invalid, 429 shed, 503 draining)
 //	GET  /v1/decisions/{id}  decision record
 //	GET  /v1/links           per-link ledger state
-//	GET  /v1/stats           counters + daemon time
-//	GET  /v1/healthz         liveness
+//	GET  /v1/stats           counters + daemon time + latency digests
+//	GET  /healthz            readiness: 200 keeping up, 503 shedding/behind/draining
+//	GET  /debug/epochs       epoch health scorecard (one JSON record per tick)
+//	GET  /debug/flightrec    anomaly flight-recorder bundles (with -flight-dir)
 //	POST /v1/snapshot        write a snapshot now
-//	GET  /metrics            Prometheus metrics (plus /debug/vars, /debug/pprof)
+//	GET  /metrics            Prometheus metrics incl. latency histograms (plus /debug/vars, /debug/pprof)
 package main
 
 import (
@@ -37,12 +39,20 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"metis"
+	"metis/internal/fault"
 	"metis/internal/obs"
 )
+
+// faultFlags collects repeatable -fault specs.
+type faultFlags []string
+
+func (f *faultFlags) String() string     { return strings.Join(*f, ",") }
+func (f *faultFlags) Set(v string) error { *f = append(*f, v); return nil }
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -68,10 +78,20 @@ func run(args []string) (err error) {
 		queueLimit    = fs.Int("queue-limit", 0, "arrival-queue bound; submits beyond it are shed with 429 (0 = default)")
 		snapshotPath  = fs.String("snapshot", "", "snapshot file: restored on start when present, rewritten periodically and on drain")
 		snapshotEvery = fs.Int("snapshot-every", 0, "snapshot period in epochs (0 = only on drain)")
-		traceOut      = fs.String("trace", "", "write a JSONL trace of epoch spans to this file")
+		traceOut      = fs.String("trace", "", "write a JSONL trace of the request lifecycle (arrival/solve/epoch) to this file")
+		scorecard     = fs.Int("scorecard", 0, "epoch health scorecard size served by /debug/epochs (0 = default)")
+		flightDir     = fs.String("flight-dir", "", "arm the anomaly flight recorder and dump postmortem bundles here")
+		flightKeep    = fs.Int("flight-keep", 0, "flight-recorder bundles kept in memory and served over HTTP (0 = default)")
 	)
+	var faults faultFlags
+	fs.Var(&faults, "fault", "fault-injection spec site:kind[:after[:every|sleep]] (repeatable; testing only)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	for _, spec := range faults {
+		if err := fault.Parse(spec, nil); err != nil {
+			return fmt.Errorf("-fault %q: %w", spec, err)
+		}
 	}
 
 	sc := &metis.Scenario{Network: *network}
@@ -111,6 +131,14 @@ func run(args []string) (err error) {
 		tracer = jt
 	}
 
+	var flight *metis.ServeFlightConfig
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			return err
+		}
+		flight = &metis.ServeFlightConfig{Dir: *flightDir, Keep: *flightKeep}
+	}
+
 	srv, err := metis.NewServer(metis.ServeConfig{
 		Net:           net,
 		Slots:         *slots,
@@ -121,6 +149,8 @@ func run(args []string) (err error) {
 		SnapshotPath:  *snapshotPath,
 		SnapshotEvery: *snapshotEvery,
 		Tracer:        tracer,
+		ScorecardSize: *scorecard,
+		Flight:        flight,
 	})
 	if err != nil {
 		return err
@@ -143,6 +173,11 @@ func run(args []string) (err error) {
 	defer closeHTTP()
 	fmt.Fprintf(os.Stderr, "metisd: serving %s (%d links, %d slots) on http://%s policy=%s epoch=%v\n",
 		net.Name(), net.NumLinks(), *slots, ln.Addr(), *policyName, *epoch)
+	fmt.Fprintf(os.Stderr, "metisd: observability: /metrics /healthz /debug/epochs")
+	if flight != nil {
+		fmt.Fprintf(os.Stderr, " /debug/flightrec (bundles → %s)", *flightDir)
+	}
+	fmt.Fprintln(os.Stderr)
 
 	// SIGINT/SIGTERM cancels the tick loop; Run drains before returning.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

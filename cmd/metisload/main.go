@@ -8,7 +8,10 @@
 //
 // Each arrival is POSTed at its trace timestamp (scaled by -speedup);
 // after the last submit, metisload waits for the daemon to decide the
-// whole queue and prints a JSON summary with decisions/sec.
+// whole queue and reports throughput, per-outcome counts and the
+// daemon's decision-latency quantiles (p50/p95/p99). The default output
+// is a human-readable digest; -json emits the machine-readable summary
+// that the CI smoke and benchgate's replay gate consume.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
 	"time"
 
 	"metis"
@@ -32,17 +36,40 @@ func main() {
 
 // summary is the replay report printed to stdout.
 type summary struct {
-	Arrivals        int     `json:"arrivals"`
-	Submitted       int     `json:"submitted"`
-	Shed            int     `json:"shed"`
-	Invalid         int     `json:"invalid"`
-	Accepted        int64   `json:"accepted"`
-	Rejected        int64   `json:"rejected"`
-	DegradedEpochs  int64   `json:"degradedEpochs"`
-	Overruns        int64   `json:"overruns"`
-	Epochs          int     `json:"epochs"`
-	ElapsedMillis   int64   `json:"elapsedMillis"`
-	DecisionsPerSec float64 `json:"decisionsPerSec"`
+	Arrivals          int                                  `json:"arrivals"`
+	Submitted         int                                  `json:"submitted"`
+	Shed              int                                  `json:"shed"`
+	Invalid           int                                  `json:"invalid"`
+	Accepted          int64                                `json:"accepted"`
+	Rejected          int64                                `json:"rejected"`
+	DegradedEpochs    int64                                `json:"degradedEpochs"`
+	DegradedDecisions int64                                `json:"degradedDecisions"`
+	Overruns          int64                                `json:"overruns"`
+	Epochs            int                                  `json:"epochs"`
+	ElapsedMillis     int64                                `json:"elapsedMillis"`
+	DecisionsPerSec   float64                              `json:"decisionsPerSec"`
+	Latency           map[string]metis.ServeLatencySummary `json:"latency,omitempty"`
+}
+
+// writeText prints the human-readable digest of one replay.
+func (s *summary) writeText(policy string) {
+	fmt.Printf("metisload: %d arrivals in %.1fs: %d submitted, %d shed, %d invalid\n",
+		s.Arrivals, float64(s.ElapsedMillis)/1e3, s.Submitted, s.Shed, s.Invalid)
+	fmt.Printf("metisload: %d accepted, %d rejected (%d degraded decisions) over %d epochs (%d degraded, %d overruns), %.1f decisions/sec, policy=%s\n",
+		s.Accepted, s.Rejected, s.DegradedDecisions, s.Epochs, s.DegradedEpochs, s.Overruns, s.DecisionsPerSec, policy)
+	keys := make([]string, 0, len(s.Latency))
+	for k := range s.Latency {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		l := s.Latency[k]
+		if l.Count == 0 {
+			continue
+		}
+		fmt.Printf("metisload: latency %-9s p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms (n=%d)\n",
+			k, l.P50Millis, l.P95Millis, l.P99Millis, l.MaxMillis, l.Count)
+	}
 }
 
 func run(args []string) error {
@@ -53,6 +80,7 @@ func run(args []string) error {
 		speedup    = fs.Float64("speedup", 1, "replay time compression (2 = twice as fast as the trace)")
 		settle     = fs.Duration("settle", 30*time.Second, "how long to wait for the daemon to decide the full queue")
 		minAccepts = fs.Int64("min-accepts", 0, "fail unless at least this many requests are accepted")
+		jsonOut    = fs.Bool("json", false, "emit the machine-readable JSON summary instead of the text digest")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -119,17 +147,23 @@ func run(args []string) error {
 	sum.Accepted = stats.Accepted
 	sum.Rejected = stats.Rejected
 	sum.DegradedEpochs = stats.DegradedEpochs
+	sum.DegradedDecisions = stats.DegradedDecisions
 	sum.Overruns = stats.Overruns
 	sum.Epochs = stats.Epoch
 	sum.ElapsedMillis = elapsed.Milliseconds()
+	sum.Latency = stats.Latency
 	if s := elapsed.Seconds(); s > 0 {
 		sum.DecisionsPerSec = float64(stats.Accepted+stats.Rejected) / s
 	}
 
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(&sum); err != nil {
-		return err
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&sum); err != nil {
+			return err
+		}
+	} else {
+		sum.writeText(stats.Policy)
 	}
 	if sum.Accepted < *minAccepts {
 		return fmt.Errorf("accepted %d requests, want at least %d", sum.Accepted, *minAccepts)

@@ -49,9 +49,15 @@ func run(args []string, w io.Writer) error {
 		defer f.Close()
 		in = f
 	}
-	recs, err := obs.ReadTrace(in)
+	// Lenient read: traces from newer daemons may carry span fields or
+	// whole lines this build does not know; skip what cannot be parsed
+	// instead of refusing the file.
+	recs, skipped, err := obs.ReadTraceLenient(in)
 	if err != nil {
 		return err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "metistrace: warning: skipped %d malformed trace line(s)\n", skipped)
 	}
 	if len(recs) == 0 {
 		return fmt.Errorf("empty trace")
@@ -69,6 +75,11 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
+	if t := epochsTable(recs); t != nil {
+		if err := write(t); err != nil {
+			return err
+		}
+	}
 	if t := solvesTable(recs); t != nil {
 		if err := write(t); err != nil {
 			return err
@@ -95,6 +106,39 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// epochsTable lists every "serve.epoch" span: the daemon's epoch health
+// scorecard as seen from the trace (one row per tick). Older traces
+// lack the status/elapsed fields; their columns come out empty or zero.
+func epochsTable(recs []obs.WireRecord) *tableio.Table {
+	t := tableio.New("Service epochs",
+		"epoch", "slot", "policy", "status", "batch", "accepted", "rejected", "shed", "queue", "elapsed_ms", "budget_ms")
+	n := 0
+	for i := range recs {
+		r := &recs[i]
+		if r.Kind != "span" || r.Name != "serve.epoch" {
+			continue
+		}
+		n++
+		t.AddRow(
+			strconv.Itoa(int(r.FieldFloat("epoch"))),
+			strconv.Itoa(int(r.FieldFloat("slot"))),
+			r.FieldString("policy"),
+			r.FieldString("status"),
+			strconv.Itoa(int(r.FieldFloat("batch"))),
+			strconv.Itoa(int(r.FieldFloat("accepted"))),
+			strconv.Itoa(int(r.FieldFloat("rejected"))),
+			strconv.Itoa(int(r.FieldFloat("shed"))),
+			strconv.Itoa(int(r.FieldFloat("queue_depth"))),
+			tableio.FormatFloat(r.FieldFloat("elapsed_ms")),
+			tableio.FormatFloat(r.FieldFloat("budget_ms")),
+		)
+	}
+	if n == 0 {
+		return nil
+	}
+	return t
 }
 
 // solvesTable lists every "metis.solve" span: the end-to-end solves in

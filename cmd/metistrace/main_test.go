@@ -113,3 +113,30 @@ func TestEmptyTraceErrors(t *testing.T) {
 		t.Fatal("empty trace accepted, want error")
 	}
 }
+
+// TestLenientAndEpochsTable: a daemon trace with malformed lines and a
+// serve.epoch span still renders (the scorecard table), with bad lines
+// skipped rather than failing the run.
+func TestLenientAndEpochsTable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "daemon.jsonl")
+	trace := `{"kind":"event","name":"serve.arrival","fields":{"outcome":"queued"}}
+this line is not json
+{"kind":"span","name":"serve.epoch","dur_us":1200,"fields":{"epoch":3,"slot":3,"policy":"greedy","status":"ok","batch":5,"accepted":4,"rejected":1,"shed":0,"queue_depth":2,"elapsed_ms":1.2,"budget_ms":40,"future_field":{"x":1}}}
+`
+	if err := os.WriteFile(path, []byte(trace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-in", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Service epochs") {
+		t.Errorf("output missing epochs table:\n%s", got)
+	}
+	for _, want := range []string{"greedy", "ok"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("epochs table missing %q:\n%s", want, got)
+		}
+	}
+}

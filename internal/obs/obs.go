@@ -39,6 +39,8 @@ const (
 	KindCounter Kind = iota + 1
 	// KindGauge is a last-value measurement.
 	KindGauge
+	// KindHistogram is a log-bucketed distribution (see Histogram).
+	KindHistogram
 )
 
 // Metric is the registry's view of one instrument.
@@ -216,6 +218,12 @@ func WritePrometheus(w io.Writer) error {
 	Each(func(m Metric) { list = append(list, m) })
 	sort.Slice(list, func(a, b int) bool { return list[a].Name() < list[b].Name() })
 	for _, m := range list {
+		if h, ok := m.(*Histogram); ok {
+			if err := h.writeProm(w); err != nil {
+				return err
+			}
+			continue
+		}
 		kind := "counter"
 		if m.Kind() == KindGauge {
 			kind = "gauge"

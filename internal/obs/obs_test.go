@@ -167,6 +167,20 @@ func TestReadTraceMalformedLine(t *testing.T) {
 	}
 }
 
+func TestReadTraceLenientSkipsMalformed(t *testing.T) {
+	in := "{\"kind\":\"event\",\"name\":\"a\"}\nnot json\n\n{\"kind\":\"span\",\"name\":\"b\",\"unknown_field\":7}\n{broken\n"
+	recs, skipped, err := ReadTraceLenient(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", skipped)
+	}
+	if len(recs) != 2 || recs[0].Name != "a" || recs[1].Name != "b" {
+		t.Fatalf("records = %+v, want [a b]", recs)
+	}
+}
+
 func TestServeMetrics(t *testing.T) {
 	ResetAll()
 	tCounter.Add(11)

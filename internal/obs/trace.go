@@ -153,10 +153,24 @@ func (t *JSONLTracer) Close() error {
 // ReadTrace decodes a JSONL trace stream into wire records. Blank lines
 // are skipped; a malformed line fails with its line number.
 func ReadTrace(r io.Reader) ([]WireRecord, error) {
+	recs, _, err := readTrace(r, true)
+	return recs, err
+}
+
+// ReadTraceLenient decodes a JSONL trace stream, skipping malformed
+// lines instead of failing, and reports how many were skipped. Unknown
+// fields inside records are ignored by the JSON decoder in both
+// readers, so traces written by newer builds (extra lifecycle or epoch
+// fields) stay readable. Only stream-level read errors fail.
+func ReadTraceLenient(r io.Reader) ([]WireRecord, int, error) {
+	return readTrace(r, false)
+}
+
+func readTrace(r io.Reader, strict bool) ([]WireRecord, int, error) {
 	var out []WireRecord
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	line := 0
+	line, skipped := 0, 0
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
@@ -165,12 +179,16 @@ func ReadTrace(r io.Reader) ([]WireRecord, error) {
 		}
 		var rec WireRecord
 		if err := json.Unmarshal(raw, &rec); err != nil {
-			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+			if strict {
+				return nil, 0, fmt.Errorf("obs: trace line %d: %w", line, err)
+			}
+			skipped++
+			continue
 		}
 		out = append(out, rec)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("obs: read trace: %w", err)
+		return nil, 0, fmt.Errorf("obs: read trace: %w", err)
 	}
-	return out, nil
+	return out, skipped, nil
 }

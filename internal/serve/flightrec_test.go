@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"metis/internal/obs"
+)
+
+func TestFlightRecorderDegradedDump(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, func(c *Config) {
+		c.Epoch = 20 * time.Millisecond
+		c.Policy = stallPolicy{}
+		c.Flight = &FlightConfig{Dir: dir}
+	})
+	if _, err := s.Submit(goodRequest(100)); err != nil {
+		t.Fatal(err)
+	}
+	s.Tick(context.Background())
+
+	bundles := s.FlightBundles()
+	if len(bundles) != 1 {
+		t.Fatalf("got %d bundles, want 1", len(bundles))
+	}
+	if bundles[0].Trigger != TriggerDegradedEpoch {
+		t.Fatalf("trigger = %q, want %q", bundles[0].Trigger, TriggerDegradedEpoch)
+	}
+
+	// The on-disk bundle must be a self-contained postmortem.
+	matches, err := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("dump files = %v (err %v), want exactly 1", matches, err)
+	}
+	raw, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b FlightBundle
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("bundle does not round-trip: %v", err)
+	}
+	if !b.Epoch.Degraded || b.Epoch.SolveStatus != SolveDegradedFallback {
+		t.Fatalf("bundle epoch = %+v, want degraded", b.Epoch)
+	}
+	if b.Ledger.Slots == 0 || len(b.Ledger.Loads) == 0 {
+		t.Fatalf("bundle ledger image empty: %+v", b.Ledger)
+	}
+	if len(b.RecentEpochs) == 0 || len(b.CounterDelta) == 0 {
+		t.Fatalf("bundle missing history or counter delta: recent=%d delta=%d",
+			len(b.RecentEpochs), len(b.CounterDelta))
+	}
+	if b.CounterDelta["serve.epochs"] != 1 {
+		t.Fatalf("counter delta serve.epochs = %v, want 1", b.CounterDelta["serve.epochs"])
+	}
+}
+
+func TestFlightRecorderShedBurst(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.QueueLimit = 1
+		c.Flight = &FlightConfig{ShedBurst: 2}
+	})
+	if _, err := s.Submit(goodRequest(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(goodRequest(1)); err != ErrQueueFull {
+			t.Fatalf("want ErrQueueFull, got %v", err)
+		}
+	}
+	s.Tick(context.Background())
+	bundles := s.FlightBundles()
+	if len(bundles) != 1 || bundles[0].Trigger != TriggerShedBurst {
+		t.Fatalf("bundles = %+v, want one shed-burst dump", bundles)
+	}
+	if bundles[0].Epoch.Shed != 2 {
+		t.Fatalf("bundle shed = %d, want 2", bundles[0].Epoch.Shed)
+	}
+}
+
+func TestFlightRecorderCooldown(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.Epoch = 20 * time.Millisecond
+		c.Policy = stallPolicy{}
+		c.Flight = &FlightConfig{Cooldown: 3}
+	})
+	// Three consecutive degraded epochs: only the first may dump.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit(goodRequest(100)); err != nil {
+			t.Fatal(err)
+		}
+		s.Tick(context.Background())
+	}
+	if got := len(s.FlightBundles()); got != 1 {
+		t.Fatalf("got %d bundles, want 1 (cooldown must suppress repeats)", got)
+	}
+	// Epoch 3 is outside the cooldown window relative to epoch 0.
+	if _, err := s.Submit(goodRequest(100)); err != nil {
+		t.Fatal(err)
+	}
+	s.Tick(context.Background())
+	if got := len(s.FlightBundles()); got != 2 {
+		t.Fatalf("got %d bundles after cooldown expiry, want 2", got)
+	}
+}
+
+func TestFlightRecorderHTTP(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.Epoch = 20 * time.Millisecond
+		c.Policy = stallPolicy{}
+		c.Flight = &FlightConfig{}
+	})
+	if _, err := s.Submit(goodRequest(100)); err != nil {
+		t.Fatal(err)
+	}
+	s.Tick(context.Background())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/flightrec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var heads []FlightBundle
+	if err := json.NewDecoder(resp.Body).Decode(&heads); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(heads) != 1 || heads[0].ID != 1 {
+		t.Fatalf("bundle headers = %+v, want one with id 1", heads)
+	}
+	if len(heads[0].RecentEpochs) != 0 {
+		t.Fatal("bundle listing must omit the heavy payload")
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/debug/flightrec/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full FlightBundle
+	if err := json.NewDecoder(resp.Body).Decode(&full); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if full.Ledger.Slots == 0 || len(full.RecentEpochs) == 0 {
+		t.Fatalf("full bundle missing payload: %+v", full)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/debug/flightrec/99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown bundle id: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestFlightRecorderDisabled(t *testing.T) {
+	s := newTestServer(t, nil)
+	s.Tick(context.Background())
+	if got := s.FlightBundles(); got != nil {
+		t.Fatalf("disabled recorder returned bundles: %v", got)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/flightrec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("disabled recorder: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSpanRingWraps(t *testing.T) {
+	r := newSpanRing(4)
+	for i := 0; i < 6; i++ {
+		obs.Event(r, "e", obs.Fields{"i": float64(i)})
+	}
+	snap := r.snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(snap))
+	}
+	if snap[0].FieldFloat("i") != 2 || snap[3].FieldFloat("i") != 5 {
+		t.Fatalf("ring order wrong: %v .. %v", snap[0].Fields, snap[3].Fields)
+	}
+}
+
+// TestTracingConcurrent exercises the full observability path — tracer,
+// latency histograms, scorecard and flight recorder — under concurrent
+// submits and ticks. Its value is under -race (CI runs it there).
+func TestTracingConcurrent(t *testing.T) {
+	tr := obs.NewJSONLTracer(discard{})
+	s := newTestServer(t, func(c *Config) {
+		c.Tracer = tr
+		c.QueueLimit = 64
+		c.Flight = &FlightConfig{ShedBurst: 4}
+	})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_, _ = s.Submit(goodRequest(100))
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		s.Tick(context.Background())
+		_ = s.Stats()
+		_ = s.Health()
+		_ = s.EpochRecords()
+		_ = s.FlightBundles()
+	}
+	close(stop)
+	wg.Wait()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.EpochRecords()) != 20 {
+		t.Fatalf("got %d epoch records, want 20", len(s.EpochRecords()))
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -161,21 +161,23 @@ func (l *Ledger) Equal(o *Ledger) bool {
 	return true
 }
 
-// ledgerSnap is the JSON wire form of a Ledger.
-type ledgerSnap struct {
+// LedgerImage is the JSON wire form of a Ledger: the per-(link, slot)
+// committed occupancy plus per-link purchases. It appears in crash
+// snapshots and in flight-recorder postmortem bundles.
+type LedgerImage struct {
 	Slots     int         `json:"slots"`
 	Purchased []int       `json:"purchased"`
 	Loads     [][]float64 `json:"loads"`
 	Committed int         `json:"committed"`
 }
 
-func (l *Ledger) snap() ledgerSnap {
-	return ledgerSnap{Slots: l.slots, Purchased: l.Purchased(), Loads: l.Loads(), Committed: l.committed}
+func (l *Ledger) snap() LedgerImage {
+	return LedgerImage{Slots: l.slots, Purchased: l.Purchased(), Loads: l.Loads(), Committed: l.committed}
 }
 
 // restoreLedger rebuilds a ledger from its wire form, keeping the
 // receiver's prices. Shapes must match the receiver's network.
-func (l *Ledger) restore(s ledgerSnap) error {
+func (l *Ledger) restore(s LedgerImage) error {
 	if s.Slots != l.slots {
 		return fmt.Errorf("serve: snapshot has %d slots, ledger has %d", s.Slots, l.slots)
 	}

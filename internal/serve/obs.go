@@ -11,6 +11,9 @@ var (
 	cRejected  = obs.NewCounter("serve.rejected", "reservation requests decided and declined")
 	cShed      = obs.NewCounter("serve.shed", "reservation requests shed at ingest (queue full → HTTP 429)")
 	cInvalid   = obs.NewCounter("serve.invalid", "reservation requests rejected at ingest by validation")
+	cExpired   = obs.NewCounter("serve.expired", "reservation requests whose window ended before they were decided")
+
+	cDegradedDecisions = obs.NewCounter("serve.degraded_decisions", "request decisions made by the greedy fallback after a budget overrun")
 
 	cEpochs          = obs.NewCounter("serve.epochs", "epoch ticks processed")
 	cDegraded        = obs.NewCounter("serve.degraded", "epochs whose policy overran the tick budget and degraded to the greedy fallback")
@@ -21,4 +24,48 @@ var (
 	cSnapshots       = obs.NewCounter("serve.snapshots", "ledger snapshots written")
 	gQueueDepth      = obs.NewGauge("serve.queue_depth", "arrivals waiting for the next epoch tick")
 	gPurchasedUnits  = obs.NewGauge("serve.purchased_units", "total bandwidth units purchased this cycle")
+
+	cFlightTriggers   = obs.NewCounter("serve.flight.triggers", "anomalies spotted by the flight recorder")
+	cFlightDumps      = obs.NewCounter("serve.flight.dumps", "postmortem bundles dumped by the flight recorder")
+	cFlightSuppressed = obs.NewCounter("serve.flight.suppressed", "flight-recorder triggers suppressed by the dump cooldown")
+
+	histTick = obs.NewHistogram("serve.tick_seconds", "wall-clock seconds per epoch tick")
 )
+
+// Decision outcomes used to key the per-policy latency histograms.
+const (
+	OutcomeAccepted = "accepted"
+	OutcomeRejected = "rejected"
+	OutcomeDegraded = "degraded" // decided by the greedy fallback
+)
+
+// latencyObs holds one server's request-lifecycle histograms. The
+// instruments are keyed by policy name in the process-wide registry
+// (GetOrNewHistogram), so multiple servers running the same policy —
+// common in tests — share them rather than colliding.
+type latencyObs struct {
+	queueWait *obs.Histogram            // arrival → batch claim
+	decision  map[string]*obs.Histogram // arrival → decision commit, per outcome
+}
+
+func newLatencyObs(policy string) *latencyObs {
+	l := &latencyObs{
+		queueWait: obs.GetOrNewHistogram(
+			"serve.queue_wait_seconds."+policy,
+			"seconds arrivals waited in the queue before their epoch batch was claimed (policy "+policy+")"),
+		decision: make(map[string]*obs.Histogram, 3),
+	}
+	for _, outcome := range []string{OutcomeAccepted, OutcomeRejected, OutcomeDegraded} {
+		l.decision[outcome] = obs.GetOrNewHistogram(
+			"serve.decision_latency_seconds."+policy+"."+outcome,
+			"seconds from arrival to a committed "+outcome+" decision (policy "+policy+")")
+	}
+	return l
+}
+
+// observeDecision records one arrival→commit latency under its outcome.
+func (l *latencyObs) observeDecision(outcome string, seconds float64) {
+	if h, ok := l.decision[outcome]; ok {
+		h.Observe(seconds)
+	}
+}

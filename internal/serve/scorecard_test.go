@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"metis/internal/obs"
+)
+
+func TestScorecardNormalEpoch(t *testing.T) {
+	s := newTestServer(t, nil)
+	if _, err := s.Submit(goodRequest(1e6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(goodRequest(2e6)); err != nil {
+		t.Fatal(err)
+	}
+	s.Tick(context.Background())
+	s.Tick(context.Background()) // empty epoch
+
+	recs := s.EpochRecords()
+	if len(recs) != 2 {
+		t.Fatalf("got %d epoch records, want 2", len(recs))
+	}
+	r := recs[0]
+	if r.Epoch != 0 || r.Batch != 2 || r.Accepted+r.Rejected != 2 {
+		t.Fatalf("record 0 = %+v, want batch 2 fully decided", r)
+	}
+	if r.SolveStatus != SolveOK {
+		t.Fatalf("solve status = %q, want %q", r.SolveStatus, SolveOK)
+	}
+	if r.Policy != s.cfg.Policy.Name() {
+		t.Fatalf("policy = %q, want %q", r.Policy, s.cfg.Policy.Name())
+	}
+	if r.Degraded || r.SolveStatus == SolveError {
+		t.Fatalf("healthy epoch recorded as unhealthy: %+v", r)
+	}
+	if r.QueueWaitMaxMillis < r.QueueWaitMeanMillis {
+		t.Fatalf("queue wait max %v < mean %v", r.QueueWaitMaxMillis, r.QueueWaitMeanMillis)
+	}
+	if got := r.RevenueDelta - r.CostDelta; r.ProfitDelta != got {
+		t.Fatalf("profit delta %v, want revenue-cost %v", r.ProfitDelta, got)
+	}
+	if r.RevenueDelta <= 0 {
+		t.Fatalf("revenue delta = %v, want >0 (accepted a paying request)", r.RevenueDelta)
+	}
+	if recs[1].SolveStatus != SolveIdle || recs[1].Batch != 0 {
+		t.Fatalf("empty epoch = %+v, want idle", recs[1])
+	}
+}
+
+func TestScorecardDegradedEpoch(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.Epoch = 20 * time.Millisecond
+		c.Policy = stallPolicy{}
+	})
+	if _, err := s.Submit(goodRequest(100)); err != nil {
+		t.Fatal(err)
+	}
+	s.Tick(context.Background())
+
+	recs := s.EpochRecords()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if !r.Degraded || r.SolveStatus != SolveDegradedFallback {
+		t.Fatalf("degraded epoch = %+v, want degraded-fallback", r)
+	}
+	if r.Accepted+r.Rejected != 1 {
+		t.Fatalf("degraded epoch still must decide the batch: %+v", r)
+	}
+	st := s.Stats()
+	if st.DegradedDecisions != 1 {
+		t.Fatalf("degraded decisions = %d, want 1", st.DegradedDecisions)
+	}
+}
+
+func TestScorecardRingWraps(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.ScorecardSize = 4 })
+	for i := 0; i < 6; i++ {
+		s.Tick(context.Background())
+	}
+	recs := s.EpochRecords()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want ring size 4", len(recs))
+	}
+	if recs[0].Epoch != 2 || recs[3].Epoch != 5 {
+		t.Fatalf("ring order wrong: first epoch %d, last %d", recs[0].Epoch, recs[3].Epoch)
+	}
+}
+
+func TestHealthTransitions(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.QueueLimit = 1 })
+	if h := s.Health(); h.Status != HealthStarting || !h.Healthy() {
+		t.Fatalf("pre-tick health = %+v, want healthy starting", h)
+	}
+	s.Tick(context.Background())
+	if h := s.Health(); h.Status != HealthOK || !h.Healthy() {
+		t.Fatalf("post-tick health = %+v, want ok", h)
+	}
+
+	// Overflow the one-slot queue: the second submit is shed.
+	if _, err := s.Submit(goodRequest(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(goodRequest(1)); err != ErrQueueFull {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if h := s.Health(); h.Status != HealthShedding || h.Healthy() {
+		t.Fatalf("health after shed = %+v, want unhealthy shedding", h)
+	}
+	s.Tick(context.Background())
+	if h := s.Health(); h.Status != HealthShedding {
+		t.Fatalf("health right after shed epoch = %+v, want shedding", h)
+	}
+	s.Tick(context.Background()) // clean epoch clears the shed signal
+	if h := s.Health(); h.Status != HealthOK {
+		t.Fatalf("health after clean epoch = %+v, want ok", h)
+	}
+}
+
+func TestHealthBehindAndDraining(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.Epoch = 10 * time.Millisecond })
+	s.Tick(context.Background())
+	time.Sleep(50 * time.Millisecond) // > 2 epochs without a tick
+	if h := s.Health(); h.Status != HealthBehind || h.Healthy() {
+		t.Fatalf("stalled-loop health = %+v, want behind", h)
+	}
+	if lag := s.Health().EpochLagMillis; lag <= 0 {
+		t.Fatalf("epoch lag = %d, want >0", lag)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if h := s.Health(); h.Status != HealthDraining || h.Healthy() {
+		t.Fatalf("draining health = %+v, want draining", h)
+	}
+}
+
+func TestStatsLatencySummaries(t *testing.T) {
+	s := newTestServer(t, nil)
+	if _, err := s.Submit(goodRequest(1e6)); err != nil {
+		t.Fatal(err)
+	}
+	s.Tick(context.Background())
+	st := s.Stats()
+	qw, ok := st.Latency["queueWait"]
+	if !ok || qw.Count == 0 {
+		t.Fatalf("stats latency missing queueWait: %+v", st.Latency)
+	}
+	if qw.MaxMillis < 0 || qw.P99Millis < qw.P50Millis {
+		t.Fatalf("queueWait summary inconsistent: %+v", qw)
+	}
+	if _, ok := st.Latency[OutcomeAccepted]; !ok {
+		t.Fatalf("stats latency missing accepted outcome: %+v", st.Latency)
+	}
+}
+
+func TestDebugEpochsEndpoint(t *testing.T) {
+	s := newTestServer(t, nil)
+	s.Tick(context.Background())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/epochs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/epochs status %d", resp.StatusCode)
+	}
+	var recs []EpochRecord
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].SolveStatus == "" {
+		t.Fatalf("/debug/epochs = %+v, want one populated record", recs)
+	}
+
+	hr, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != 200 {
+		t.Fatalf("/healthz status %d, want 200", hr.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != HealthOK {
+		t.Fatalf("/healthz = %+v, want ok", h)
+	}
+}
+
+func TestLifecycleTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewJSONLTracer(&buf)
+	s := newTestServer(t, func(c *Config) { c.Tracer = tr })
+	if _, err := s.Submit(goodRequest(1e6)); err != nil {
+		t.Fatal(err)
+	}
+	s.Tick(context.Background())
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawArrival, sawSolve, sawEpoch bool
+	for _, r := range recs {
+		switch r.Name {
+		case "serve.arrival":
+			sawArrival = true
+			if r.FieldString("outcome") != "queued" {
+				t.Fatalf("arrival outcome = %q", r.FieldString("outcome"))
+			}
+		case "serve.solve":
+			sawSolve = true
+		case "serve.epoch":
+			sawEpoch = true
+			if r.FieldString("status") != SolveOK {
+				t.Fatalf("epoch span status = %q, want ok", r.FieldString("status"))
+			}
+			if r.FieldFloat("batch") != 1 {
+				t.Fatalf("epoch span batch = %v, want 1", r.Field("batch"))
+			}
+		}
+	}
+	if !sawArrival || !sawSolve || !sawEpoch {
+		t.Fatalf("lifecycle trace incomplete: arrival=%v solve=%v epoch=%v", sawArrival, sawSolve, sawEpoch)
+	}
+}

@@ -67,8 +67,16 @@ type Config struct {
 	// SnapshotEvery is the snapshot period in epochs (0 = only on
 	// drain).
 	SnapshotEvery int
-	// Tracer, when non-nil, receives one "serve.epoch" span per tick.
+	// Tracer, when non-nil, receives the request-lifecycle trace: one
+	// "serve.arrival" event per submit, one "serve.solve" span per
+	// policy call, and one "serve.epoch" span per tick.
 	Tracer obs.Tracer
+	// ScorecardSize bounds the epoch health scorecard served by
+	// /debug/epochs (default DefaultScorecardSize).
+	ScorecardSize int
+	// Flight, when non-nil, arms the anomaly flight recorder (see
+	// FlightConfig).
+	Flight *FlightConfig
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -135,24 +143,51 @@ type Decision struct {
 
 // Stats is the /v1/stats payload.
 type Stats struct {
-	Policy         string  `json:"policy"`
-	Epoch          int     `json:"epoch"`
-	Cycle          int     `json:"cycle"`
-	Slot           int     `json:"slot"`
-	QueueDepth     int     `json:"queueDepth"`
-	Submitted      int64   `json:"submitted"`
-	Accepted       int64   `json:"accepted"`
-	Rejected       int64   `json:"rejected"`
-	Shed           int64   `json:"shed"`
-	DegradedEpochs int64   `json:"degradedEpochs"`
-	Overruns       int64   `json:"overruns"`
-	Committed      int     `json:"committed"`
-	PurchasedUnits int     `json:"purchasedUnits"`
-	PurchasedCost  float64 `json:"purchasedCost"`
-	Revenue        float64 `json:"revenue"`
-	Draining       bool    `json:"draining"`
-	EpochMillis    int64   `json:"epochMillis"`
-	Slots          int     `json:"slots"`
+	Policy            string  `json:"policy"`
+	Epoch             int     `json:"epoch"`
+	Cycle             int     `json:"cycle"`
+	Slot              int     `json:"slot"`
+	QueueDepth        int     `json:"queueDepth"`
+	Submitted         int64   `json:"submitted"`
+	Accepted          int64   `json:"accepted"`
+	Rejected          int64   `json:"rejected"`
+	Shed              int64   `json:"shed"`
+	DegradedEpochs    int64   `json:"degradedEpochs"`
+	DegradedDecisions int64   `json:"degradedDecisions"`
+	Overruns          int64   `json:"overruns"`
+	Committed         int     `json:"committed"`
+	PurchasedUnits    int     `json:"purchasedUnits"`
+	PurchasedCost     float64 `json:"purchasedCost"`
+	Revenue           float64 `json:"revenue"`
+	Draining          bool    `json:"draining"`
+	EpochMillis       int64   `json:"epochMillis"`
+	Slots             int     `json:"slots"`
+	// Latency summarizes the lifecycle histograms for this server's
+	// policy: "queueWait" plus one entry per decision outcome.
+	Latency map[string]LatencySummary `json:"latency,omitempty"`
+}
+
+// LatencySummary is the quantile digest of one lifecycle histogram, in
+// milliseconds.
+type LatencySummary struct {
+	Count      uint64  `json:"count"`
+	MeanMillis float64 `json:"meanMillis"`
+	P50Millis  float64 `json:"p50Millis"`
+	P95Millis  float64 `json:"p95Millis"`
+	P99Millis  float64 `json:"p99Millis"`
+	MaxMillis  float64 `json:"maxMillis"`
+}
+
+func summarize(h *obs.Histogram) LatencySummary {
+	s := h.Summary()
+	return LatencySummary{
+		Count:      s.Count,
+		MeanMillis: s.Mean * 1e3,
+		P50Millis:  s.P50 * 1e3,
+		P95Millis:  s.P95 * 1e3,
+		P99Millis:  s.P99 * 1e3,
+		MaxMillis:  s.Max * 1e3,
+	}
 }
 
 // LinkState is one entry of the /v1/links payload.
@@ -169,13 +204,18 @@ type LinkState struct {
 type pending struct {
 	id  int64
 	req demand.Request
+	at  time.Time // arrival time, anchor for queue-wait and decision latency
 }
 
 // Server is the admission-control daemon: an HTTP ingest surface over a
 // bounded arrival queue, an epoch tick loop deciding batches against
 // the ledger, and snapshot/restore for crash recovery.
 type Server struct {
-	cfg Config
+	cfg    Config
+	tracer obs.Tracer // cfg.Tracer teed with the flight recorder's span ring
+	lat    *latencyObs
+	score  *scoreRing
+	flight *flightRecorder // nil unless cfg.Flight is set
 
 	mu        sync.Mutex
 	led       *Ledger
@@ -189,7 +229,12 @@ type Server struct {
 
 	// Per-instance stats (the obs counters are process-global).
 	nSubmitted, nAccepted, nRejected, nShed, nDegraded, nOverruns int64
+	nDegradedDecisions                                            int64
 	revenue                                                       float64
+
+	// Health bookkeeping.
+	lastTickEnd time.Time // when the last Tick committed
+	shedMark    int64     // nShed at the last Tick commit (per-epoch shed delta)
 }
 
 // New builds a Server from cfg (defaults applied, plan lengths
@@ -202,13 +247,21 @@ func New(cfg Config) (*Server, error) {
 	if p, ok := cfg.Policy.(*TAAPolicy); ok && p.Plan != nil && len(p.Plan) != cfg.Net.NumLinks() {
 		return nil, fmt.Errorf("serve: plan has %d links, network has %d", len(p.Plan), cfg.Net.NumLinks())
 	}
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
+		tracer:    cfg.Tracer,
+		lat:       newLatencyObs(cfg.Policy.Name()),
+		score:     newScoreRing(cfg.ScorecardSize),
 		led:       NewLedger(cfg.Net, cfg.Slots),
 		decisions: make(map[int64]*Decision),
 		nextID:    1,
 		pruneFrom: 1,
-	}, nil
+	}
+	if cfg.Flight != nil {
+		s.flight = newFlightRecorder(*cfg.Flight)
+		s.tracer = combineTracers(cfg.Tracer, s.flight.ring)
+	}
+	return s, nil
 }
 
 // Epoch returns the number of ticks processed so far.
@@ -228,7 +281,7 @@ func (s *Server) LedgerCopy() *Ledger {
 	return cp
 }
 
-func (l *Ledger) restoreMust(snap ledgerSnap) {
+func (l *Ledger) restoreMust(snap LedgerImage) {
 	if err := l.restore(snap); err != nil {
 		panic("serve: ledger copy: " + err.Error())
 	}
@@ -245,19 +298,25 @@ var ErrQueueFull = errors.New("serve: arrival queue full")
 // epoch tick. The request's ID field is ignored; the server assigns its
 // own. On success the returned decision has StatusQueued.
 func (s *Server) Submit(req demand.Request) (*Decision, error) {
+	now := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
+		s.mu.Unlock()
 		return nil, ErrDraining
 	}
 	req.ID = 0 // assigned below; validate with a neutral id
 	if err := req.Validate(s.cfg.Net, s.cfg.Slots); err != nil {
 		cInvalid.Inc()
+		s.mu.Unlock()
 		return nil, err
 	}
 	if len(s.queue) >= s.cfg.QueueLimit {
 		s.nShed++
 		cShed.Inc()
+		s.mu.Unlock()
+		if s.tracer != nil {
+			obs.Event(s.tracer, "serve.arrival", obs.Fields{"outcome": "shed"})
+		}
 		return nil, ErrQueueFull
 	}
 	id := s.nextID
@@ -265,10 +324,17 @@ func (s *Server) Submit(req demand.Request) (*Decision, error) {
 	req.ID = int(id)
 	d := &Decision{ID: id, Status: StatusQueued, Request: req}
 	s.decisions[id] = d
-	s.queue = append(s.queue, pending{id: id, req: req})
+	s.queue = append(s.queue, pending{id: id, req: req, at: now})
 	s.nSubmitted++
 	cSubmitted.Inc()
 	gQueueDepth.Set(int64(len(s.queue)))
+	depth := len(s.queue)
+	s.mu.Unlock()
+	if s.tracer != nil {
+		obs.Event(s.tracer, "serve.arrival", obs.Fields{
+			"id": id, "outcome": "queued", "queue_depth": depth,
+		})
+	}
 	return d, nil
 }
 
@@ -289,26 +355,92 @@ func (s *Server) Decision(id int64) *Decision {
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{
-		Policy:         s.cfg.Policy.Name(),
-		Epoch:          s.epoch,
-		Cycle:          s.epoch / s.cfg.Slots,
-		Slot:           s.epoch % s.cfg.Slots,
-		QueueDepth:     len(s.queue) + len(s.deciding),
-		Submitted:      s.nSubmitted,
-		Accepted:       s.nAccepted,
-		Rejected:       s.nRejected,
-		Shed:           s.nShed,
-		DegradedEpochs: s.nDegraded,
-		Overruns:       s.nOverruns,
-		Committed:      s.led.Committed(),
-		PurchasedUnits: s.led.PurchasedUnits(),
-		PurchasedCost:  s.led.Cost(),
-		Revenue:        s.revenue,
-		Draining:       s.draining,
-		EpochMillis:    s.cfg.Epoch.Milliseconds(),
-		Slots:          s.cfg.Slots,
+	lat := map[string]LatencySummary{"queueWait": summarize(s.lat.queueWait)}
+	for outcome, h := range s.lat.decision {
+		lat[outcome] = summarize(h)
 	}
+	return Stats{
+		Policy:            s.cfg.Policy.Name(),
+		Epoch:             s.epoch,
+		Cycle:             s.epoch / s.cfg.Slots,
+		Slot:              s.epoch % s.cfg.Slots,
+		QueueDepth:        len(s.queue) + len(s.deciding),
+		Submitted:         s.nSubmitted,
+		Accepted:          s.nAccepted,
+		Rejected:          s.nRejected,
+		Shed:              s.nShed,
+		DegradedEpochs:    s.nDegraded,
+		DegradedDecisions: s.nDegradedDecisions,
+		Overruns:          s.nOverruns,
+		Committed:         s.led.Committed(),
+		PurchasedUnits:    s.led.PurchasedUnits(),
+		PurchasedCost:     s.led.Cost(),
+		Revenue:           s.revenue,
+		Draining:          s.draining,
+		EpochMillis:       s.cfg.Epoch.Milliseconds(),
+		Slots:             s.cfg.Slots,
+		Latency:           lat,
+	}
+}
+
+// Health statuses.
+const (
+	HealthStarting = "starting" // no tick has completed yet
+	HealthOK       = "ok"
+	HealthShedding = "shedding" // queue-full sheds since the last tick
+	HealthBehind   = "behind"   // the tick loop has missed its cadence
+	HealthDraining = "draining"
+)
+
+// Health is the /healthz payload. Status is ok or starting when the
+// daemon is keeping up; shedding, behind or draining map to HTTP 503.
+type Health struct {
+	Status          string `json:"status"`
+	Epoch           int    `json:"epoch"`
+	QueueDepth      int    `json:"queueDepth"`
+	EpochLagMillis  int64  `json:"epochLagMillis"` // time since the last tick committed
+	ShedLastEpoch   int64  `json:"shedLastEpoch"`
+	LastEpochStatus string `json:"lastEpochStatus,omitempty"`
+}
+
+// Healthy reports whether the status maps to HTTP 200.
+func (h Health) Healthy() bool {
+	return h.Status == HealthOK || h.Status == HealthStarting
+}
+
+// Health reports whether the daemon is keeping up: ticking on cadence
+// and not shedding load.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	h := Health{
+		Epoch:         s.epoch,
+		QueueDepth:    len(s.queue) + len(s.deciding),
+		ShedLastEpoch: s.nShed - s.shedMark,
+	}
+	draining, lastEnd := s.draining, s.lastTickEnd
+	s.mu.Unlock()
+	if !lastEnd.IsZero() {
+		h.EpochLagMillis = time.Since(lastEnd).Milliseconds()
+	}
+	if rec, ok := s.score.last(); ok {
+		h.LastEpochStatus = rec.SolveStatus
+		if rec.Shed > 0 {
+			h.ShedLastEpoch = rec.Shed
+		}
+	}
+	switch {
+	case draining:
+		h.Status = HealthDraining
+	case lastEnd.IsZero():
+		h.Status = HealthStarting
+	case h.ShedLastEpoch > 0:
+		h.Status = HealthShedding
+	case time.Since(lastEnd) > 2*s.cfg.Epoch:
+		h.Status = HealthBehind
+	default:
+		h.Status = HealthOK
+	}
+	return h
 }
 
 // Links returns the per-link ledger view.
@@ -336,6 +468,7 @@ func (s *Server) Tick(ctx context.Context) {
 	budget := time.Duration(float64(s.cfg.Epoch) * s.cfg.TickBudget)
 	tickCtx, cancel := context.WithTimeout(contextOrBackground(ctx), budget)
 	defer cancel()
+	before := obs.Snapshot() // solver-activity baseline for the scorecard
 
 	// Claim the batch; keep it snapshot-visible in s.deciding so a
 	// concurrent snapshot cannot lose in-flight arrivals.
@@ -353,13 +486,27 @@ func (s *Server) Tick(ctx context.Context) {
 	s.queue = nil
 	s.deciding = batch
 	gQueueDepth.Set(0)
+	revBefore, costBefore := s.revenue, s.led.Cost()
 	s.mu.Unlock()
+
+	// Queue-wait: arrival → batch claim, observed per request into the
+	// policy's histogram and aggregated for the scorecard row.
+	var waitSum, waitMax float64
+	for _, p := range batch {
+		w := start.Sub(p.at).Seconds()
+		s.lat.queueWait.Observe(w)
+		waitSum += w
+		if w > waitMax {
+			waitMax = w
+		}
+	}
 
 	var (
 		accepted   []committedReq // commits to apply under mu
 		rejected   []rejection
 		purchased  []int
 		degraded   bool
+		policyErr  string // non-budget policy failure (SolveError)
 		batchInst  *sched.Instance
 		liveIdx    []int // batch positions that made it into the instance
 		expiredIdx []int // batch positions whose window already ended
@@ -397,6 +544,7 @@ func (s *Server) Tick(ctx context.Context) {
 		}
 		if batchInst != nil {
 			led := s.LedgerCopy()
+			solveStart := time.Now()
 			st, err := s.cfg.Policy.Decide(tickCtx, led, batchInst, epoch, slot)
 			if err != nil && solvectx.Is(err) {
 				// Tick budget exhausted mid-solve: degrade to the
@@ -405,7 +553,18 @@ func (s *Server) Tick(ctx context.Context) {
 				degraded = true
 				st, err = GreedyPolicy{}.Decide(nil, led, batchInst, epoch, slot)
 			}
+			if s.tracer != nil {
+				f := obs.Fields{
+					"epoch": epoch, "slot": slot, "policy": s.cfg.Policy.Name(),
+					"requests": len(liveIdx), "degraded": degraded,
+				}
+				if err != nil {
+					f["error"] = err.Error()
+				}
+				obs.Span(s.tracer, "serve.solve", solveStart, f)
+			}
 			if err != nil {
+				policyErr = err.Error()
 				for _, k := range liveIdx {
 					rejected = append(rejected, rejection{pos: k, reason: "policy error: " + err.Error(), degraded: degraded})
 				}
@@ -428,6 +587,19 @@ func (s *Server) Tick(ctx context.Context) {
 	}
 
 	// Commit phase: apply the decisions under the lock.
+	now := time.Now()
+	observe := func(p pending, wasDegraded bool, accepted bool) {
+		outcome := OutcomeRejected
+		switch {
+		case wasDegraded:
+			outcome = OutcomeDegraded
+			s.nDegradedDecisions++
+			cDegradedDecisions.Inc()
+		case accepted:
+			outcome = OutcomeAccepted
+		}
+		s.lat.observeDecision(outcome, now.Sub(p.at).Seconds())
+	}
 	s.mu.Lock()
 	for _, k := range expiredIdx {
 		d := s.decisions[batch[k].id]
@@ -435,6 +607,8 @@ func (s *Server) Tick(ctx context.Context) {
 		d.Epoch, d.Cycle, d.Slot = epoch, epoch/s.cfg.Slots, slot
 		s.nRejected++
 		cRejected.Inc()
+		cExpired.Inc()
+		observe(batch[k], false, false)
 	}
 	for _, rej := range rejected {
 		d := s.decisions[batch[rej.pos].id]
@@ -442,6 +616,7 @@ func (s *Server) Tick(ctx context.Context) {
 		d.Epoch, d.Cycle, d.Slot = epoch, epoch/s.cfg.Slots, slot
 		s.nRejected++
 		cRejected.Inc()
+		observe(batch[rej.pos], rej.degraded, false)
 	}
 	for _, acc := range accepted {
 		s.led.Commit(acc.req, acc.links)
@@ -451,6 +626,7 @@ func (s *Server) Tick(ctx context.Context) {
 		s.nAccepted++
 		s.revenue += acc.req.Value
 		cAccepted.Inc()
+		observe(batch[acc.pos], degraded, true)
 	}
 	if purchased != nil {
 		// Adopt plan-driven provisioning beyond what the commits bought.
@@ -476,20 +652,99 @@ func (s *Server) Tick(ctx context.Context) {
 	}
 	s.epoch++
 	cEpochs.Inc()
+	histTick.Observe(elapsed.Seconds())
+
+	// Scorecard row for the tick. The counter snapshot is taken after
+	// the commit counters moved, so the row's solver columns cover the
+	// whole tick.
+	after := obs.Snapshot()
+	rec := EpochRecord{
+		Epoch:         epoch,
+		Cycle:         epoch / s.cfg.Slots,
+		Slot:          slot,
+		Policy:        s.cfg.Policy.Name(),
+		UnixMillis:    now.UnixMilli(),
+		Batch:         len(batch),
+		Accepted:      len(accepted),
+		Rejected:      len(rejected),
+		Expired:       len(expiredIdx),
+		Shed:          s.nShed - s.shedMark,
+		QueueDepth:    len(s.queue),
+		Degraded:      degraded,
+		Overrun:       elapsed > budget,
+		BudgetMillis:  float64(budget.Microseconds()) / 1e3,
+		ElapsedMillis: float64(elapsed.Microseconds()) / 1e3,
+		RevenueDelta:  s.revenue - revBefore,
+		CostDelta:     s.led.Cost() - costBefore,
+	}
+	rec.ProfitDelta = rec.RevenueDelta - rec.CostDelta
+	if len(batch) > 0 {
+		rec.QueueWaitMeanMillis = waitSum / float64(len(batch)) * 1e3
+		rec.QueueWaitMaxMillis = waitMax * 1e3
+	}
+	rec.fillSolverDeltas(before, after)
+	switch {
+	case policyErr != "":
+		rec.SolveStatus = SolveError
+	case degraded:
+		rec.SolveStatus = SolveDegradedFallback
+	case rec.ReplansDegraded > 0:
+		rec.SolveStatus = SolveReplanDegraded
+	case batchInst != nil:
+		rec.SolveStatus = SolveOK
+	default:
+		rec.SolveStatus = SolveIdle
+	}
+	s.shedMark = s.nShed
+	s.lastTickEnd = now
+
+	// Flight-recorder trigger check runs under mu so the ledger image
+	// in the bundle is the exact committed state of the anomalous tick;
+	// the dump itself (JSON encode + disk) runs after unlock.
+	var (
+		dumpTrig  string
+		doDump    bool
+		ledgerImg LedgerImage
+	)
+	if s.flight != nil {
+		if trig, ok := s.flight.shouldDump(rec); ok {
+			dumpTrig, doDump = trig, true
+			ledgerImg = s.led.snap()
+		}
+	}
 	s.mu.Unlock()
 
-	if s.cfg.Tracer != nil {
-		obs.Span(s.cfg.Tracer, "serve.epoch", start, obs.Fields{
-			"epoch":    epoch,
-			"slot":     slot,
-			"batch":    len(batch),
-			"accepted": len(accepted),
-			"rejected": len(rejected) + len(expiredIdx),
-			"degraded": degraded,
-			"policy":   s.cfg.Policy.Name(),
+	if s.tracer != nil {
+		obs.Span(s.tracer, "serve.epoch", start, obs.Fields{
+			"epoch":       epoch,
+			"cycle":       rec.Cycle,
+			"slot":        slot,
+			"batch":       len(batch),
+			"accepted":    len(accepted),
+			"rejected":    len(rejected) + len(expiredIdx),
+			"expired":     len(expiredIdx),
+			"shed":        rec.Shed,
+			"degraded":    degraded,
+			"status":      rec.SolveStatus,
+			"policy":      s.cfg.Policy.Name(),
+			"budget_ms":   rec.BudgetMillis,
+			"elapsed_ms":  rec.ElapsedMillis,
+			"queue_depth": rec.QueueDepth,
 		})
 	}
+	s.score.push(rec)
+	if doDump {
+		recent := s.score.records()
+		if len(recent) > maxBundleEpochs {
+			recent = recent[len(recent)-maxBundleEpochs:]
+		}
+		s.flight.dump(dumpTrig, rec, recent, ledgerImg, before, after)
+	}
 }
+
+// maxBundleEpochs bounds the epoch history embedded in one flight
+// bundle (the full scorecard stays on /debug/epochs).
+const maxBundleEpochs = 32
 
 type committedReq struct {
 	pos   int
@@ -562,8 +817,12 @@ func (s *Server) Drain() error {
 //	POST /v1/requests        submit a reservation request → 202 {id}
 //	GET  /v1/decisions/{id}  decision record → 200/404
 //	GET  /v1/links           per-link ledger state
-//	GET  /v1/stats           counters + daemon time
-//	GET  /v1/healthz         liveness
+//	GET  /v1/stats           counters + daemon time + latency digests
+//	GET  /healthz            readiness: 200 keeping up, 503 shedding/behind/draining
+//	GET  /v1/healthz         same payload (compatibility alias)
+//	GET  /debug/epochs       epoch health scorecard (JSON array, oldest first)
+//	GET  /debug/flightrec    flight-recorder bundle headers
+//	GET  /debug/flightrec/{id}  one full postmortem bundle
 //	POST /v1/snapshot        write a snapshot now (needs SnapshotPath)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -575,8 +834,30 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("GET /debug/epochs", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.EpochRecords())
+	})
+	mux.HandleFunc("GET /debug/flightrec", func(w http.ResponseWriter, _ *http.Request) {
+		if s.flight == nil {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "flight recorder not armed"})
+			return
+		}
+		writeJSON(w, http.StatusOK, s.FlightBundles())
+	})
+	mux.HandleFunc("GET /debug/flightrec/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad id"})
+			return
+		}
+		b, ok := s.FlightBundle(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown bundle id"})
+			return
+		}
+		writeJSON(w, http.StatusOK, b)
 	})
 	mux.HandleFunc("POST /v1/snapshot", func(w http.ResponseWriter, _ *http.Request) {
 		if s.cfg.SnapshotPath == "" {
@@ -590,6 +871,15 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"path": s.cfg.SnapshotPath})
 	})
 	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	h := s.Health()
+	code := http.StatusOK
+	if !h.Healthy() {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -27,7 +27,7 @@ type Snapshot struct {
 	Epoch   int    `json:"epoch"`
 	NextID  int64  `json:"nextId"`
 	// Ledger is the committed per-(link, slot) state.
-	Ledger ledgerSnap `json:"ledger"`
+	Ledger LedgerImage `json:"ledger"`
 	// Queue holds the pending arrivals in submission order.
 	Queue []QueuedRequest `json:"queue"`
 }

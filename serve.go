@@ -29,6 +29,21 @@ type (
 	// Arrival is one line of a timestamped JSONL workload stream
 	// (cmd/wangen -stream emits them; cmd/metisload replays them).
 	Arrival = serve.Arrival
+	// ServeEpochRecord is one row of the epoch health scorecard
+	// (/debug/epochs).
+	ServeEpochRecord = serve.EpochRecord
+	// ServeHealth is the daemon's /healthz payload.
+	ServeHealth = serve.Health
+	// ServeLatencySummary is one latency digest inside ServeStats.
+	ServeLatencySummary = serve.LatencySummary
+	// ServeFlightConfig arms the daemon's anomaly flight recorder.
+	ServeFlightConfig = serve.FlightConfig
+	// ServeFlightBundle is one flight-recorder postmortem bundle
+	// (/debug/flightrec).
+	ServeFlightBundle = serve.FlightBundle
+	// LedgerImage is the JSON wire form of the daemon's link-state
+	// ledger (snapshots and flight bundles).
+	LedgerImage = serve.LedgerImage
 )
 
 // Typed Submit failures; match with errors.Is. Validation failures are
