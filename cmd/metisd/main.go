@@ -8,8 +8,10 @@
 //
 //	metisd -addr :8080 -network SUB-B4 -epoch 250ms
 //	metisd -policy metis -replan-every 4 -theta 4
+//	metisd -policy metis-incremental -replan-every 2   # persistent warm model across epochs
 //	metisd -policy taa -plan-units 20
 //	metisd -snapshot state.json -snapshot-every 8     # resumes from state.json on restart
+//	metisd -check                                     # post-tick ledger invariant sweep
 //
 //	curl -s localhost:8080/v1/requests -d '{"src":0,"dst":1,"start":0,"end":11,"rate":0.2,"value":40}'
 //	curl -s localhost:8080/v1/decisions/1
@@ -22,6 +24,7 @@
 // API:
 //
 //	POST /v1/requests        submit a request → 202 {id} (422 invalid, 429 shed, 503 draining)
+//	POST /v1/requests/batch  submit a JSON array of requests → 200 [results]
 //	GET  /v1/decisions/{id}  decision record
 //	GET  /v1/links           per-link ledger state
 //	GET  /v1/stats           counters + daemon time + latency digests
@@ -69,19 +72,21 @@ func run(args []string) (err error) {
 		slots         = fs.Int("slots", metis.DefaultSlots, "billing-cycle slots")
 		epoch         = fs.Duration("epoch", 500*time.Millisecond, "epoch tick interval")
 		tickBudget    = fs.Float64("tick-budget", 0.8, "fraction of the epoch granted to each tick's decision")
-		policyName    = fs.String("policy", "greedy", "epoch policy: greedy, taa or metis")
+		policyName    = fs.String("policy", "greedy", "epoch policy: greedy, taa, metis or metis-incremental")
 		planUnits     = fs.Int("plan-units", 0, "taa: uniform per-link provision in units (0 = only capacity bought so far)")
 		replanEvery   = fs.Int("replan-every", 1, "metis: re-solve period in epochs")
 		theta         = fs.Int("theta", 0, "metis: alternation rounds θ (0 = default)")
 		maaRounds     = fs.Int("maa-rounds", 0, "metis: randomized roundings per MAA call (0 = default)")
 		seed          = fs.Int64("seed", 1, "metis: randomized-rounding seed")
 		queueLimit    = fs.Int("queue-limit", 0, "arrival-queue bound; submits beyond it are shed with 429 (0 = default)")
+		maxBatch      = fs.Int("max-batch", 0, "max arrivals one tick claims; the excess stays queued (0 = whole queue)")
 		snapshotPath  = fs.String("snapshot", "", "snapshot file: restored on start when present, rewritten periodically and on drain")
 		snapshotEvery = fs.Int("snapshot-every", 0, "snapshot period in epochs (0 = only on drain)")
 		traceOut      = fs.String("trace", "", "write a JSONL trace of the request lifecycle (arrival/solve/epoch) to this file")
 		scorecard     = fs.Int("scorecard", 0, "epoch health scorecard size served by /debug/epochs (0 = default)")
 		flightDir     = fs.String("flight-dir", "", "arm the anomaly flight recorder and dump postmortem bundles here")
 		flightKeep    = fs.Int("flight-keep", 0, "flight-recorder bundles kept in memory and served over HTTP (0 = default)")
+		check         = fs.Bool("check", false, "run the ledger invariant checker after every tick (stats report checkFailures)")
 	)
 	var faults faultFlags
 	fs.Var(&faults, "fault", "fault-injection spec site:kind[:after[:every|sleep]] (repeatable; testing only)")
@@ -146,11 +151,13 @@ func run(args []string) (err error) {
 		TickBudget:    *tickBudget,
 		Policy:        policy,
 		QueueLimit:    *queueLimit,
+		MaxBatch:      *maxBatch,
 		SnapshotPath:  *snapshotPath,
 		SnapshotEvery: *snapshotEvery,
 		Tracer:        tracer,
 		ScorecardSize: *scorecard,
 		Flight:        flight,
+		Check:         *check,
 	})
 	if err != nil {
 		return err

@@ -12,6 +12,15 @@
 // daemon's decision-latency quantiles (p50/p95/p99). The default output
 // is a human-readable digest; -json emits the machine-readable summary
 // that the CI smoke and benchgate's replay gate consume.
+//
+// Open-loop mode stress-tests ingest and decision throughput instead of
+// replaying wall-clock arrivals: -open-loop ignores the trace
+// timestamps and submits as fast as the daemon ingests, -repeat N loops
+// the trace N times (a million-request run from a 20k-request trace),
+// and -batch N posts N requests per call to /v1/requests/batch so JSON
+// decode stays off the per-request path:
+//
+//	metisload -in trace.jsonl -open-loop -repeat 50 -batch 256
 package main
 
 import (
@@ -81,12 +90,18 @@ func run(args []string) error {
 		settle     = fs.Duration("settle", 30*time.Second, "how long to wait for the daemon to decide the full queue")
 		minAccepts = fs.Int64("min-accepts", 0, "fail unless at least this many requests are accepted")
 		jsonOut    = fs.Bool("json", false, "emit the machine-readable JSON summary instead of the text digest")
+		openLoop   = fs.Bool("open-loop", false, "ignore trace timestamps and submit as fast as the daemon ingests")
+		repeat     = fs.Int("repeat", 1, "replay the trace this many times (the daemon re-ids every pass)")
+		batchSize  = fs.Int("batch", 0, "submit this many requests per POST via /v1/requests/batch (0 = one request per POST)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *speedup <= 0 {
 		return fmt.Errorf("-speedup must be positive")
+	}
+	if *repeat < 1 {
+		return fmt.Errorf("-repeat must be at least 1")
 	}
 
 	in := os.Stdin
@@ -108,32 +123,57 @@ func run(args []string) error {
 
 	client := &http.Client{Timeout: 10 * time.Second}
 	var sum summary
-	sum.Arrivals = len(arrivals)
+	sum.Arrivals = len(arrivals) * *repeat
 
+	// Pacing: closed-loop replays honor each arrival's trace offset
+	// (repeat passes play back to back, offset by the trace span);
+	// -open-loop submits as fast as the daemon ingests.
+	span := arrivals[len(arrivals)-1].AtMillis
 	start := time.Now()
-	for i := range arrivals {
-		due := time.Duration(float64(arrivals[i].AtMillis)/(*speedup)) * time.Millisecond
-		if wait := due - time.Since(start); wait > 0 {
-			time.Sleep(wait)
+	for rep := 0; rep < *repeat; rep++ {
+		repBase := int64(rep) * span
+		if *batchSize > 0 {
+			for i := 0; i < len(arrivals); i += *batchSize {
+				j := i + *batchSize
+				if j > len(arrivals) {
+					j = len(arrivals)
+				}
+				if !*openLoop {
+					pace(start, repBase+arrivals[i].AtMillis, *speedup)
+				}
+				reqs := make([]metis.Request, 0, j-i)
+				for _, a := range arrivals[i:j] {
+					reqs = append(reqs, a.Request)
+				}
+				if err := submitBatch(client, *addr, reqs, &sum); err != nil {
+					return fmt.Errorf("submit batch at arrival %d: %w", i, err)
+				}
+			}
+			continue
 		}
-		body, err := json.Marshal(&arrivals[i].Request)
-		if err != nil {
-			return err
-		}
-		resp, err := client.Post(*addr+"/v1/requests", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return fmt.Errorf("submit arrival %d: %w", i, err)
-		}
-		resp.Body.Close()
-		switch resp.StatusCode {
-		case http.StatusAccepted:
-			sum.Submitted++
-		case http.StatusTooManyRequests:
-			sum.Shed++
-		case http.StatusUnprocessableEntity:
-			sum.Invalid++
-		default:
-			return fmt.Errorf("submit arrival %d: unexpected status %d", i, resp.StatusCode)
+		for i := range arrivals {
+			if !*openLoop {
+				pace(start, repBase+arrivals[i].AtMillis, *speedup)
+			}
+			body, err := json.Marshal(&arrivals[i].Request)
+			if err != nil {
+				return err
+			}
+			resp, err := client.Post(*addr+"/v1/requests", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return fmt.Errorf("submit arrival %d: %w", i, err)
+			}
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				sum.Submitted++
+			case http.StatusTooManyRequests:
+				sum.Shed++
+			case http.StatusUnprocessableEntity:
+				sum.Invalid++
+			default:
+				return fmt.Errorf("submit arrival %d: unexpected status %d", i, resp.StatusCode)
+			}
 		}
 	}
 
@@ -167,6 +207,49 @@ func run(args []string) error {
 	}
 	if sum.Accepted < *minAccepts {
 		return fmt.Errorf("accepted %d requests, want at least %d", sum.Accepted, *minAccepts)
+	}
+	return nil
+}
+
+// pace sleeps until the trace offset atMillis (compressed by speedup)
+// has elapsed since start.
+func pace(start time.Time, atMillis int64, speedup float64) {
+	due := time.Duration(float64(atMillis)/speedup) * time.Millisecond
+	if wait := due - time.Since(start); wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// submitBatch posts one request batch to /v1/requests/batch and folds
+// the per-request outcomes into the summary.
+func submitBatch(client *http.Client, addr string, reqs []metis.Request, sum *summary) error {
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(addr+"/v1/requests/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("unexpected status %d", resp.StatusCode)
+	}
+	var results []metis.ServeBatchResult
+	if err := json.NewDecoder(resp.Body).Decode(&results); err != nil {
+		return err
+	}
+	for _, r := range results {
+		switch r.Status {
+		case "queued":
+			sum.Submitted++
+		case "shed":
+			sum.Shed++
+		case "invalid":
+			sum.Invalid++
+		default:
+			return fmt.Errorf("request refused: %s (%s)", r.Status, r.Error)
+		}
 	}
 	return nil
 }

@@ -497,56 +497,7 @@ func greedySweep(inst *sched.Instance, order []int) *sched.Schedule {
 	}
 	charged := make([]int, net.NumLinks())
 	s := sched.NewSchedule(inst)
-
-	for pass := 0; pass < 4; pass++ {
-		added := false
-		for _, i := range order {
-			if s.Choice(i) != sched.Declined {
-				continue
-			}
-			r := inst.Request(i)
-			bestPath, bestCost := -1, math.Inf(1)
-			for j := 0; j < inst.NumPaths(i); j++ {
-				var cost float64
-				for _, e := range inst.Path(i, j).Links {
-					var peak float64
-					for t := r.Start; t <= r.End; t++ {
-						if v := loads[e][t] + r.Rate; v > peak {
-							peak = v
-						}
-					}
-					if c := sched.CeilUnits(peak); c > charged[e] {
-						cost += float64(c-charged[e]) * net.Link(e).Price
-					}
-				}
-				if cost < bestCost {
-					bestPath, bestCost = j, cost
-				}
-			}
-			if bestPath == -1 || r.Value <= bestCost {
-				continue
-			}
-			for _, e := range inst.Path(i, bestPath).Links {
-				var peak float64
-				for t := r.Start; t <= r.End; t++ {
-					loads[e][t] += r.Rate
-					if loads[e][t] > peak {
-						peak = loads[e][t]
-					}
-				}
-				if c := sched.CeilUnits(peak); c > charged[e] {
-					charged[e] = c
-				}
-			}
-			if err := s.Assign(i, bestPath); err != nil {
-				panic("core: greedy candidate assign: " + err.Error())
-			}
-			added = true
-		}
-		if !added {
-			break
-		}
-	}
+	greedyAdmit(s, loads, charged, order)
 	return s
 }
 

@@ -9,6 +9,13 @@ var (
 	cStallRounds = obs.NewCounter("core.stall_rounds", "rounds in which TAA declined nothing (shrink escalation active)")
 )
 
+// Cross-epoch replanner outcomes.
+var (
+	cReplanFull      = obs.NewCounter("core.replan.full", "replans that ran the full Metis alternation from scratch")
+	cReplanRefines   = obs.NewCounter("core.replan.refines", "replans that ran one incumbent-refinement round on the persistent model")
+	cReplanFallbacks = obs.NewCounter("core.replan.fallbacks", "incremental replans that dropped the persistent session and fell back to a cold full solve")
+)
+
 // Deadline/cancellation outcomes of SolveCtx.
 var (
 	cCanceled       = obs.NewCounter("solve.canceled", "Metis solves rejected before any round (context already expired)")

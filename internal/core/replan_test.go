@@ -1,0 +1,213 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"metis/internal/demand"
+	"metis/internal/stats"
+	"metis/internal/wan"
+)
+
+// requestPool generates k requests on net for the replanner traces.
+func requestPool(t *testing.T, net *wan.Network, k int, seed int64) []demand.Request {
+	t.Helper()
+	g, err := demand.NewGenerator(net, demand.DefaultGeneratorConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := g.GenerateN(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+// driveParityTrace pushes one randomized arrival trace through an
+// incremental replanner and the cold-refine comparator, asserting
+// identical admit/reject decisions (per-request path choices) and
+// identical profit after every replan. Failure messages carry the seed;
+// rebuild the trace with stats.NewRNG(seed) and the same parameters.
+func driveParityTrace(t *testing.T, seed int64, k int) {
+	t.Helper()
+	net := wan.SubB4()
+	rng := stats.NewRNG(seed)
+	pool := requestPool(t, net, k, seed)
+	cfg := Config{Theta: 2, Seed: seed}
+	inc := NewReplanner(net, 12, 3, cfg, ReplanIncremental)
+	cold := NewReplanner(net, 12, 3, cfg, ReplanColdRefine)
+
+	used := 0
+	for epoch := 0; used < len(pool); epoch++ {
+		batch := 1 + rng.Intn(7)
+		if used+batch > len(pool) {
+			batch = len(pool) - used
+		}
+		arrivals := pool[used : used+batch]
+		used += batch
+		if err := inc.Observe(arrivals); err != nil {
+			t.Fatalf("seed %d epoch %d: incremental observe: %v", seed, epoch, err)
+		}
+		if err := cold.Observe(arrivals); err != nil {
+			t.Fatalf("seed %d epoch %d: cold observe: %v", seed, epoch, err)
+		}
+		// Occasionally skip the replan (the policy's replan-every
+		// cadence): both paths must tolerate multi-batch deltas.
+		if rng.Float64() < 0.25 && used < len(pool) {
+			continue
+		}
+		ri, err := inc.Replan(nil)
+		if err != nil {
+			t.Fatalf("seed %d epoch %d: incremental replan: %v", seed, epoch, err)
+		}
+		rc, err := cold.Replan(nil)
+		if err != nil {
+			t.Fatalf("seed %d epoch %d: cold replan: %v", seed, epoch, err)
+		}
+		if ri.Degraded || rc.Degraded {
+			t.Fatalf("seed %d epoch %d: degraded replan without a deadline (inc=%v cold=%v)",
+				seed, epoch, ri.Degraded, rc.Degraded)
+		}
+		for i := 0; i < inc.NumObserved(); i++ {
+			ci, cc := ri.Schedule.Choice(i), rc.Schedule.Choice(i)
+			if ci != cc {
+				t.Fatalf("seed %d epoch %d: request %d decided differently: incremental path %d, cold rebuild path %d",
+					seed, epoch, i, ci, cc)
+			}
+		}
+		if ri.Profit != rc.Profit {
+			t.Fatalf("seed %d epoch %d: profit diverged: incremental %.17g, cold rebuild %.17g",
+				seed, epoch, ri.Profit, rc.Profit)
+		}
+		for e := range ri.Charged {
+			if ri.Charged[e] != rc.Charged[e] {
+				t.Fatalf("seed %d epoch %d: plan diverged on link %d: incremental %d, cold rebuild %d",
+					seed, epoch, e, ri.Charged[e], rc.Charged[e])
+			}
+		}
+	}
+}
+
+// TestReplannerIncrementalMatchesColdRebuild is the differential parity
+// layer for the tentpole: over ≥100 randomized arrival traces, the
+// incremental replanner (persistent warm BLSession, appended-column
+// arrivals) and the from-scratch cold comparator must make identical
+// admit/reject decisions and report identical profit after every replan.
+func TestReplannerIncrementalMatchesColdRebuild(t *testing.T) {
+	traces := 100
+	if testing.Short() {
+		traces = 25
+	}
+	for trace := 0; trace < traces; trace++ {
+		seed := int64(9000 + trace)
+		driveParityTrace(t, seed, 24+trace%17)
+	}
+}
+
+// TestReplannerParityFullScale is the METIS_PARITY_FULL-gated variant:
+// fewer traces, service-scale workloads.
+func TestReplannerParityFullScale(t *testing.T) {
+	if os.Getenv("METIS_PARITY_FULL") == "" {
+		t.Skip("set METIS_PARITY_FULL=1 to run the full-scale parity sweep")
+	}
+	for trace := 0; trace < 10; trace++ {
+		seed := int64(77000 + trace)
+		driveParityTrace(t, seed, 400)
+	}
+}
+
+// TestReplannerCycleWrapReset: Reset drops all cycle state and the next
+// replan starts a fresh cycle whose decisions again agree across modes.
+func TestReplannerCycleWrapReset(t *testing.T) {
+	net := wan.SubB4()
+	pool := requestPool(t, net, 40, 314)
+	cfg := Config{Theta: 2, Seed: 314}
+	inc := NewReplanner(net, 12, 3, cfg, ReplanIncremental)
+	cold := NewReplanner(net, 12, 3, cfg, ReplanColdRefine)
+	for _, rp := range []*Replanner{inc, cold} {
+		if err := rp.Observe(pool[:25]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rp.Replan(nil); err != nil {
+			t.Fatal(err)
+		}
+		rp.Reset()
+		if rp.NumObserved() != 0 || rp.NumPlanned() != 0 {
+			t.Fatalf("reset left state: observed %d planned %d", rp.NumObserved(), rp.NumPlanned())
+		}
+		if err := rp.Observe(pool[25:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ri, err := inc.Replan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := cold.Replan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < inc.NumObserved(); i++ {
+		if ri.Schedule.Choice(i) != rc.Schedule.Choice(i) {
+			t.Fatalf("post-wrap decision diverged on request %d", i)
+		}
+	}
+	if ri.Profit != rc.Profit {
+		t.Fatalf("post-wrap profit diverged: %v vs %v", ri.Profit, rc.Profit)
+	}
+}
+
+// TestReplannerSnapshotRoundTrip: Observed + IncumbentChoices +
+// NumPlanned fully determine a replanner's future decisions — a
+// restored replanner replans identically to the uninterrupted one.
+func TestReplannerSnapshotRoundTrip(t *testing.T) {
+	net := wan.SubB4()
+	pool := requestPool(t, net, 50, 271)
+	cfg := Config{Theta: 2, Seed: 271}
+	orig := NewReplanner(net, 12, 3, cfg, ReplanIncremental)
+	if err := orig.Observe(pool[:30]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orig.Replan(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.Observe(pool[30:40]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot mid-cycle (after a replan, with 10 unplanned arrivals).
+	seen := orig.Observed()
+	choices := orig.IncumbentChoices()
+	planned := orig.NumPlanned()
+
+	restored := NewReplanner(net, 12, 3, cfg, ReplanIncremental)
+	if err := restored.Observe(seen); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreIncumbent(choices, planned); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, rp := range []*Replanner{orig, restored} {
+		if err := rp.Observe(pool[40:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ro, err := orig.Replan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := restored.Replan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < orig.NumObserved(); i++ {
+		if ro.Schedule.Choice(i) != rr.Schedule.Choice(i) {
+			t.Fatalf("restored replanner decided request %d differently: %d vs %d",
+				i, ro.Schedule.Choice(i), rr.Schedule.Choice(i))
+		}
+	}
+	if ro.Profit != rr.Profit {
+		t.Fatalf("restored replanner profit %v, original %v", rr.Profit, ro.Profit)
+	}
+}

@@ -1,0 +1,260 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// AppendColumn adds a variable together with its full constraint
+// column in one call, without invalidating the cached constraint
+// matrix: rows must be strictly increasing indices of existing
+// constraints and vals their coefficients. Unlike AddVariable/AddTerm
+// — which force the next solve to rebuild the CSC form and drop any
+// retained warm basis — AppendColumn extends the cached matrix in
+// place, so a Basis captured before the append stays usable: the next
+// warm solve grows the retained basis with the new column nonbasic at
+// its lower bound (see Basis.grow) instead of falling back cold.
+//
+// Appending a column and then touching the matrix through AddTerm (or
+// AddVariable) still invalidates the cache as usual; append-only
+// history is what keeps the warm handle alive.
+func (p *Problem) AppendColumn(obj, lo, hi float64, rows []int, vals []float64, name string) (int, error) {
+	if math.IsInf(lo, 0) || math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(hi, -1) {
+		return 0, fmt.Errorf("lp: column %q: invalid bounds [%v, %v]", name, lo, hi)
+	}
+	if lo > hi {
+		return 0, fmt.Errorf("lp: column %q: lower bound %v exceeds upper %v", name, lo, hi)
+	}
+	if len(rows) != len(vals) {
+		return 0, fmt.Errorf("lp: column %q: %d rows but %d values", name, len(rows), len(vals))
+	}
+	m := len(p.rel)
+	for k, r := range rows {
+		if r < 0 || r >= m {
+			return 0, fmt.Errorf("lp: column %q: row %d out of range", name, r)
+		}
+		if k > 0 && rows[k-1] >= r {
+			return 0, fmt.Errorf("lp: column %q: rows must be strictly increasing (%d after %d)", name, r, rows[k-1])
+		}
+		if math.IsNaN(vals[k]) || math.IsInf(vals[k], 0) {
+			return 0, fmt.Errorf("lp: column %q: invalid coefficient %v in row %d", name, vals[k], r)
+		}
+	}
+
+	j := len(p.obj)
+	p.obj = append(p.obj, obj)
+	p.lo = append(p.lo, lo)
+	p.hi = append(p.hi, hi)
+	p.varNames = append(p.varNames, name)
+	// The entry list is stored already row-sorted with zeros dropped —
+	// exactly what mergedColumn produces — so a from-scratch CSC rebuild
+	// of this problem is bit-identical to the in-place extension below.
+	col := make([]entry, 0, len(rows))
+	for k, r := range rows {
+		if vals[k] != 0 {
+			col = append(col, entry{row: r, val: vals[k]})
+		}
+	}
+	p.cols = append(p.cols, col)
+	if mat := p.matrix; mat != nil {
+		for _, e := range col {
+			mat.rows = append(mat.rows, int32(e.row))
+			mat.vals = append(mat.vals, e.val)
+		}
+		mat.colPtr = append(mat.colPtr, int32(len(mat.rows)))
+	}
+	return j, nil
+}
+
+// growCompatible reports whether the retained basis can absorb the
+// Problem's shape growth in place: the cached matrix must be the very
+// object captured (append-only history), dimensions may only grow, and
+// every appended row must be a ≤ constraint — those get a +1 slack
+// under the grow path's +1 row sign, which slots straight into the
+// basis. Anything else falls back to a cold solve.
+func (w *Basis) growCompatible(p *Problem, mat *csc, nStruct int) bool {
+	if !w.Valid() || mat != w.matrix || nStruct < w.nStruct || len(p.rel) < w.m {
+		return false
+	}
+	for i := w.m; i < len(p.rel); i++ {
+		if p.rel[i] != LE {
+			return false
+		}
+	}
+	return true
+}
+
+// grow rebuilds the retained working problem for a Problem that gained
+// columns (AppendColumn) and/or ≤ rows (AddConstraint with no terms in
+// pre-existing columns) since capture, preserving the old basis:
+//
+//   - appended structural columns enter nonbasic at lower bound;
+//   - appended rows get their +1 slack basic (the new basis matrix is
+//     block-diagonal diag(B_old, I), so it stays nonsingular);
+//   - old rows keep their captured normalization signs, new rows are
+//     +1 (their slack coefficient is +1, hence basic-eligible).
+//
+// The caller then proceeds exactly like a plain warm solve: rebuild
+// the rhs, repair primal feasibility with dual simplex if bound/rhs
+// deltas broke it, and run the primal cleanup — which also prices the
+// appended columns in, since a profitable new column is exactly a
+// dual-infeasible nonbasic at lower bound. Returns false on an
+// internal inconsistency (the handle must then be invalidated).
+func (w *Basis) grow(p *Problem, mat *csc, opts Options) bool {
+	s := w.sx
+	m0, nS0 := w.m, w.nStruct
+	m1, nS1 := len(p.rel), len(p.obj)
+	dS, dM := nS1-nS0, m1-m0
+	oldArtStart, oldNArt := s.artStart, s.nArt
+	oldState := append([]int(nil), s.state[:s.n]...)
+	oldBasic := append([]int(nil), s.basic[:m0]...)
+	oldUp := append([]float64(nil), s.up[:s.n]...)
+	var oldBinv []float64
+	if s.lu == nil {
+		oldBinv = append([]float64(nil), s.binv[:m0*m0]...)
+	}
+
+	sign := make([]float64, m1)
+	copy(sign, w.sign[:m0])
+	for i := m0; i < m1; i++ {
+		sign[i] = 1
+	}
+
+	s.m = m1
+	s.opts = opts.withDefaults(m1, nS1)
+	s.nArt = 0
+	s.csrOK, s.gammaOK, s.betaOK = false, false, false
+
+	// Rebuild the working matrix [structural | slacks | artificials]
+	// under the fixed signs, mirroring the cold construction.
+	nnzStruct := len(mat.vals)
+	s.colPtr = append(growInt32s(s.colPtr, 0, nS1+2*m1+1), 0)
+	s.rowIdx = growInt32s(s.rowIdx, nnzStruct, nnzStruct+2*m1)
+	s.vals = growFloatsCap(s.vals, nnzStruct, nnzStruct+2*m1)
+	s.cost = growFloatsCap(s.cost, 0, nS1+2*m1)
+	s.up = growFloatsCap(s.up, 0, nS1+2*m1)
+	copy(s.rowIdx, mat.rows)
+	for q, r := range mat.rows {
+		s.vals[q] = mat.vals[q] * sign[r]
+	}
+	for j := 0; j < nS1; j++ {
+		s.colPtr = append(s.colPtr, mat.colPtr[j+1])
+		s.cost = append(s.cost, p.objCoef(j))
+		s.up = append(s.up, p.hi[j]-p.lo[j])
+	}
+	s.slackNB = growInts(s.slackNB, m1)
+	slackBasic := s.slackNB
+	for i := 0; i < m1; i++ {
+		slackBasic[i] = -1
+		var coef float64
+		switch p.rel[i] {
+		case LE:
+			coef = 1
+		case GE:
+			coef = -1
+		default:
+			continue
+		}
+		coef *= sign[i]
+		j := len(s.cost)
+		s.rowIdx = append(s.rowIdx, int32(i))
+		s.vals = append(s.vals, coef)
+		s.colPtr = append(s.colPtr, int32(len(s.rowIdx)))
+		s.cost = append(s.cost, 0)
+		s.up = append(s.up, math.Inf(1))
+		if coef > 0 {
+			slackBasic[i] = j
+		}
+	}
+	s.artStart = len(s.cost)
+	for i := 0; i < m1; i++ {
+		if slackBasic[i] != -1 {
+			continue
+		}
+		s.rowIdx = append(s.rowIdx, int32(i))
+		s.vals = append(s.vals, 1)
+		s.colPtr = append(s.colPtr, int32(len(s.rowIdx)))
+		s.cost = append(s.cost, 0)
+		s.up = append(s.up, math.Inf(1))
+		s.nArt++
+	}
+	s.n = len(s.cost)
+	if s.nArt != oldNArt {
+		// Appended rows never add artificials (all LE, sign +1), so the
+		// artificial block must be exactly the captured one.
+		return false
+	}
+
+	// Map captured statuses onto the shifted layout: old structural
+	// columns keep their index, old slacks shift by the number of new
+	// structural columns, old artificials additionally by the number of
+	// new slacks (one per appended row).
+	slack0 := oldArtStart - nS0
+	newArtStart := s.artStart
+	s.state = growInts(s.state, s.n)
+	copy(s.state[:nS0], oldState[:nS0])
+	for j := nS0; j < nS1; j++ {
+		s.state[j] = atLower
+	}
+	for k := 0; k < slack0; k++ {
+		s.state[nS1+k] = oldState[nS0+k]
+		s.up[nS1+k] = oldUp[nS0+k]
+	}
+	for k := slack0; k < newArtStart-nS1; k++ {
+		s.state[nS1+k] = isBasic
+	}
+	for k := 0; k < s.nArt; k++ {
+		s.state[newArtStart+k] = oldState[oldArtStart+k]
+		s.up[newArtStart+k] = oldUp[oldArtStart+k] // locked at 0 since phase 1
+	}
+	s.basic = growInts(s.basic, m1)
+	s.xB = growFloats(s.xB, m1)
+	for i := 0; i < m0; i++ {
+		j := oldBasic[i]
+		switch {
+		case j < nS0:
+		case j < oldArtStart:
+			j += dS
+		default:
+			j += dS + dM
+		}
+		s.basic[i] = j
+	}
+	for i := m0; i < m1; i++ {
+		j := slackBasic[i]
+		if j < 0 {
+			return false
+		}
+		s.basic[i] = j
+	}
+
+	// Pivot-path storage: re-decide the mode for the new size. On the
+	// factorized path the factors are rebuilt from the basic set by the
+	// caller's ensureLU; on the dense-inverse path the grown inverse is
+	// diag(Binv_old, I) because appended rows meet old basic columns
+	// nowhere.
+	s.buildDense()
+	if s.lu == nil {
+		binv := make([]float64, m1*m1)
+		for i := 0; i < m0; i++ {
+			copy(binv[i*m1:i*m1+m0], oldBinv[i*m0:(i+1)*m0])
+		}
+		for i := m0; i < m1; i++ {
+			binv[i*m1+i] = 1
+		}
+		s.binv = binv
+	}
+
+	// Size-dependent scratch is reallocated lazily, like a cloned handle.
+	s.y, s.w, s.nz, s.rho, s.wNZ = nil, nil, nil, nil, nil
+	s.cB, s.cbNZ, s.yNZp, s.rhoNZp = nil, nil, nil, nil
+	s.yDense = false
+	s.gamma, s.beta = nil, nil
+	s.alpha, s.alphaNZ, s.alphaMark = nil, nil, nil
+	s.alphaStamp = 0
+	s.b = growFloats(s.b, m1)
+	s.luFail = false
+
+	w.m, w.nStruct, w.sign = m1, nS1, sign
+	return true
+}

@@ -1175,10 +1175,12 @@ func (s *simplex) iterate(cost []float64) Status {
 
 	for ; s.iters < s.opts.MaxIters; s.iters++ {
 		// Cancellation poll, batched so the hot loop pays one mask-and-
-		// branch per iteration and a ctx.Err() call every 256th. The poll
+		// branch per iteration and a ctx.Err() call every 32nd. The poll
 		// sits at the iteration boundary, before any pivot work, so a
-		// canceled return always leaves a consistent basis.
-		if ctx != nil && s.iters&255 == 0 && ctx.Err() != nil {
+		// canceled return always leaves a consistent basis. 32 keeps the
+		// worst-case deadline overshoot to a few ms even at K=10⁴, where
+		// one iteration's BTRAN/FTRAN pair runs ~100µs.
+		if ctx != nil && s.iters&31 == 0 && ctx.Err() != nil {
 			return StatusCanceled
 		}
 		if !yValid {

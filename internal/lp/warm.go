@@ -166,7 +166,17 @@ func (p *Problem) solveWarm(opts Options) (*Solution, warmOutcome) {
 	nStruct := len(p.obj)
 	mat := p.matrixCSC()
 	if mat != w.matrix || nStruct != w.nStruct || len(p.rel) != w.m {
-		return nil, warmStale
+		// Append-only growth (AppendColumn / empty ≤ rows) keeps the
+		// cached matrix object alive; absorb it into the retained basis
+		// instead of bailing cold. Any other shape change is stale.
+		if !w.growCompatible(p, mat, nStruct) {
+			return nil, warmStale
+		}
+		if !w.grow(p, mat, opts) {
+			w.invalidate()
+			return nil, warmStale
+		}
+		cWarmGrows.Inc()
 	}
 	s := w.sx
 	s.opts = opts.withDefaults(s.m, nStruct)
@@ -449,7 +459,7 @@ func (s *simplex) dualIterate() int {
 	for ; s.iters < limit; s.iters++ {
 		// Same batched cancellation poll as iterate: iteration boundary
 		// only, so the basis is always consistent on a canceled return.
-		if ctx != nil && s.iters&255 == 0 && ctx.Err() != nil {
+		if ctx != nil && s.iters&31 == 0 && ctx.Err() != nil {
 			return dualCanceled
 		}
 		if cur == PricingDevex && !s.betaOK {

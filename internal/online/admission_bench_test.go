@@ -1,0 +1,71 @@
+package online
+
+import (
+	"testing"
+
+	"metis/internal/demand"
+	"metis/internal/sched"
+	"metis/internal/wan"
+)
+
+// benchSetup builds a 1000-request SUB-B4 batch and a mid-cycle plan
+// (uniform 40 units per link) — the shape of one saturated metisd tick.
+func benchSetup(b *testing.B) (*sched.Instance, []int) {
+	b.Helper()
+	net := wan.SubB4()
+	g, err := demand.NewGenerator(net, demand.DefaultGeneratorConfig(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := g.GenerateN(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := sched.NewInstance(net, demand.DefaultSlots, reqs, sched.DefaultPathsPerRequest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := make([]int, net.NumLinks())
+	for e := range plan {
+		plan[e] = 40
+	}
+	return inst, plan
+}
+
+// BenchmarkProvisionedTAA1000 measures unguided admission: the cold
+// per-batch LP relaxation dominates (~93% of the cost on the reference
+// box), which is why the incremental policy supplies a guide instead.
+func BenchmarkProvisionedTAA1000(b *testing.B) {
+	inst, plan := benchSetup(b)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		st := NewState(nil, inst)
+		if err := (ProvisionedTAA{Plan: plan}).DecideBatch(st, 0, allIdx(inst.NumRequests())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProvisionedTAA1000Guided measures the guided path the
+// metis-incremental policy runs at saturation: the LP is skipped and
+// TAA works off supplied relaxation weights (here the worst case, all
+// zero — every request recovered by the greedy/augmentation stages).
+func BenchmarkProvisionedTAA1000Guided(b *testing.B) {
+	inst, plan := benchSetup(b)
+	guide := make([][]float64, inst.NumRequests())
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		st := NewState(nil, inst)
+		if err := (ProvisionedTAA{Plan: plan, Guide: guide}).DecideBatch(st, 0, allIdx(inst.NumRequests())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func allIdx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

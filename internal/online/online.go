@@ -25,6 +25,7 @@ import (
 
 	"metis/internal/sched"
 	"metis/internal/solvectx"
+	"metis/internal/spm"
 	"metis/internal/taa"
 )
 
@@ -320,6 +321,16 @@ func (p ProvisionedFirstFit) DecideBatch(st *State, slot int, batch []int) error
 type ProvisionedTAA struct {
 	// Plan is the upfront per-link purchase in units.
 	Plan []int
+	// Guide, when non-nil, supplies a pre-solved fractional relaxation
+	// for the batch (Guide[k] holds path weights for batch[k]; nil
+	// entries mean "not covered", treated as fractionally declined).
+	// With a guide the internal LP relaxation solve is skipped — TAA's
+	// estimator walk runs off the supplied weights, and its hard
+	// feasibility filter keeps the output feasible regardless of the
+	// guide's quality. The metis policies hand their persistent replan
+	// model's relaxation here, which removes the dominant per-batch cost
+	// (the cold LP) from the admission path.
+	Guide [][]float64
 }
 
 // Name implements Policy.
@@ -330,15 +341,48 @@ func (p ProvisionedTAA) DecideBatch(st *State, slot int, batch []int) error {
 	if err := provision(st, p.Plan, slot); err != nil {
 		return err
 	}
-	sub, err := st.inst.Subset(batch)
-	if err != nil {
-		return err
+	// Presolve: a request that cannot fit the residual on any candidate
+	// path even in isolation can never be admitted — TAA's hard
+	// feasibility filter would reject every option. Dropping it up front
+	// shrinks the LP relaxation and the estimator walk to the actual
+	// contenders, which is what keeps saturated epochs (full plan, big
+	// batch) inside the tick budget.
+	if p.Guide != nil && len(p.Guide) != len(batch) {
+		return fmt.Errorf("online: guide covers %d requests, batch has %d", len(p.Guide), len(batch))
 	}
-	res, err := taa.SolveVar(sub, st.Residual(), taa.Options{Ctx: st.ctx})
-	if err != nil {
-		return err
-	}
+	feasible := batch[:0:0]
+	var guide [][]float64
 	for k, i := range batch {
+		for j := 0; j < st.inst.NumPaths(i); j++ {
+			if st.FitsResidual(i, j) {
+				feasible = append(feasible, i)
+				if p.Guide != nil {
+					g := p.Guide[k]
+					if g == nil {
+						g = make([]float64, st.inst.NumPaths(i))
+					}
+					guide = append(guide, g)
+				}
+				break
+			}
+		}
+	}
+	if len(feasible) == 0 {
+		return nil
+	}
+	sub, err := st.inst.Subset(feasible)
+	if err != nil {
+		return err
+	}
+	opts := taa.Options{Ctx: st.ctx}
+	if guide != nil {
+		opts.Relaxed = &spm.RelaxedBL{X: guide}
+	}
+	res, err := taa.SolveVar(sub, st.Residual(), opts)
+	if err != nil {
+		return err
+	}
+	for k, i := range feasible {
 		if c := res.Schedule.Choice(k); c != sched.Declined {
 			if err := st.Commit(i, c); err != nil {
 				return err

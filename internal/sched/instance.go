@@ -62,6 +62,46 @@ func NewInstance(net *wan.Network, slots int, reqs []demand.Request, pathsPerReq
 	}, nil
 }
 
+// Extend returns a new instance with reqs appended after this
+// instance's requests, enumerating candidate paths for the newcomers
+// exactly as NewInstance would. Path enumeration is deterministic in
+// the (src, dst) pair, so Extend(a).Extend(b) and NewInstance(a++b)
+// describe identical instances regardless of how arrivals were
+// batched — the property the incremental replanner's differential
+// tests lean on. The receiver is not modified; prefix request and
+// path storage is shared.
+func (in *Instance) Extend(reqs []demand.Request, pathsPerRequest int) (*Instance, error) {
+	if len(reqs) == 0 {
+		return in, nil
+	}
+	if pathsPerRequest <= 0 {
+		return nil, fmt.Errorf("sched: pathsPerRequest %d must be positive", pathsPerRequest)
+	}
+	if err := demand.ValidateAll(reqs, in.net, in.slots); err != nil {
+		return nil, err
+	}
+	cache := make(map[[2]int][]wan.Path)
+	paths := make([][]wan.Path, 0, len(in.paths)+len(reqs))
+	paths = append(paths, in.paths...)
+	for _, r := range reqs {
+		key := [2]int{r.Src, r.Dst}
+		ps, ok := cache[key]
+		if !ok {
+			var err error
+			ps, err = in.net.Paths(r.Src, r.Dst, pathsPerRequest)
+			if err != nil {
+				return nil, fmt.Errorf("sched: request %d: %w", r.ID, err)
+			}
+			cache[key] = ps
+		}
+		paths = append(paths, ps)
+	}
+	all := make([]demand.Request, 0, len(in.reqs)+len(reqs))
+	all = append(all, in.reqs...)
+	all = append(all, reqs...)
+	return &Instance{net: in.net, slots: in.slots, reqs: all, paths: paths}, nil
+}
+
 // Network returns the instance's WAN.
 func (in *Instance) Network() *wan.Network { return in.net }
 

@@ -3,12 +3,14 @@
 // HTTP, batches arrivals into per-slot epochs, and decides each batch
 // with a pluggable admission policy under a per-tick deadline. The
 // solver stack stays pure and batch-oriented; this package owns all the
-// operational state — the link-state ledger, the bounded arrival queue,
+// operational state — the link-state ledger, the sharded arrival queue,
 // load shedding, snapshot/restore, and graceful drain.
 package serve
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"metis/internal/demand"
 	"metis/internal/sched"
@@ -22,13 +24,20 @@ import (
 // it, and every epoch's admission decisions are made against a copy of
 // it.
 //
-// Ledger is not safe for concurrent use; the Server serializes access.
+// The ledger is striped per link: each link's load row and purchase
+// entry are guarded by their own mutex, so commits against disjoint
+// links proceed concurrently (CommitBatch fans a large epoch's commits
+// out across workers) and readers see per-link-consistent state without
+// a global lock. Cross-link consistency (a snapshot that pairs loads
+// and purchases mid-commit-batch) is the Server's job — it serializes
+// snapshots against ticks.
 type Ledger struct {
 	slots     int
 	prices    []float64
 	purchased []int
 	loads     [][]float64
-	committed int // requests accepted this cycle
+	stripes   []sync.Mutex // stripes[e] guards loads[e] and purchased[e]
+	committed atomic.Int64 // requests accepted this cycle
 }
 
 // NewLedger returns an empty ledger over net's links and a cycle of
@@ -39,6 +48,7 @@ func NewLedger(net *wan.Network, slots int) *Ledger {
 		prices:    make([]float64, net.NumLinks()),
 		purchased: make([]int, net.NumLinks()),
 		loads:     make([][]float64, net.NumLinks()),
+		stripes:   make([]sync.Mutex, net.NumLinks()),
 	}
 	for e := 0; e < net.NumLinks(); e++ {
 		l.prices[e] = net.Link(e).Price
@@ -54,24 +64,34 @@ func (l *Ledger) Links() int { return len(l.loads) }
 func (l *Ledger) Slots() int { return l.slots }
 
 // Committed returns the number of requests accepted this cycle.
-func (l *Ledger) Committed() int { return l.committed }
+func (l *Ledger) Committed() int { return int(l.committed.Load()) }
 
 // Purchased returns a copy of the per-link purchased units.
 func (l *Ledger) Purchased() []int {
-	return append([]int(nil), l.purchased...)
+	out := make([]int, len(l.purchased))
+	for e := range l.purchased {
+		l.stripes[e].Lock()
+		out[e] = l.purchased[e]
+		l.stripes[e].Unlock()
+	}
+	return out
 }
 
 // Loads returns a copy of the committed per-(link, slot) load matrix.
 func (l *Ledger) Loads() [][]float64 {
 	out := make([][]float64, len(l.loads))
 	for e := range l.loads {
+		l.stripes[e].Lock()
 		out[e] = append([]float64(nil), l.loads[e]...)
+		l.stripes[e].Unlock()
 	}
 	return out
 }
 
 // PeakLoad returns link e's peak committed load over the cycle.
 func (l *Ledger) PeakLoad(e int) float64 {
+	l.stripes[e].Lock()
+	defer l.stripes[e].Unlock()
 	var peak float64
 	for _, v := range l.loads[e] {
 		if v > peak {
@@ -81,39 +101,124 @@ func (l *Ledger) PeakLoad(e int) float64 {
 	return peak
 }
 
+// commitLink reserves r.Rate on link e over r's window, buying any
+// extra whole units the new peak requires. Callers hold stripe e.
+func (l *Ledger) commitLink(e int, r demand.Request) {
+	var peak float64
+	for t := r.Start; t <= r.End; t++ {
+		l.loads[e][t] += r.Rate
+		if l.loads[e][t] > peak {
+			peak = l.loads[e][t]
+		}
+	}
+	if c := sched.CeilUnits(peak); c > l.purchased[e] {
+		l.purchased[e] = c
+	}
+}
+
 // Commit reserves r.Rate on every link of pathLinks for r's slot
 // window, buying any extra whole units the new peak requires.
 func (l *Ledger) Commit(r demand.Request, pathLinks []int) {
 	for _, e := range pathLinks {
-		var peak float64
-		for t := r.Start; t <= r.End; t++ {
-			l.loads[e][t] += r.Rate
-			if l.loads[e][t] > peak {
-				peak = l.loads[e][t]
+		l.stripes[e].Lock()
+		l.commitLink(e, r)
+		l.stripes[e].Unlock()
+	}
+	l.committed.Add(1)
+}
+
+// CommitEntry is one accepted request to fold into the ledger: the
+// request (windows already clamped) and its assigned path's links.
+type CommitEntry struct {
+	Req   demand.Request
+	Links []int
+}
+
+// commitBatchSmall bounds the batch size below which CommitBatch stays
+// sequential — the fan-out bookkeeping costs more than it saves.
+const commitBatchSmall = 64
+
+// CommitBatch folds a whole epoch's accepted requests into the ledger,
+// fanning the per-link work out across up to workers goroutines. Each
+// link's touches are applied by exactly one worker in batch order, so
+// the resulting loads and purchases are bit-identical to committing the
+// entries one by one in order, for every worker count.
+func (l *Ledger) CommitBatch(entries []CommitEntry, workers int) {
+	if len(entries) == 0 {
+		return
+	}
+	if workers <= 1 || len(entries) < commitBatchSmall {
+		for _, en := range entries {
+			for _, e := range en.Links {
+				l.stripes[e].Lock()
+				l.commitLink(e, en.Req)
+				l.stripes[e].Unlock()
 			}
 		}
-		if c := sched.CeilUnits(peak); c > l.purchased[e] {
-			l.purchased[e] = c
+		l.committed.Add(int64(len(entries)))
+		return
+	}
+
+	// touches[e] lists, in batch order, the entries that load link e.
+	touches := make([][]int, len(l.loads))
+	var busy []int // links with at least one touch
+	for k, en := range entries {
+		for _, e := range en.Links {
+			if touches[e] == nil {
+				busy = append(busy, e)
+			}
+			touches[e] = append(touches[e], k)
 		}
 	}
-	l.committed++
+	if workers > len(busy) {
+		workers = len(busy)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(busy) {
+					return
+				}
+				e := busy[i]
+				l.stripes[e].Lock()
+				for _, k := range touches[e] {
+					l.commitLink(e, entries[k].Req)
+				}
+				l.stripes[e].Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	l.committed.Add(int64(len(entries)))
 }
 
 // Provision raises the per-link purchase to at least plan (monotone;
 // entries beyond the link count are ignored).
 func (l *Ledger) Provision(plan []int) {
 	for e, units := range plan {
-		if e < len(l.purchased) && units > l.purchased[e] {
+		if e >= len(l.purchased) {
+			break
+		}
+		l.stripes[e].Lock()
+		if units > l.purchased[e] {
 			l.purchased[e] = units
 		}
+		l.stripes[e].Unlock()
 	}
 }
 
 // Cost returns the cycle-to-date purchase cost Σ_e price_e·purchased_e.
 func (l *Ledger) Cost() float64 {
 	var c float64
-	for e, u := range l.purchased {
-		c += float64(u) * l.prices[e]
+	for e := range l.purchased {
+		l.stripes[e].Lock()
+		c += float64(l.purchased[e]) * l.prices[e]
+		l.stripes[e].Unlock()
 	}
 	return c
 }
@@ -121,8 +226,10 @@ func (l *Ledger) Cost() float64 {
 // PurchasedUnits returns the total units purchased across links.
 func (l *Ledger) PurchasedUnits() int {
 	var n int
-	for _, u := range l.purchased {
-		n += u
+	for e := range l.purchased {
+		l.stripes[e].Lock()
+		n += l.purchased[e]
+		l.stripes[e].Unlock()
 	}
 	return n
 }
@@ -130,13 +237,15 @@ func (l *Ledger) PurchasedUnits() int {
 // Reset clears the ledger for a new billing cycle: loads, purchases and
 // the committed count all return to zero. Prices are retained.
 func (l *Ledger) Reset() {
-	l.committed = 0
+	l.committed.Store(0)
 	for e := range l.purchased {
+		l.stripes[e].Lock()
 		l.purchased[e] = 0
 		ts := l.loads[e]
 		for t := range ts {
 			ts[t] = 0
 		}
+		l.stripes[e].Unlock()
 	}
 }
 
@@ -144,16 +253,18 @@ func (l *Ledger) Reset() {
 // (bit-for-bit loads, purchases, committed count). Used by the
 // snapshot/restore tests and the restore-time consistency check.
 func (l *Ledger) Equal(o *Ledger) bool {
-	if l.slots != o.slots || l.committed != o.committed ||
+	if l.slots != o.slots || l.Committed() != o.Committed() ||
 		len(l.purchased) != len(o.purchased) || len(l.loads) != len(o.loads) {
 		return false
 	}
-	for e := range l.purchased {
-		if l.purchased[e] != o.purchased[e] {
+	lp, op := l.Purchased(), o.Purchased()
+	ll, ol := l.Loads(), o.Loads()
+	for e := range lp {
+		if lp[e] != op[e] {
 			return false
 		}
-		for t := range l.loads[e] {
-			if l.loads[e][t] != o.loads[e][t] {
+		for t := range ll[e] {
+			if ll[e][t] != ol[e][t] {
 				return false
 			}
 		}
@@ -172,7 +283,7 @@ type LedgerImage struct {
 }
 
 func (l *Ledger) snap() LedgerImage {
-	return LedgerImage{Slots: l.slots, Purchased: l.Purchased(), Loads: l.Loads(), Committed: l.committed}
+	return LedgerImage{Slots: l.slots, Purchased: l.Purchased(), Loads: l.Loads(), Committed: l.Committed()}
 }
 
 // restoreLedger rebuilds a ledger from its wire form, keeping the
@@ -189,10 +300,12 @@ func (l *Ledger) restore(s LedgerImage) error {
 			return fmt.Errorf("serve: snapshot loads[%d] has %d slots, want %d", e, len(s.Loads[e]), l.slots)
 		}
 	}
-	copy(l.purchased, s.Purchased)
 	for e := range s.Loads {
+		l.stripes[e].Lock()
+		l.purchased[e] = s.Purchased[e]
 		copy(l.loads[e], s.Loads[e])
+		l.stripes[e].Unlock()
 	}
-	l.committed = s.Committed
+	l.committed.Store(int64(s.Committed))
 	return nil
 }

@@ -22,6 +22,7 @@ var (
 	cReplans         = obs.NewCounter("serve.replans", "full Metis re-solves run by the metis policy")
 	cReplansDegraded = obs.NewCounter("serve.replans_degraded", "metis re-solves cut short by the tick budget (incumbent or previous plan kept)")
 	cSnapshots       = obs.NewCounter("serve.snapshots", "ledger snapshots written")
+	cCheckFailures   = obs.NewCounter("serve.check_failures", "post-tick ledger invariant violations found by the -check sweep")
 	gQueueDepth      = obs.NewGauge("serve.queue_depth", "arrivals waiting for the next epoch tick")
 	gPurchasedUnits  = obs.NewGauge("serve.purchased_units", "total bandwidth units purchased this cycle")
 

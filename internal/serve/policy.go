@@ -3,12 +3,14 @@ package serve
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"metis/internal/core"
 	"metis/internal/demand"
 	"metis/internal/online"
 	"metis/internal/sched"
 	"metis/internal/solvectx"
+	"metis/internal/wan"
 )
 
 // Policy decides one epoch's arrival batch. inst holds the batch's
@@ -35,14 +37,16 @@ type Policy interface {
 
 // NewPolicy builds a policy by name:
 //
-//	greedy  — buy-as-you-go marginal-cost admission (online.Greedy)
-//	taa     — per-epoch TAA admission into a fixed provisioned plan
-//	metis   — periodic full Metis re-solve over the cycle's observed
-//	          workload to (re)plan capacity, TAA admission in between
+//	greedy             — buy-as-you-go marginal-cost admission (online.Greedy)
+//	taa                — per-epoch TAA admission into a fixed provisioned plan
+//	metis              — periodic full Metis re-solve over the cycle's observed
+//	                     workload to (re)plan capacity, TAA admission in between
+//	metis-incremental  — same contract, but replans refine a persistent
+//	                     warm model instead of re-solving from scratch
 //
 // plan provisions the taa policy (units per link; nil means admit only
 // into capacity bought by earlier epochs). replanEvery is the metis
-// policy's re-solve period in epochs (≤0 means every epoch).
+// policies' re-solve period in epochs (≤0 means every epoch).
 func NewPolicy(name string, plan []int, replanEvery int, cfg core.Config) (Policy, error) {
 	switch name {
 	case "greedy", "":
@@ -53,11 +57,23 @@ func NewPolicy(name string, plan []int, replanEvery int, cfg core.Config) (Polic
 		if replanEvery <= 0 {
 			replanEvery = 1
 		}
-		return &MetisPolicy{ReplanEvery: replanEvery, Config: cfg}, nil
+		return &MetisPolicy{ReplanEvery: replanEvery, Config: cfg, Mode: core.ReplanFull}, nil
+	case "metis-incremental", "metis-inc":
+		if replanEvery <= 0 {
+			replanEvery = 1
+		}
+		return &MetisPolicy{ReplanEvery: replanEvery, Config: cfg, Mode: core.ReplanIncremental}, nil
 	default:
-		return nil, fmt.Errorf("serve: unknown policy %q (have: greedy, taa, metis)", name)
+		return nil, fmt.Errorf("serve: unknown policy %q (have: greedy, taa, metis, metis-incremental)", name)
 	}
 }
+
+// replanBudgetFrac is the share of the remaining tick budget a metis
+// replan may consume; the rest stays reserved for the admission pass.
+// Admission costs ~50µs/request on the reference box, so at saturation
+// (queue-limit-sized batches) the reservation must leave room for the
+// whole claimed batch.
+const replanBudgetFrac = 0.25
 
 // seededState builds an online.State over inst carrying the ledger's
 // committed loads and purchases.
@@ -131,60 +147,95 @@ func (p *TAAPolicy) Decide(ctx context.Context, led *Ledger, inst *sched.Instanc
 	return st, nil
 }
 
-// MetisPolicy periodically re-solves the full Metis alternation over
-// every request observed this cycle to produce a capacity plan, and
-// admits each epoch's batch with TAA against that plan's residual. The
-// re-solve runs under the epoch's tick deadline: an overrun degrades to
-// the best incumbent inside core.SolveCtx (the PR 4 contract) instead
-// of stalling the tick loop, and the previous plan is kept when the
-// degraded solve found nothing better. Warm LP bases are reused across
-// the alternation rounds within each re-solve (the PR 2 machinery);
-// across epochs the policy reuses the previous plan outright whenever
-// no new requests have arrived, which skips the solve entirely.
+// MetisPolicy periodically replans capacity over every request observed
+// this cycle, and admits each epoch's batch with TAA against the plan's
+// residual. The replan machinery is core.Replanner; Mode selects the
+// strategy:
+//
+//   - core.ReplanFull re-solves the full Metis alternation from scratch
+//     each time (the original policy behavior).
+//   - core.ReplanIncremental keeps a persistent warm model across
+//     epochs: arrivals fold into the live spm.BLSession as appended
+//     columns, the warm lp.Basis survives between replans, and each
+//     replan runs one incumbent-refinement round instead of a cold
+//     alternation. Model-shape incompatibilities and solver errors fall
+//     back to a cold full solve (the fallback-ladder discipline).
+//
+// Replans run under the epoch's tick deadline: an overrun degrades to
+// the best incumbent found so far instead of stalling the tick loop,
+// and the previous plan is kept when the degraded replan found nothing.
+// Across epochs the policy reuses the previous plan outright whenever
+// no new requests have arrived, which skips the replan entirely.
 type MetisPolicy struct {
 	// ReplanEvery is the re-solve period in epochs (1 = every epoch).
 	ReplanEvery int
 	// Config parameterizes the re-solve (θ, τ, seeds, LP options).
 	Config core.Config
+	// Mode selects full re-solves or incremental refinement (default
+	// core.ReplanFull).
+	Mode core.ReplanMode
 
-	seen       []demand.Request // cycle's observed workload (original windows)
-	plan       []int            // current capacity plan
-	plannedLen int              // len(seen) at the last completed re-solve
-	lastReplan int              // epoch of the last re-solve attempt
+	rp         *core.Replanner
+	plan       []int // current capacity plan
+	lastReplan int   // epoch of the last replan attempt
 	havePlan   bool
 }
 
 // Name implements Policy.
-func (*MetisPolicy) Name() string { return "metis" }
+func (p *MetisPolicy) Name() string {
+	if p.Mode == core.ReplanIncremental {
+		return "metis-incremental"
+	}
+	return "metis"
+}
 
 // Reset implements Policy.
 func (p *MetisPolicy) Reset() {
-	p.seen, p.plan, p.plannedLen, p.havePlan, p.lastReplan = nil, nil, 0, false, 0
+	if p.rp != nil {
+		p.rp.Reset()
+	}
+	p.plan, p.havePlan, p.lastReplan = nil, false, 0
 }
 
 // Decide implements Policy.
 func (p *MetisPolicy) Decide(ctx context.Context, led *Ledger, inst *sched.Instance, epoch, slot int) (*online.State, error) {
-	// The replan instance uses the original request windows (still valid
-	// for the cycle horizon): the plan is a whole-cycle provision, not a
-	// per-epoch one.
-	for i := 0; i < inst.NumRequests(); i++ {
-		p.seen = append(p.seen, inst.Request(i))
+	// The replanner accumulates the cycle's workload; the plan it
+	// produces is a whole-cycle provision, not a per-epoch one.
+	if p.rp == nil {
+		p.rp = core.NewReplanner(inst.Network(), inst.Slots(), sched.DefaultPathsPerRequest, p.Config, p.Mode)
+	}
+	batch := make([]demand.Request, inst.NumRequests())
+	for i := range batch {
+		batch[i] = inst.Request(i)
+	}
+	if err := p.rp.Observe(batch); err != nil {
+		return nil, fmt.Errorf("serve: metis replan: %w", err)
 	}
 
 	due := !p.havePlan || epoch-p.lastReplan >= p.ReplanEvery
-	if due && len(p.seen) > p.plannedLen {
+	if due && p.rp.NumObserved() > p.rp.NumPlanned() {
 		p.lastReplan = epoch
 		cReplans.Inc()
-		replanInst, err := sched.NewInstance(inst.Network(), inst.Slots(), p.seen, sched.DefaultPathsPerRequest)
-		if err != nil {
-			return nil, fmt.Errorf("serve: metis replan: %w", err)
+		// Reserve the tail of the tick budget for the admission pass:
+		// the replan is an optimization, admission is the service. A
+		// replan cut short returns its best incumbent (degraded) — it
+		// must never starve DecideBatch into the greedy fallback.
+		rctx, cancel := ctx, func() {}
+		if ctx != nil {
+			if dl, ok := ctx.Deadline(); ok {
+				share := time.Duration(float64(time.Until(dl)) * replanBudgetFrac)
+				rctx, cancel = context.WithTimeout(ctx, share)
+			}
 		}
-		res, err := core.SolveCtx(ctx, replanInst, p.Config)
+		res, err := p.rp.Replan(rctx)
+		cancel()
 		switch {
 		case err == nil:
-			// A degraded solve still returns its best incumbent; adopt
-			// its plan — at worst the greedy seed's purchase.
-			p.plan, p.plannedLen, p.havePlan = res.Charged, len(p.seen), true
+			// A degraded replan still returns its best incumbent; adopt
+			// its plan — at worst the greedy seed's purchase. Charged may
+			// alias the replanner's reusable buffer, so copy.
+			p.plan = append(p.plan[:0], res.Charged...)
+			p.havePlan = true
 			if res.Degraded {
 				cReplansDegraded.Inc()
 			}
@@ -205,8 +256,95 @@ func (p *MetisPolicy) Decide(ctx context.Context, led *Ledger, inst *sched.Insta
 	if plan == nil {
 		plan = led.Purchased()
 	}
-	if err := (online.ProvisionedTAA{Plan: plan}).DecideBatch(st, slot, allIndices(inst.NumRequests())); err != nil {
+	adm := online.ProvisionedTAA{Plan: plan}
+	if p.Mode == core.ReplanIncremental {
+		// The persistent model's relaxation already prices every observed
+		// request — including this batch, observed above — against the
+		// cycle plan. Handing it to admission skips the per-batch cold LP
+		// (the dominant tick cost at saturation). Positions the
+		// relaxation has not covered yet (arrivals since the last
+		// refinement, or a whole cycle right after a wrap) get zero
+		// weight, which TAA treats as fractionally declined and recovers
+		// through its greedy/augmentation stages. The zero-fill is
+		// deliberate: incremental admission NEVER falls back to the cold
+		// batch LP, so its cost stays bounded at saturation — an
+		// unbounded admission solve under a tight tick budget is exactly
+		// what degrades epochs.
+		adm.Guide = p.rp.RelaxedGuide(p.rp.NumObserved() - inst.NumRequests())
+		if adm.Guide == nil {
+			adm.Guide = make([][]float64, inst.NumRequests())
+		}
+	}
+	if err := adm.DecideBatch(st, slot, allIndices(inst.NumRequests())); err != nil {
 		return nil, err
 	}
 	return st, nil
+}
+
+// PolicyState is the snapshot image of the metis policies' cycle state:
+// the observed workload, the incumbent schedule's path choices, and the
+// adopted capacity plan. It is enough to rebuild the persistent replan
+// model deterministically on restore — the warm LP factorization itself
+// is a cache and is rebuilt on the first post-restore replan.
+type PolicyState struct {
+	Name       string           `json:"name"`
+	Seen       []demand.Request `json:"seen,omitempty"`
+	Incumbent  []int            `json:"incumbent,omitempty"`
+	Planned    int              `json:"planned,omitempty"`
+	Plan       []int            `json:"plan,omitempty"`
+	HavePlan   bool             `json:"havePlan,omitempty"`
+	LastReplan int              `json:"lastReplan,omitempty"`
+	// RelaxedX is the persistent model's last relaxation, aligned to
+	// Seen. It guides the admission pass, so it must survive restore for
+	// post-restore decisions to match an uninterrupted run exactly.
+	RelaxedX [][]float64 `json:"relaxedX,omitempty"`
+}
+
+// statefulPolicy is implemented by policies whose cycle state must
+// survive snapshot/restore.
+type statefulPolicy interface {
+	policyState() *PolicyState
+	restorePolicyState(st *PolicyState, net *wan.Network, slots int) error
+}
+
+func (p *MetisPolicy) policyState() *PolicyState {
+	if p.rp == nil {
+		return nil
+	}
+	return &PolicyState{
+		Name:       p.Name(),
+		Seen:       p.rp.Observed(),
+		Incumbent:  p.rp.IncumbentChoices(),
+		Planned:    p.rp.NumPlanned(),
+		Plan:       append([]int(nil), p.plan...),
+		HavePlan:   p.havePlan,
+		LastReplan: p.lastReplan,
+		RelaxedX:   p.rp.RelaxedGuide(0),
+	}
+}
+
+func (p *MetisPolicy) restorePolicyState(st *PolicyState, net *wan.Network, slots int) error {
+	if st == nil {
+		return nil
+	}
+	rp := core.NewReplanner(net, slots, sched.DefaultPathsPerRequest, p.Config, p.Mode)
+	if len(st.Seen) > 0 {
+		if err := rp.Observe(st.Seen); err != nil {
+			return fmt.Errorf("serve: restore policy state: %w", err)
+		}
+	}
+	if st.Incumbent != nil {
+		if err := rp.RestoreIncumbent(st.Incumbent, st.Planned); err != nil {
+			return fmt.Errorf("serve: restore policy state: %w", err)
+		}
+	}
+	rp.RestoreRelaxedGuide(st.RelaxedX)
+	p.rp = rp
+	p.plan = append([]int(nil), st.Plan...)
+	if len(st.Plan) == 0 && !st.HavePlan {
+		p.plan = nil
+	}
+	p.havePlan = st.HavePlan
+	p.lastReplan = st.LastReplan
+	return nil
 }

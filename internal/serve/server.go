@@ -7,14 +7,18 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"metis/internal/demand"
 	"metis/internal/obs"
 	"metis/internal/sched"
 	"metis/internal/solvectx"
+	"metis/internal/spm"
 	"metis/internal/wan"
 )
 
@@ -57,6 +61,13 @@ type Config struct {
 	PathsPerRequest int
 	// QueueLimit bounds the arrival queue (default DefaultQueueLimit).
 	QueueLimit int
+	// MaxBatch bounds how many queued arrivals one tick claims; the
+	// excess stays queued (in id order) for later ticks. 0 means a tick
+	// claims the whole queue. A cap sized to what the policy can decide
+	// inside the tick budget keeps a backlog spike from snowballing:
+	// without it one slow tick grows the next claim, which overruns
+	// harder, and the loop degrades epoch after epoch.
+	MaxBatch int
 	// DecisionRetention bounds the decision-record history (default
 	// DefaultDecisionRetention; must exceed QueueLimit so queued
 	// requests are never pruned).
@@ -77,6 +88,15 @@ type Config struct {
 	// Flight, when non-nil, arms the anomaly flight recorder (see
 	// FlightConfig).
 	Flight *FlightConfig
+	// Check, when true, runs the spm ledger invariant checker after
+	// every tick's commit (no per-(link, slot) capacity overcommit). A
+	// violation increments serve.check_failures and Stats.CheckFailures;
+	// it never panics the daemon. Meant for replay smokes and debugging,
+	// not the hot path.
+	Check bool
+	// CommitWorkers bounds the goroutines CommitBatch fans commits
+	// across (default: GOMAXPROCS, capped at 8).
+	CommitWorkers int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -106,6 +126,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.DecisionRetention <= c.QueueLimit {
 		c.DecisionRetention = 2 * c.QueueLimit
+	}
+	if c.CommitWorkers <= 0 {
+		c.CommitWorkers = runtime.GOMAXPROCS(0)
+		if c.CommitWorkers > 8 {
+			c.CommitWorkers = 8
+		}
 	}
 	return c, nil
 }
@@ -155,6 +181,8 @@ type Stats struct {
 	DegradedEpochs    int64   `json:"degradedEpochs"`
 	DegradedDecisions int64   `json:"degradedDecisions"`
 	Overruns          int64   `json:"overruns"`
+	CheckFailures     int64   `json:"checkFailures"`
+	LastCheckError    string  `json:"lastCheckError,omitempty"`
 	Committed         int     `json:"committed"`
 	PurchasedUnits    int     `json:"purchasedUnits"`
 	PurchasedCost     float64 `json:"purchasedCost"`
@@ -207,9 +235,33 @@ type pending struct {
 	at  time.Time // arrival time, anchor for queue-wait and decision latency
 }
 
+// intakeShards and decisionShards size the sharded arrival queue and
+// decision-record map. Submits hash by request id, so concurrent
+// clients contend on different shard locks instead of one global mutex.
+const (
+	intakeShards   = 16
+	decisionShards = 16
+)
+
+// intakeShard is one stripe of the arrival queue.
+type intakeShard struct {
+	mu    sync.Mutex
+	queue []pending
+}
+
+// decisionShard is one stripe of the decision-record map.
+type decisionShard struct {
+	mu sync.RWMutex
+	m  map[int64]*Decision
+}
+
 // Server is the admission-control daemon: an HTTP ingest surface over a
-// bounded arrival queue, an epoch tick loop deciding batches against
-// the ledger, and snapshot/restore for crash recovery.
+// bounded, sharded arrival queue, an epoch tick loop deciding batches
+// against the ledger, and snapshot/restore for crash recovery.
+//
+// Lock order: s.mu → intakeShard.mu / decisionShard.mu / ledger
+// stripes. Submit takes only shard locks; ticks and snapshots take s.mu
+// first.
 type Server struct {
 	cfg    Config
 	tracer obs.Tracer // cfg.Tracer teed with the flight recorder's span ring
@@ -217,20 +269,29 @@ type Server struct {
 	score  *scoreRing
 	flight *flightRecorder // nil unless cfg.Flight is set
 
-	mu        sync.Mutex
-	led       *Ledger
-	queue     []pending
-	deciding  []pending // batch owned by an in-flight tick (still snapshot-visible)
-	decisions map[int64]*Decision
-	nextID    int64
-	pruneFrom int64 // lowest decision id possibly still retained
-	epoch     int   // ticks processed
-	draining  bool
+	// Ingest path: lock-free id assignment and depth accounting plus
+	// per-shard queue/decision locks. No submit ever touches s.mu.
+	nextID     atomic.Int64
+	queueDepth atomic.Int64 // arrivals queued, not yet claimed by a tick
+	draining   atomic.Bool
+	nSubmitted atomic.Int64
+	nShed      atomic.Int64
+	shards     [intakeShards]intakeShard
+	dshards    [decisionShards]decisionShard
+
+	mu          sync.Mutex
+	led         *Ledger
+	deciding    []pending    // batch owned by an in-flight tick (still snapshot-visible)
+	pruneFrom   int64        // lowest decision id possibly still retained
+	epoch       int          // ticks processed
+	policyImage *PolicyState // policy cycle state as of the last committed tick
 
 	// Per-instance stats (the obs counters are process-global).
-	nSubmitted, nAccepted, nRejected, nShed, nDegraded, nOverruns int64
-	nDegradedDecisions                                            int64
-	revenue                                                       float64
+	nAccepted, nRejected, nDegraded, nOverruns int64
+	nDegradedDecisions                         int64
+	nCheckFailures                             int64
+	lastCheckErr                               string
+	revenue                                    float64
 
 	// Health bookkeeping.
 	lastTickEnd time.Time // when the last Tick committed
@@ -248,20 +309,36 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: plan has %d links, network has %d", len(p.Plan), cfg.Net.NumLinks())
 	}
 	s := &Server{
-		cfg:       cfg,
-		tracer:    cfg.Tracer,
-		lat:       newLatencyObs(cfg.Policy.Name()),
-		score:     newScoreRing(cfg.ScorecardSize),
-		led:       NewLedger(cfg.Net, cfg.Slots),
-		decisions: make(map[int64]*Decision),
-		nextID:    1,
-		pruneFrom: 1,
+		cfg:    cfg,
+		tracer: cfg.Tracer,
+		lat:    newLatencyObs(cfg.Policy.Name()),
+		score:  newScoreRing(cfg.ScorecardSize),
+		led:    NewLedger(cfg.Net, cfg.Slots),
+	}
+	s.nextID.Store(1)
+	s.pruneFrom = 1
+	for i := range s.dshards {
+		s.dshards[i].m = make(map[int64]*Decision)
 	}
 	if cfg.Flight != nil {
 		s.flight = newFlightRecorder(*cfg.Flight)
 		s.tracer = combineTracers(cfg.Tracer, s.flight.ring)
 	}
 	return s, nil
+}
+
+func (s *Server) dshard(id int64) *decisionShard {
+	return &s.dshards[int(id)%decisionShards]
+}
+
+// decided applies fn to the live decision record for id, if retained.
+func (s *Server) decided(id int64, fn func(*Decision)) {
+	ds := s.dshard(id)
+	ds.mu.Lock()
+	if d, ok := ds.m[id]; ok {
+		fn(d)
+	}
+	ds.mu.Unlock()
 }
 
 // Epoch returns the number of ticks processed so far.
@@ -296,53 +373,121 @@ var ErrQueueFull = errors.New("serve: arrival queue full")
 
 // Submit validates and enqueues one reservation request for the next
 // epoch tick. The request's ID field is ignored; the server assigns its
-// own. On success the returned decision has StatusQueued.
+// own. On success the returned decision has StatusQueued. Submit never
+// takes the server's tick lock: ids come from an atomic counter and the
+// arrival lands in an intake shard, so concurrent clients contend only
+// per shard.
 func (s *Server) Submit(req demand.Request) (*Decision, error) {
-	now := time.Now()
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
+	return s.submitAt(req, time.Now())
+}
+
+func (s *Server) submitAt(req demand.Request, now time.Time) (*Decision, error) {
+	if s.draining.Load() {
 		return nil, ErrDraining
 	}
 	req.ID = 0 // assigned below; validate with a neutral id
 	if err := req.Validate(s.cfg.Net, s.cfg.Slots); err != nil {
 		cInvalid.Inc()
-		s.mu.Unlock()
 		return nil, err
 	}
-	if len(s.queue) >= s.cfg.QueueLimit {
-		s.nShed++
+	// Reserve a depth slot before the id so a shed never burns an id.
+	if s.queueDepth.Add(1) > int64(s.cfg.QueueLimit) {
+		s.queueDepth.Add(-1)
+		s.nShed.Add(1)
 		cShed.Inc()
-		s.mu.Unlock()
 		if s.tracer != nil {
 			obs.Event(s.tracer, "serve.arrival", obs.Fields{"outcome": "shed"})
 		}
 		return nil, ErrQueueFull
 	}
-	id := s.nextID
-	s.nextID++
+	id := s.nextID.Add(1) - 1
 	req.ID = int(id)
 	d := &Decision{ID: id, Status: StatusQueued, Request: req}
-	s.decisions[id] = d
-	s.queue = append(s.queue, pending{id: id, req: req, at: now})
-	s.nSubmitted++
+	ds := s.dshard(id)
+	ds.mu.Lock()
+	ds.m[id] = d
+	// The caller's copy is taken under the shard lock: once the record
+	// is in the map a concurrent tick may claim the request and mutate
+	// it (also under this lock), so an unsynchronized read of *d races.
+	cp := *d
+	ds.mu.Unlock()
+	sh := &s.shards[int(id)%intakeShards]
+	sh.mu.Lock()
+	sh.queue = append(sh.queue, pending{id: id, req: req, at: now})
+	sh.mu.Unlock()
+	s.nSubmitted.Add(1)
 	cSubmitted.Inc()
-	gQueueDepth.Set(int64(len(s.queue)))
-	depth := len(s.queue)
-	s.mu.Unlock()
+	depth := s.queueDepth.Load()
+	gQueueDepth.Set(depth)
 	if s.tracer != nil {
 		obs.Event(s.tracer, "serve.arrival", obs.Fields{
 			"id": id, "outcome": "queued", "queue_depth": depth,
 		})
 	}
-	return d, nil
+	return &cp, nil
+}
+
+// BatchResult is one entry of a batch-submit response: the assigned id
+// for a queued request, or the shed/invalid/draining outcome.
+type BatchResult struct {
+	ID     int64  `json:"id,omitempty"`
+	Status string `json:"status"` // queued, shed, invalid or draining
+	Error  string `json:"error,omitempty"`
+}
+
+// SubmitAll enqueues a batch of requests in order, returning one result
+// per request. Outcomes are independent: a shed or invalid entry does
+// not stop the rest of the batch.
+func (s *Server) SubmitAll(reqs []demand.Request) []BatchResult {
+	now := time.Now()
+	out := make([]BatchResult, len(reqs))
+	for i, r := range reqs {
+		d, err := s.submitAt(r, now)
+		switch {
+		case err == nil:
+			out[i] = BatchResult{ID: d.ID, Status: StatusQueued}
+		case errors.Is(err, ErrQueueFull):
+			out[i] = BatchResult{Status: "shed", Error: err.Error()}
+		case errors.Is(err, ErrDraining):
+			out[i] = BatchResult{Status: "draining", Error: err.Error()}
+		default:
+			out[i] = BatchResult{Status: "invalid", Error: err.Error()}
+		}
+	}
+	return out
+}
+
+// claimIntake steals every shard's queue and merges them back into
+// submission (id) order. When max > 0 only the oldest max arrivals are
+// claimed; the rest are re-queued for the next tick. Callers hold s.mu.
+func (s *Server) claimIntake(max int) []pending {
+	var batch []pending
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		batch = append(batch, sh.queue...)
+		sh.queue = nil
+		sh.mu.Unlock()
+	}
+	sort.Slice(batch, func(a, b int) bool { return batch[a].id < batch[b].id })
+	if max > 0 && len(batch) > max {
+		for _, p := range batch[max:] {
+			sh := &s.shards[int(p.id)%intakeShards]
+			sh.mu.Lock()
+			sh.queue = append(sh.queue, p)
+			sh.mu.Unlock()
+		}
+		batch = batch[:max]
+	}
+	return batch
 }
 
 // Decision returns the decision record for id, or nil.
 func (s *Server) Decision(id int64) *Decision {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.decisions[id]
+	ds := s.dshard(id)
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	d, ok := ds.m[id]
 	if !ok {
 		return nil
 	}
@@ -364,19 +509,21 @@ func (s *Server) Stats() Stats {
 		Epoch:             s.epoch,
 		Cycle:             s.epoch / s.cfg.Slots,
 		Slot:              s.epoch % s.cfg.Slots,
-		QueueDepth:        len(s.queue) + len(s.deciding),
-		Submitted:         s.nSubmitted,
+		QueueDepth:        int(s.queueDepth.Load()) + len(s.deciding),
+		Submitted:         s.nSubmitted.Load(),
 		Accepted:          s.nAccepted,
 		Rejected:          s.nRejected,
-		Shed:              s.nShed,
+		Shed:              s.nShed.Load(),
 		DegradedEpochs:    s.nDegraded,
 		DegradedDecisions: s.nDegradedDecisions,
 		Overruns:          s.nOverruns,
+		CheckFailures:     s.nCheckFailures,
+		LastCheckError:    s.lastCheckErr,
 		Committed:         s.led.Committed(),
 		PurchasedUnits:    s.led.PurchasedUnits(),
 		PurchasedCost:     s.led.Cost(),
 		Revenue:           s.revenue,
-		Draining:          s.draining,
+		Draining:          s.draining.Load(),
 		EpochMillis:       s.cfg.Epoch.Milliseconds(),
 		Slots:             s.cfg.Slots,
 		Latency:           lat,
@@ -414,10 +561,10 @@ func (s *Server) Health() Health {
 	s.mu.Lock()
 	h := Health{
 		Epoch:         s.epoch,
-		QueueDepth:    len(s.queue) + len(s.deciding),
-		ShedLastEpoch: s.nShed - s.shedMark,
+		QueueDepth:    int(s.queueDepth.Load()) + len(s.deciding),
+		ShedLastEpoch: s.nShed.Load() - s.shedMark,
 	}
-	draining, lastEnd := s.draining, s.lastTickEnd
+	draining, lastEnd := s.draining.Load(), s.lastTickEnd
 	s.mu.Unlock()
 	if !lastEnd.IsZero() {
 		h.EpochLagMillis = time.Since(lastEnd).Milliseconds()
@@ -482,10 +629,10 @@ func (s *Server) Tick(ctx context.Context) {
 		s.cfg.Policy.Reset()
 		cCycles.Inc()
 	}
-	batch := s.queue
-	s.queue = nil
+	batch := s.claimIntake(s.cfg.MaxBatch)
 	s.deciding = batch
-	gQueueDepth.Set(0)
+	s.queueDepth.Add(-int64(len(batch)))
+	gQueueDepth.Set(s.queueDepth.Load())
 	revBefore, costBefore := s.revenue, s.led.Cost()
 	s.mu.Unlock()
 
@@ -601,28 +748,41 @@ func (s *Server) Tick(ctx context.Context) {
 		s.lat.observeDecision(outcome, now.Sub(p.at).Seconds())
 	}
 	s.mu.Lock()
+	cycle := epoch / s.cfg.Slots
 	for _, k := range expiredIdx {
-		d := s.decisions[batch[k].id]
-		d.Status, d.Reason = StatusRejected, "window expired before decision"
-		d.Epoch, d.Cycle, d.Slot = epoch, epoch/s.cfg.Slots, slot
+		s.decided(batch[k].id, func(d *Decision) {
+			d.Status, d.Reason = StatusRejected, "window expired before decision"
+			d.Epoch, d.Cycle, d.Slot = epoch, cycle, slot
+		})
 		s.nRejected++
 		cRejected.Inc()
 		cExpired.Inc()
 		observe(batch[k], false, false)
 	}
 	for _, rej := range rejected {
-		d := s.decisions[batch[rej.pos].id]
-		d.Status, d.Reason, d.Degraded = StatusRejected, rej.reason, rej.degraded
-		d.Epoch, d.Cycle, d.Slot = epoch, epoch/s.cfg.Slots, slot
+		s.decided(batch[rej.pos].id, func(d *Decision) {
+			d.Status, d.Reason, d.Degraded = StatusRejected, rej.reason, rej.degraded
+			d.Epoch, d.Cycle, d.Slot = epoch, cycle, slot
+		})
 		s.nRejected++
 		cRejected.Inc()
 		observe(batch[rej.pos], rej.degraded, false)
 	}
+	if len(accepted) > 0 {
+		// Fold the epoch's accepted requests into the ledger in one
+		// batch, fanned across the per-link stripes.
+		entries := make([]CommitEntry, len(accepted))
+		for i, acc := range accepted {
+			entries[i] = CommitEntry{Req: acc.req, Links: acc.links}
+		}
+		s.led.CommitBatch(entries, s.cfg.CommitWorkers)
+	}
 	for _, acc := range accepted {
-		s.led.Commit(acc.req, acc.links)
-		d := s.decisions[batch[acc.pos].id]
-		d.Status, d.Links, d.Degraded = StatusAccepted, acc.links, degraded
-		d.Epoch, d.Cycle, d.Slot = epoch, epoch/s.cfg.Slots, slot
+		links := acc.links
+		s.decided(batch[acc.pos].id, func(d *Decision) {
+			d.Status, d.Links, d.Degraded = StatusAccepted, links, degraded
+			d.Epoch, d.Cycle, d.Slot = epoch, cycle, slot
+		})
 		s.nAccepted++
 		s.revenue += acc.req.Value
 		cAccepted.Inc()
@@ -638,6 +798,22 @@ func (s *Server) Tick(ctx context.Context) {
 		s.nDegraded++
 		cDegraded.Inc()
 	}
+	if s.cfg.Check {
+		// Invariant sweep over the committed state: no per-(link, slot)
+		// capacity overcommit, purchases covering peaks. A failure is
+		// recorded, never fatal — the replay smokes assert the counter.
+		if err := spm.CheckLedger(s.led.Loads(), s.led.Purchased()); err != nil {
+			s.nCheckFailures++
+			s.lastCheckErr = err.Error()
+			cCheckFailures.Inc()
+		}
+	}
+	if sp, ok := s.cfg.Policy.(statefulPolicy); ok {
+		// Cache the policy's cycle state at the tick boundary: this is
+		// the exact state matching the committed ledger, so a concurrent
+		// snapshot never captures a mid-decision model.
+		s.policyImage = sp.policyState()
+	}
 	elapsed := time.Since(start)
 	if elapsed > budget {
 		s.nOverruns++
@@ -646,8 +822,12 @@ func (s *Server) Tick(ctx context.Context) {
 	// Bound the decision history: drop the oldest records once the map
 	// outgrows the retention window. Queued requests always carry
 	// recent ids (retention > queue limit), so they are never pruned.
-	for s.nextID-s.pruneFrom > int64(s.cfg.DecisionRetention) {
-		delete(s.decisions, s.pruneFrom)
+	for s.nextID.Load()-s.pruneFrom > int64(s.cfg.DecisionRetention) {
+		id := s.pruneFrom
+		ds := s.dshard(id)
+		ds.mu.Lock()
+		delete(ds.m, id)
+		ds.mu.Unlock()
 		s.pruneFrom++
 	}
 	s.epoch++
@@ -668,8 +848,8 @@ func (s *Server) Tick(ctx context.Context) {
 		Accepted:      len(accepted),
 		Rejected:      len(rejected),
 		Expired:       len(expiredIdx),
-		Shed:          s.nShed - s.shedMark,
-		QueueDepth:    len(s.queue),
+		Shed:          s.nShed.Load() - s.shedMark,
+		QueueDepth:    int(s.queueDepth.Load()),
 		Degraded:      degraded,
 		Overrun:       elapsed > budget,
 		BudgetMillis:  float64(budget.Microseconds()) / 1e3,
@@ -695,7 +875,7 @@ func (s *Server) Tick(ctx context.Context) {
 	default:
 		rec.SolveStatus = SolveIdle
 	}
-	s.shedMark = s.nShed
+	s.shedMark = s.nShed.Load()
 	s.lastTickEnd = now
 
 	// Flight-recorder trigger check runs under mu so the ledger image
@@ -790,18 +970,20 @@ func (s *Server) Run(ctx context.Context) error {
 }
 
 // Drain performs the graceful-shutdown sequence: stop intake, decide
-// the remaining queue in one final tick, and write a final snapshot
-// when configured. It is idempotent.
+// the remaining queue in final ticks, and write a final snapshot when
+// configured. It is idempotent. The loop (rather than a single tick)
+// closes the race with a submit that passed the draining check just as
+// the flag flipped and landed in a shard after the first final claim.
 func (s *Server) Drain() error {
-	s.mu.Lock()
-	already := s.draining
-	s.draining = true
-	pendingCount := len(s.queue)
-	s.mu.Unlock()
-	if already {
+	if s.draining.Swap(true) {
 		return nil
 	}
-	if pendingCount > 0 {
+	// With a claim cap a full queue needs ceil(limit/cap) ticks to drain.
+	maxTicks := 4
+	if s.cfg.MaxBatch > 0 {
+		maxTicks += (s.cfg.QueueLimit + s.cfg.MaxBatch - 1) / s.cfg.MaxBatch
+	}
+	for i := 0; i < maxTicks && s.queueDepth.Load() > 0; i++ {
 		s.Tick(context.Background())
 	}
 	if s.cfg.SnapshotPath != "" {
@@ -815,6 +997,7 @@ func (s *Server) Drain() error {
 // Handler returns the daemon's HTTP API:
 //
 //	POST /v1/requests        submit a reservation request → 202 {id}
+//	POST /v1/requests/batch  submit a JSON array of requests → 200 [results]
 //	GET  /v1/decisions/{id}  decision record → 200/404
 //	GET  /v1/links           per-link ledger state
 //	GET  /v1/stats           counters + daemon time + latency digests
@@ -827,6 +1010,7 @@ func (s *Server) Drain() error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/requests", s.handleSubmit)
+	mux.HandleFunc("POST /v1/requests/batch", s.handleSubmitBatch)
 	mux.HandleFunc("GET /v1/decisions/{id}", s.handleDecision)
 	mux.HandleFunc("GET /v1/links", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, s.Links())
@@ -908,6 +1092,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, d)
+}
+
+// handleSubmitBatch decodes one JSON array of requests and enqueues
+// them in order: a single decode and response for the whole batch keeps
+// high-rate load generators off the per-request JSON overhead.
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var reqs []demand.Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&reqs); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "decode batch: " + err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.SubmitAll(reqs))
 }
 
 func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {

@@ -6,19 +6,22 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"metis/internal/demand"
 )
 
-// SnapshotVersion is the wire version of the snapshot format; Restore
-// rejects mismatches.
-const SnapshotVersion = 1
+// SnapshotVersion is the wire version of the snapshot format. Version 2
+// added the metis policies' cycle state (PolicyState); Restore still
+// accepts version 1 images, which simply carry no policy state.
+const SnapshotVersion = 2
 
 // Snapshot is the JSON crash-recovery image of a Server: the committed
 // ledger plus every queued-but-undecided arrival, with enough daemon
-// time (epoch, next id) to resume exactly where the process stopped.
-// Decision history is observability, not ledger state, and is not
-// persisted.
+// time (epoch, next id) to resume exactly where the process stopped,
+// and — for the metis policies — the cycle state needed to rebuild the
+// persistent replan model deterministically. Decision history is
+// observability, not ledger state, and is not persisted.
 type Snapshot struct {
 	Version int    `json:"version"`
 	Network string `json:"network"`
@@ -30,6 +33,9 @@ type Snapshot struct {
 	Ledger LedgerImage `json:"ledger"`
 	// Queue holds the pending arrivals in submission order.
 	Queue []QueuedRequest `json:"queue"`
+	// Policy is the admission policy's cycle state as of the last
+	// committed tick (nil for stateless policies and v1 images).
+	Policy *PolicyState `json:"policy,omitempty"`
 }
 
 // QueuedRequest is one pending arrival in a snapshot.
@@ -40,8 +46,9 @@ type QueuedRequest struct {
 
 // Snapshot writes the server's crash-recovery image to w. It is safe
 // to call concurrently with Submit and Tick: the image is consistent —
-// the committed ledger plus every arrival not yet committed (including
-// a batch an in-flight tick is still deciding).
+// the committed ledger, the policy state matching it (captured at the
+// last tick boundary, never mid-decision), plus every arrival not yet
+// committed (including a batch an in-flight tick is still deciding).
 func (s *Server) Snapshot(w io.Writer) error {
 	s.mu.Lock()
 	snap := Snapshot{
@@ -50,17 +57,25 @@ func (s *Server) Snapshot(w io.Writer) error {
 		Links:   s.cfg.Net.NumLinks(),
 		Slots:   s.cfg.Slots,
 		Epoch:   s.epoch,
-		NextID:  s.nextID,
+		NextID:  s.nextID.Load(),
 		Ledger:  s.led.snap(),
+		Policy:  s.policyImage,
 	}
 	// An in-flight tick's batch is re-queued on restore: its decisions
-	// have not been committed, so replaying it is the consistent choice.
+	// have not been committed, so replaying it is the consistent choice
+	// (the cached policy state predates observing it).
 	for _, p := range s.deciding {
 		snap.Queue = append(snap.Queue, QueuedRequest{ID: p.id, Request: p.req})
 	}
-	for _, p := range s.queue {
-		snap.Queue = append(snap.Queue, QueuedRequest{ID: p.id, Request: p.req})
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, p := range sh.queue {
+			snap.Queue = append(snap.Queue, QueuedRequest{ID: p.id, Request: p.req})
+		}
+		sh.mu.Unlock()
 	}
+	sort.Slice(snap.Queue, func(a, b int) bool { return snap.Queue[a].ID < snap.Queue[b].ID })
 	s.mu.Unlock()
 
 	enc := json.NewEncoder(w)
@@ -98,7 +113,10 @@ func (s *Server) SnapshotFile(path string) error {
 // run before the first Submit or Tick; restoring onto a server that has
 // already accepted state is an error. The snapshot's topology
 // fingerprint (network name, link count, slot count) must match the
-// server's configuration.
+// server's configuration. Policy state is restored when the configured
+// policy matches the snapshot's (same name); a mismatch — the operator
+// switched policies across the restart — drops the state and lets the
+// new policy rebuild its plan from the re-queued arrivals.
 func (s *Server) Restore(r io.Reader) error {
 	var snap Snapshot
 	dec := json.NewDecoder(r)
@@ -106,8 +124,8 @@ func (s *Server) Restore(r io.Reader) error {
 	if err := dec.Decode(&snap); err != nil {
 		return fmt.Errorf("serve: decode snapshot: %w", err)
 	}
-	if snap.Version != SnapshotVersion {
-		return fmt.Errorf("serve: snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	if snap.Version != SnapshotVersion && snap.Version != 1 {
+		return fmt.Errorf("serve: snapshot version %d, want %d (or 1)", snap.Version, SnapshotVersion)
 	}
 	if snap.Network != s.cfg.Net.Name() || snap.Links != s.cfg.Net.NumLinks() {
 		return fmt.Errorf("serve: snapshot is for network %q (%d links), server runs %q (%d links)",
@@ -119,26 +137,37 @@ func (s *Server) Restore(r io.Reader) error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.epoch != 0 || s.nextID != 1 || len(s.queue) != 0 {
+	if s.epoch != 0 || s.nextID.Load() != 1 || s.queueDepth.Load() != 0 {
 		return fmt.Errorf("serve: restore onto a server that already has state")
 	}
 	if err := s.led.restore(snap.Ledger); err != nil {
 		return err
 	}
 	s.epoch = snap.Epoch
-	s.nextID = snap.NextID
+	s.nextID.Store(snap.NextID)
 	s.pruneFrom = snap.NextID
 	for _, q := range snap.Queue {
 		if err := q.Request.Validate(s.cfg.Net, s.cfg.Slots); err != nil {
 			return fmt.Errorf("serve: snapshot queue entry %d: %w", q.ID, err)
 		}
-		s.queue = append(s.queue, pending{id: q.ID, req: q.Request})
-		s.decisions[q.ID] = &Decision{ID: q.ID, Status: StatusQueued, Request: q.Request}
+		sh := &s.shards[int(q.ID)%intakeShards]
+		sh.queue = append(sh.queue, pending{id: q.ID, req: q.Request})
+		ds := s.dshard(q.ID)
+		ds.m[q.ID] = &Decision{ID: q.ID, Status: StatusQueued, Request: q.Request}
 		if q.ID < s.pruneFrom {
 			s.pruneFrom = q.ID
 		}
 	}
-	gQueueDepth.Set(int64(len(s.queue)))
+	s.queueDepth.Store(int64(len(snap.Queue)))
+	gQueueDepth.Set(int64(len(snap.Queue)))
+	if snap.Policy != nil {
+		if sp, ok := s.cfg.Policy.(statefulPolicy); ok && snap.Policy.Name == s.cfg.Policy.Name() {
+			if err := sp.restorePolicyState(snap.Policy, s.cfg.Net, s.cfg.Slots); err != nil {
+				return err
+			}
+			s.policyImage = snap.Policy
+		}
+	}
 	return nil
 }
 

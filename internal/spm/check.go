@@ -82,6 +82,33 @@ func CheckFeasible(s *sched.Schedule, caps []int) error {
 	return nil
 }
 
+// CheckLedger validates serve-layer ledger state from first
+// principles: the committed per-(link, slot) loads must stay within
+// the bandwidth purchased on each link — the serve layer's no-
+// overcommit invariant after every epoch — and every quantity must be
+// finite and non-negative. loads is indexed [link][slot]; purchased is
+// integer bandwidth units per link, the unit loads are accounted in.
+func CheckLedger(loads [][]float64, purchased []int) error {
+	if len(loads) != len(purchased) {
+		return fmt.Errorf("spm: check: ledger has %d load rows but %d purchase entries", len(loads), len(purchased))
+	}
+	for e := range loads {
+		if purchased[e] < 0 {
+			return fmt.Errorf("spm: check: link %d purchased %d units, negative", e, purchased[e])
+		}
+		cap := float64(purchased[e])
+		for t, v := range loads[e] {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < -checkEps {
+				return fmt.Errorf("spm: check: link %d slot %d load %v invalid", e, t, v)
+			}
+			if v > cap+checkEps {
+				return fmt.Errorf("spm: check: link %d slot %d overcommitted: load %v exceeds %d purchased units", e, t, v, purchased[e])
+			}
+		}
+	}
+	return nil
+}
+
 // CheckProfit recomputes the schedule's profit from scratch — revenue
 // as the sum of accepted request values, cost as Σ_e price_e times the
 // integer ceiling of link e's recomputed peak load — and verifies the

@@ -1,0 +1,9 @@
+package spm
+
+import "metis/internal/obs"
+
+// Session counters, flushed at solve boundaries.
+var (
+	cSessionColdResolves = obs.NewCounter("spm.session.cold_resolves",
+		"BLSession warm solves that landed on a vertex-ambiguous optimum and re-solved cold to restore exact rebuild parity")
+)

@@ -1,0 +1,277 @@
+package spm
+
+import (
+	"math"
+	"testing"
+
+	"metis/internal/demand"
+	"metis/internal/lp"
+	"metis/internal/sched"
+	"metis/internal/stats"
+	"metis/internal/wan"
+)
+
+// sessionLoads accumulates the fractional link loads of a
+// subset-shaped relaxation X over the subset's requests.
+func sessionLoads(inst *sched.Instance, subset []int, x [][]float64) [][]float64 {
+	loads := make([][]float64, inst.Network().NumLinks())
+	for e := range loads {
+		loads[e] = make([]float64, inst.Slots())
+	}
+	for k, i := range subset {
+		r := inst.Request(i)
+		for j := range x[k] {
+			if x[k][j] == 0 {
+				continue
+			}
+			for _, e := range inst.Path(i, j).Links {
+				for t := r.Start; t <= r.End; t++ {
+					loads[e][t] += x[k][j] * r.Rate
+				}
+			}
+		}
+	}
+	return loads
+}
+
+// TestBLSessionMatchesColdRebuild drives randomized arrival batches,
+// expiries and capacity retargets through a persistent warm session and
+// a from-scratch cold rebuild, asserting revenue and near-exact X
+// agreement after every step. Seeds are printed in failures; rebuild
+// with stats.NewRNG(seed) and the same step sequence to replay.
+func TestBLSessionMatchesColdRebuild(t *testing.T) {
+	net := wan.SubB4()
+	for trial := 0; trial < 8; trial++ {
+		seed := int64(5200 + trial)
+		rng := stats.NewRNG(seed)
+		pool := genRequests(t, net, 40, seed)
+
+		var (
+			sess   *BLSession
+			inst   *sched.Instance
+			active []int
+			used   int
+		)
+		caps := make([]int, net.NumLinks())
+		for step := 0; used < len(pool); step++ {
+			batch := 1 + rng.Intn(8)
+			if used+batch > len(pool) {
+				batch = len(pool) - used
+			}
+			newReqs := pool[used : used+batch]
+			var err error
+			if inst == nil {
+				inst, err = sched.NewInstance(net, 12, newReqs, 3)
+			} else {
+				inst, err = inst.Extend(newReqs, 3)
+			}
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			for i := used; i < used+batch; i++ {
+				active = append(active, i)
+			}
+			used += batch
+			if sess == nil {
+				if sess, err = NewBLSession(inst, lp.Options{}); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+			} else if err = sess.Extend(inst); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+
+			// Random expiries leave the set; capacities drift.
+			kept := active[:0]
+			for _, i := range active {
+				if rng.Float64() >= 0.15 {
+					kept = append(kept, i)
+				}
+			}
+			active = kept
+			for e := range caps {
+				if rng.Float64() < 0.4 {
+					caps[e] = rng.Intn(6)
+				}
+			}
+
+			warm, err := sess.SolveSubset(active, caps)
+			if err != nil {
+				t.Fatalf("seed %d step %d session: %v", seed, step, err)
+			}
+			fresh, err := NewBLSession(inst, lp.Options{})
+			if err != nil {
+				t.Fatalf("seed %d step %d rebuild: %v", seed, step, err)
+			}
+			cold, err := fresh.SolveSubset(active, caps)
+			if err != nil {
+				t.Fatalf("seed %d step %d rebuild solve: %v", seed, step, err)
+			}
+			tol := 1e-9 * (1 + math.Abs(cold.Revenue))
+			if math.Abs(warm.Revenue-cold.Revenue) > tol {
+				t.Fatalf("seed %d step %d: session revenue %.15g != rebuild %.15g (Δ=%g)",
+					seed, step, warm.Revenue, cold.Revenue, warm.Revenue-cold.Revenue)
+			}
+			for k := range cold.X {
+				for j := range cold.X[k] {
+					if math.Abs(warm.X[k][j]-cold.X[k][j]) > 1e-8 {
+						t.Fatalf("seed %d step %d: X[%d][%d] session %.12g != rebuild %.12g",
+							seed, step, k, j, warm.X[k][j], cold.X[k][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBLSessionExtendValidation: shape-changing or shrinking
+// extensions are refused.
+func TestBLSessionExtendValidation(t *testing.T) {
+	net := wan.SubB4()
+	pool := genRequests(t, net, 6, 77)
+	inst, err := sched.NewInstance(net, 12, pool, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewBLSession(inst, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := sched.NewInstance(net, 12, pool[:3], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Extend(short); err == nil {
+		t.Fatal("shrinking extension accepted")
+	}
+	other, err := sched.NewInstance(wan.SubB4(), 12, pool, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Extend(other); err == nil {
+		t.Fatal("extension with a different network object accepted")
+	}
+	if _, err := sess.SolveSubset([]int{99}, make([]int, net.NumLinks())); err == nil {
+		t.Fatal("out-of-range subset accepted")
+	}
+	if _, err := sess.SolveSubset([]int{0}, []int{1}); err == nil {
+		t.Fatal("short capacity vector accepted")
+	}
+}
+
+// FuzzEpochDelta interleaves arrivals, expiries, capacity retargets and
+// cycle wraps as deltas against a persistent BLSession and cross-checks
+// every solve against a freshly built model: objectives must agree and
+// the session's fractional solution must be basis-feasible (accept rows
+// ≤ 1, capacity rows within caps).
+func FuzzEpochDelta(f *testing.F) {
+	f.Add(int64(1), []byte{0, 3, 0, 1, 2, 0, 3})
+	f.Add(int64(7), []byte{0, 0, 1, 9, 3, 2, 4, 0, 11, 6})
+	f.Add(int64(42), []byte{0, 1, 0, 1, 0, 1, 2, 0, 3, 3, 3, 1})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		if len(ops) > 24 {
+			ops = ops[:24]
+		}
+		net := wan.SubB4()
+		g, err := demand.NewGenerator(net, demand.DefaultGeneratorConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool, err := g.GenerateN(30)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var (
+			sess   *BLSession
+			inst   *sched.Instance
+			active []int
+			used   int // pool requests consumed across all cycles
+			base   int // pool index of the current cycle's first request
+		)
+		caps := make([]int, net.NumLinks())
+		for e := range caps {
+			caps[e] = 3
+		}
+		for step, op := range ops {
+			switch op % 4 {
+			case 0: // arrival batch folds in as appended columns
+				batch := 1 + int(op>>2)%3
+				if used+batch > len(pool) {
+					continue
+				}
+				newReqs := pool[used : used+batch]
+				if inst == nil {
+					inst, err = sched.NewInstance(net, 12, newReqs, 3)
+				} else {
+					inst, err = inst.Extend(newReqs, 3)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := used; i < used+batch; i++ {
+					active = append(active, i-base)
+				}
+				used += batch
+				if sess == nil {
+					if sess, err = NewBLSession(inst, lp.Options{}); err != nil {
+						t.Fatal(err)
+					}
+				} else if err = sess.Extend(inst); err != nil {
+					t.Fatal(err)
+				}
+			case 1: // expiry leaves the active set
+				if len(active) > 0 {
+					k := int(op>>2) % len(active)
+					active = append(active[:k], active[k+1:]...)
+				}
+			case 2: // cycle wrap drops the session outright
+				sess, inst, active = nil, nil, nil
+				base = used
+			default: // capacity retarget
+				caps[int(op>>2)%len(caps)] = int(op>>4) % 6
+			}
+			if sess == nil {
+				continue
+			}
+			warm, err := sess.SolveSubset(active, caps)
+			if err != nil {
+				t.Fatalf("seed %d step %d (op %d): session: %v", seed, step, op, err)
+			}
+			fresh, err := NewBLSession(inst, lp.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := fresh.SolveSubset(active, caps)
+			if err != nil {
+				t.Fatalf("seed %d step %d (op %d): rebuild: %v", seed, step, op, err)
+			}
+			tol := 1e-7 * (1 + math.Abs(cold.Revenue))
+			if math.Abs(warm.Revenue-cold.Revenue) > tol {
+				t.Fatalf("seed %d step %d (op %d): session revenue %.15g != rebuild %.15g",
+					seed, step, op, warm.Revenue, cold.Revenue)
+			}
+			// Basis feasibility of the session's fractional solution.
+			for k, i := range active {
+				sum := 0.0
+				for _, v := range warm.X[k] {
+					if v < -checkEps || v > 1+checkEps {
+						t.Fatalf("seed %d step %d: x[%d] = %v out of [0,1]", seed, step, i, v)
+					}
+					sum += v
+				}
+				if sum > 1+1e-6 {
+					t.Fatalf("seed %d step %d: request %d accept row sums to %v", seed, step, i, sum)
+				}
+			}
+			loads := sessionLoads(inst, active, warm.X)
+			for e := range loads {
+				for tt, v := range loads[e] {
+					if v > float64(caps[e])+1e-6 {
+						t.Fatalf("seed %d step %d: link %d slot %d load %v exceeds cap %d",
+							seed, step, e, tt, v, caps[e])
+					}
+				}
+			}
+		}
+	})
+}

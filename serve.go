@@ -44,6 +44,12 @@ type (
 	// LedgerImage is the JSON wire form of the daemon's link-state
 	// ledger (snapshots and flight bundles).
 	LedgerImage = serve.LedgerImage
+	// ServeBatchResult is one entry of the POST /v1/requests/batch
+	// response.
+	ServeBatchResult = serve.BatchResult
+	// ServePolicyState is the metis policies' cycle state inside a
+	// snapshot.
+	ServePolicyState = serve.PolicyState
 )
 
 // Typed Submit failures; match with errors.Is. Validation failures are
@@ -60,9 +66,11 @@ var (
 func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
 
 // NewServePolicy builds an epoch policy by name: "greedy" (marginal-cost
-// buy-as-you-go), "taa" (per-epoch TAA admission into plan), or "metis"
+// buy-as-you-go), "taa" (per-epoch TAA admission into plan), "metis"
 // (periodic full re-solve every replanEvery epochs under cfg, TAA
-// admission in between).
+// admission in between), or "metis-incremental" (same contract, but
+// replans refine a persistent warm model instead of re-solving from
+// scratch).
 func NewServePolicy(name string, plan []int, replanEvery int, cfg Config) (ServePolicy, error) {
 	return serve.NewPolicy(name, plan, replanEvery, cfg)
 }
