@@ -12,6 +12,9 @@
 //	metisd -policy taa -plan-units 20
 //	metisd -snapshot state.json -snapshot-every 8     # resumes from state.json on restart
 //	metisd -check                                     # post-tick ledger invariant sweep
+//	metisd -wal-dir wal/                              # durable: ack only after the arrival is fsynced
+//	metisd -standby -wal-dir mirror/ -primary-url http://leader:8080
+//	metisd -promote http://standby:8081               # client mode: promote a standby, then exit
 //
 //	curl -s localhost:8080/v1/requests -d '{"src":0,"dst":1,"start":0,"end":11,"rate":0.2,"value":40}'
 //	curl -s localhost:8080/v1/decisions/1
@@ -32,17 +35,25 @@
 //	GET  /debug/epochs       epoch health scorecard (one JSON record per tick)
 //	GET  /debug/flightrec    anomaly flight-recorder bundles (with -flight-dir)
 //	POST /v1/snapshot        write a snapshot now
+//	POST /v1/promote         standby only: promote to leader → 200 {report}
+//	GET  /ha/v1/status       leader: role, fencing token, durable WAL end
+//	GET  /ha/v1/wal          leader: raw WAL segment bytes for a standby mirror
+//	GET  /ha/v1/snapshot     leader: consistent snapshot stream
+//	POST /ha/v1/fence        step down when presented a newer fencing token
 //	GET  /metrics            Prometheus metrics incl. latency histograms (plus /debug/vars, /debug/pprof)
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -62,6 +73,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "metisd:", err)
 		os.Exit(1)
 	}
+}
+
+// promoteStandby is the -promote client mode: ask the standby at base
+// to take over, print its report, exit.
+func promoteStandby(base string) error {
+	url := strings.TrimRight(base, "/") + "/v1/promote"
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	os.Stdout.Write(body)
+	if len(body) > 0 && body[len(body)-1] != '\n' {
+		fmt.Println()
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("promote: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func httpJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
 }
 
 func run(args []string) (err error) {
@@ -87,6 +124,10 @@ func run(args []string) (err error) {
 		flightDir     = fs.String("flight-dir", "", "arm the anomaly flight recorder and dump postmortem bundles here")
 		flightKeep    = fs.Int("flight-keep", 0, "flight-recorder bundles kept in memory and served over HTTP (0 = default)")
 		check         = fs.Bool("check", false, "run the ledger invariant checker after every tick (stats report checkFailures)")
+		walDir        = fs.String("wal-dir", "", "write-ahead log directory: arrivals are acked only once fsynced, ticks log redo records, recovery replays on start")
+		standby       = fs.Bool("standby", false, "run as a warm standby: mirror the leader's WAL and snapshots into -wal-dir, refuse intake until promoted")
+		primaryURL    = fs.String("primary-url", "", "standby: the leader's base URL (e.g. http://leader:8080)")
+		promoteURL    = fs.String("promote", "", "client mode: POST /v1/promote to this standby's base URL, print the report and exit")
 	)
 	var faults faultFlags
 	fs.Var(&faults, "fault", "fault-injection spec site:kind[:after[:every|sleep]] (repeatable; testing only)")
@@ -96,6 +137,14 @@ func run(args []string) (err error) {
 	for _, spec := range faults {
 		if err := fault.Parse(spec, nil); err != nil {
 			return fmt.Errorf("-fault %q: %w", spec, err)
+		}
+	}
+	if *promoteURL != "" {
+		return promoteStandby(*promoteURL)
+	}
+	if *standby {
+		if *walDir == "" || *primaryURL == "" {
+			return fmt.Errorf("-standby needs both -wal-dir and -primary-url")
 		}
 	}
 
@@ -144,6 +193,17 @@ func run(args []string) (err error) {
 		flight = &metis.ServeFlightConfig{Dir: *flightDir, Keep: *flightKeep}
 	}
 
+	// A leader's WAL opens before the server so every ack is durable
+	// from the first request; a standby opens the mirrored log itself
+	// at promotion time.
+	var walLog *metis.WAL
+	if *walDir != "" && !*standby {
+		if walLog, err = metis.OpenWAL(*walDir, metis.WALOptions{}); err != nil {
+			return err
+		}
+		defer walLog.Close()
+	}
+
 	srv, err := metis.NewServer(metis.ServeConfig{
 		Net:           net,
 		Slots:         *slots,
@@ -158,37 +218,122 @@ func run(args []string) (err error) {
 		ScorecardSize: *scorecard,
 		Flight:        flight,
 		Check:         *check,
+		WAL:           walLog,
 	})
 	if err != nil {
 		return err
 	}
 
-	if *snapshotPath != "" {
-		if _, statErr := os.Stat(*snapshotPath); statErr == nil {
-			if err := srv.RestoreFile(*snapshotPath); err != nil {
-				return fmt.Errorf("restore %s: %w", *snapshotPath, err)
+	// SIGINT/SIGTERM cancels the tick loop; Run drains before returning.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Recovery order: snapshot first (it records the WAL offset it
+	// covers), then the log tail on top of it.
+	var node *metis.HANode
+	sctx, scancel := context.WithCancel(ctx)
+	defer scancel()
+	repDone := make(chan struct{})
+	promoted := make(chan struct{})
+	var promoteOnce sync.Once
+	switch {
+	case *standby:
+		srv.SetStandby()
+		node = metis.NewHAStandby(srv, *walDir, strings.TrimRight(*primaryURL, "/"))
+		go func() {
+			defer close(repDone)
+			node.RunStandby(sctx)
+		}()
+	default:
+		if *snapshotPath != "" {
+			if _, statErr := os.Stat(*snapshotPath); statErr == nil {
+				if err := srv.RestoreFile(*snapshotPath); err != nil {
+					return fmt.Errorf("restore %s: %w", *snapshotPath, err)
+				}
+				fmt.Fprintf(os.Stderr, "metisd: restored %s (epoch %d, %d queued)\n",
+					*snapshotPath, srv.Epoch(), srv.Stats().QueueDepth)
 			}
-			fmt.Fprintf(os.Stderr, "metisd: restored %s (epoch %d, %d queued)\n",
-				*snapshotPath, srv.Epoch(), srv.Stats().QueueDepth)
+		}
+		if walLog != nil {
+			rst, err := srv.RecoverWAL()
+			if err != nil {
+				return fmt.Errorf("wal recovery: %w", err)
+			}
+			if rst.Arrivals+rst.Ticks > 0 {
+				fmt.Fprintf(os.Stderr, "metisd: wal replayed %d arrivals, %d epochs (now epoch %d, %d queued)\n",
+					rst.Arrivals, rst.Ticks, srv.Epoch(), srv.Stats().QueueDepth)
+			}
+			tok, err := metis.LoadOrInitFencingToken(*walDir)
+			if err != nil {
+				return err
+			}
+			if tok > srv.Token() {
+				srv.SetToken(tok)
+			}
+			node = metis.NewHALeader(srv, *walDir)
 		}
 	}
 
-	ln, closeHTTP, err := srv.Listen(*addr, func(mux *http.ServeMux) { obs.Register(mux) })
+	ln, closeHTTP, err := srv.Listen(*addr, func(mux *http.ServeMux) {
+		obs.Register(mux)
+		if node == nil {
+			return
+		}
+		node.Register(mux)
+		mux.HandleFunc("POST /v1/promote", func(w http.ResponseWriter, r *http.Request) {
+			if !*standby {
+				httpJSON(w, http.StatusConflict, map[string]string{"error": "not a standby"})
+				return
+			}
+			var rep metis.HAPromoteReport
+			var perr error
+			ran := false
+			promoteOnce.Do(func() {
+				ran = true
+				// Stop replicating before touching the mirror.
+				scancel()
+				<-repDone
+				rep, perr = node.Promote(r.Context())
+				if perr == nil {
+					close(promoted)
+				}
+			})
+			switch {
+			case !ran:
+				httpJSON(w, http.StatusConflict, map[string]string{"error": "promotion already requested"})
+			case perr != nil:
+				httpJSON(w, http.StatusInternalServerError, map[string]string{"error": perr.Error()})
+			default:
+				httpJSON(w, http.StatusOK, rep)
+			}
+		})
+	})
 	if err != nil {
 		return err
 	}
 	defer closeHTTP()
-	fmt.Fprintf(os.Stderr, "metisd: serving %s (%d links, %d slots) on http://%s policy=%s epoch=%v\n",
-		net.Name(), net.NumLinks(), *slots, ln.Addr(), *policyName, *epoch)
+	fmt.Fprintf(os.Stderr, "metisd: serving %s (%d links, %d slots) on http://%s policy=%s epoch=%v role=%s\n",
+		net.Name(), net.NumLinks(), *slots, ln.Addr(), *policyName, *epoch, srv.Role())
 	fmt.Fprintf(os.Stderr, "metisd: observability: /metrics /healthz /debug/epochs")
 	if flight != nil {
 		fmt.Fprintf(os.Stderr, " /debug/flightrec (bundles → %s)", *flightDir)
 	}
 	fmt.Fprintln(os.Stderr)
 
-	// SIGINT/SIGTERM cancels the tick loop; Run drains before returning.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if *standby {
+		fmt.Fprintf(os.Stderr, "metisd: standby mirroring %s into %s (POST /v1/promote to take over)\n",
+			*primaryURL, *walDir)
+		select {
+		case <-ctx.Done():
+			scancel()
+			<-repDone
+			return nil
+		case <-promoted:
+			fmt.Fprintf(os.Stderr, "metisd: promoted to leader (fencing token %d, epoch %d, %d queued)\n",
+				srv.Token(), srv.Epoch(), srv.Stats().QueueDepth)
+			defer srv.WAL().Close()
+		}
+	}
 	if err := srv.Run(ctx); err != nil {
 		return err
 	}

@@ -54,6 +54,8 @@ type summary struct {
 	DegradedEpochs    int64                                `json:"degradedEpochs"`
 	DegradedDecisions int64                                `json:"degradedDecisions"`
 	Overruns          int64                                `json:"overruns"`
+	CheckFailures     int64                                `json:"checkFailures"`
+	LastCheckError    string                               `json:"lastCheckError,omitempty"`
 	Epochs            int                                  `json:"epochs"`
 	ElapsedMillis     int64                                `json:"elapsedMillis"`
 	DecisionsPerSec   float64                              `json:"decisionsPerSec"`
@@ -66,6 +68,9 @@ func (s *summary) writeText(policy string) {
 		s.Arrivals, float64(s.ElapsedMillis)/1e3, s.Submitted, s.Shed, s.Invalid)
 	fmt.Printf("metisload: %d accepted, %d rejected (%d degraded decisions) over %d epochs (%d degraded, %d overruns), %.1f decisions/sec, policy=%s\n",
 		s.Accepted, s.Rejected, s.DegradedDecisions, s.Epochs, s.DegradedEpochs, s.Overruns, s.DecisionsPerSec, policy)
+	if s.CheckFailures > 0 {
+		fmt.Printf("metisload: LEDGER CHECK FAILURES: %d (last: %s)\n", s.CheckFailures, s.LastCheckError)
+	}
 	keys := make([]string, 0, len(s.Latency))
 	for k := range s.Latency {
 		keys = append(keys, k)
@@ -93,6 +98,7 @@ func run(args []string) error {
 		openLoop   = fs.Bool("open-loop", false, "ignore trace timestamps and submit as fast as the daemon ingests")
 		repeat     = fs.Int("repeat", 1, "replay the trace this many times (the daemon re-ids every pass)")
 		batchSize  = fs.Int("batch", 0, "submit this many requests per POST via /v1/requests/batch (0 = one request per POST)")
+		maxErrors  = fs.Int("max-errors", -1, "fail when shed + invalid submissions exceed this (-1 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -189,6 +195,8 @@ func run(args []string) error {
 	sum.DegradedEpochs = stats.DegradedEpochs
 	sum.DegradedDecisions = stats.DegradedDecisions
 	sum.Overruns = stats.Overruns
+	sum.CheckFailures = stats.CheckFailures
+	sum.LastCheckError = stats.LastCheckError
 	sum.Epochs = stats.Epoch
 	sum.ElapsedMillis = elapsed.Milliseconds()
 	sum.Latency = stats.Latency
@@ -207,6 +215,14 @@ func run(args []string) error {
 	}
 	if sum.Accepted < *minAccepts {
 		return fmt.Errorf("accepted %d requests, want at least %d", sum.Accepted, *minAccepts)
+	}
+	// A ledger invariant failure on the daemon (metisd -check) is never
+	// acceptable, whatever the error budget.
+	if sum.CheckFailures > 0 {
+		return fmt.Errorf("daemon reports %d ledger check failure(s): %s", sum.CheckFailures, sum.LastCheckError)
+	}
+	if *maxErrors >= 0 && sum.Shed+sum.Invalid > *maxErrors {
+		return fmt.Errorf("%d shed + %d invalid submissions exceed -max-errors %d", sum.Shed, sum.Invalid, *maxErrors)
 	}
 	return nil
 }

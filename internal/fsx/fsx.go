@@ -1,0 +1,73 @@
+// Package fsx holds the small filesystem durability helpers shared by
+// the snapshot writer, the WAL, the flight recorder and the HA standby:
+// atomic file replacement that survives a crash at any point (temp file
+// in the target directory, fsync, rename, directory fsync).
+package fsx
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// WriteFileAtomic replaces path with data so that a crash at any point
+// leaves either the old content or the new content, never a mix: the
+// bytes land in a temp file in the same directory, are fsynced, renamed
+// over path, and the directory entry itself is fsynced.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return WriteAtomic(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// WriteAtomic is WriteFileAtomic for streaming writers: fill receives
+// the temp file and the same crash-safety sequence follows.
+func WriteAtomic(path string, perm os.FileMode, fill func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := fill(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so a just-created or just-renamed entry is
+// durable. Filesystems that cannot fsync directories (EINVAL/ENOTSUP)
+// are tolerated — the rename itself was still atomic, and real IO
+// errors surface through the data-file fsync.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package ha
+
+import "metis/internal/obs"
+
+// HA instruments, in the process-wide obs registry so metisd's
+// /metrics endpoint exposes them next to the serve and wal counters.
+var (
+	// gRole mirrors the node's role as a number: 0 leader, 1 standby,
+	// 2 fenced (same encoding as the serve package's internal roles).
+	gRole        = obs.NewGauge("ha.role", "node role: 0 leader, 1 standby, 2 fenced")
+	gLagBytes    = obs.NewGauge("ha.lag_bytes", "standby replication lag behind the leader's durable WAL end (bytes; estimate across segment boundaries)")
+	cPromotions  = obs.NewCounter("ha.promotions", "standby promotions to leader")
+	cFetches     = obs.NewCounter("ha.fetches", "standby replication rounds against the leader")
+	cFetchErrors = obs.NewCounter("ha.fetch_errors", "failed standby replication rounds")
+	cStaleLeader = obs.NewCounter("ha.stale_leader_rejects", "leader responses rejected for carrying an old fencing token")
+)

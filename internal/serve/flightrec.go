@@ -3,11 +3,13 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
+	"metis/internal/fsx"
 	"metis/internal/obs"
 )
 
@@ -215,23 +217,14 @@ func (f *flightRecorder) dump(trig string, rec EpochRecord, recent []EpochRecord
 	cFlightDumps.Inc()
 }
 
-// writeFlightFile writes the bundle atomically (tmp + rename).
+// writeFlightFile writes the bundle atomically and durably (temp file,
+// fsync, rename, directory fsync).
 func writeFlightFile(path string, b *FlightBundle) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".metisd-flight-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	enc := json.NewEncoder(tmp)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(b); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return fsx.WriteAtomic(path, 0o644, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(b)
+	})
 }
 
 // list returns bundle headers (without the heavy payload), newest last.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -218,9 +219,9 @@ func TestSnapshotV1StillRestores(t *testing.T) {
 	if err := s.Snapshot(&img); err != nil {
 		t.Fatal(err)
 	}
-	v1 := strings.Replace(img.String(), "\"version\": 2", "\"version\": 1", 1)
+	v1 := strings.Replace(img.String(), fmt.Sprintf("\"version\": %d", SnapshotVersion), "\"version\": 1", 1)
 	if v1 == img.String() {
-		t.Fatal("snapshot is not version 2")
+		t.Fatalf("snapshot is not version %d", SnapshotVersion)
 	}
 	fresh := newTestServer(t, nil)
 	if err := fresh.Restore(strings.NewReader(v1)); err != nil {

@@ -307,6 +307,47 @@ type statefulPolicy interface {
 	restorePolicyState(st *PolicyState, net *wan.Network, slots int) error
 }
 
+// replayPolicy is implemented by policies that participate in WAL
+// recovery: ticks are *redone* from their logged outcomes (a budget-cut
+// replan is not reproducible from inputs), so the policy catches up by
+// observing each replayed batch and adopting the logged plan delta.
+// After replay the decision-relevant state (seen workload, plan, replan
+// clock) matches the live run; the warm incumbent/relaxation are caches
+// the next replan rebuilds.
+type replayPolicy interface {
+	observeReplay(net *wan.Network, slots int, batch []demand.Request) error
+	applyReplayDelta(d *walPolicyDelta)
+	replayDelta() *walPolicyDelta
+}
+
+func (p *MetisPolicy) observeReplay(net *wan.Network, slots int, batch []demand.Request) error {
+	if p.rp == nil {
+		p.rp = core.NewReplanner(net, slots, sched.DefaultPathsPerRequest, p.Config, p.Mode)
+	}
+	return p.rp.Observe(batch)
+}
+
+func (p *MetisPolicy) replayDelta() *walPolicyDelta {
+	return &walPolicyDelta{
+		Name:       p.Name(),
+		Plan:       append([]int(nil), p.plan...),
+		HavePlan:   p.havePlan,
+		LastReplan: p.lastReplan,
+	}
+}
+
+func (p *MetisPolicy) applyReplayDelta(d *walPolicyDelta) {
+	if d.Name != p.Name() {
+		return
+	}
+	p.plan = append([]int(nil), d.Plan...)
+	if len(d.Plan) == 0 && !d.HavePlan {
+		p.plan = nil
+	}
+	p.havePlan = d.HavePlan
+	p.lastReplan = d.LastReplan
+}
+
 func (p *MetisPolicy) policyState() *PolicyState {
 	if p.rp == nil {
 		return nil

@@ -34,6 +34,7 @@ type EpochRecord struct {
 	Cycle      int    `json:"cycle"`
 	Slot       int    `json:"slot"`
 	Policy     string `json:"policy"`
+	Role       string `json:"role,omitempty"`
 	UnixMillis int64  `json:"unixMillis"`
 
 	// Batch outcome.

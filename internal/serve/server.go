@@ -19,6 +19,7 @@ import (
 	"metis/internal/sched"
 	"metis/internal/solvectx"
 	"metis/internal/spm"
+	"metis/internal/wal"
 	"metis/internal/wan"
 )
 
@@ -97,6 +98,13 @@ type Config struct {
 	// CommitWorkers bounds the goroutines CommitBatch fans commits
 	// across (default: GOMAXPROCS, capped at 8).
 	CommitWorkers int
+	// WAL, when set, makes the daemon durable: Submit appends an
+	// arrival record and acks only after a group fsync, and Tick
+	// appends its decisions (fsynced) before they become visible.
+	// Recovery is Restore (optional snapshot) + RecoverWAL. A WAL
+	// append/fsync failure mid-tick fences the server — it stops
+	// serving rather than hand out undurable decisions.
+	WAL *wal.Log
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -170,6 +178,8 @@ type Decision struct {
 // Stats is the /v1/stats payload.
 type Stats struct {
 	Policy            string  `json:"policy"`
+	Role              string  `json:"role"`
+	FencingToken      uint64  `json:"fencingToken,omitempty"`
 	Epoch             int     `json:"epoch"`
 	Cycle             int     `json:"cycle"`
 	Slot              int     `json:"slot"`
@@ -279,11 +289,21 @@ type Server struct {
 	shards     [intakeShards]intakeShard
 	dshards    [decisionShards]decisionShard
 
+	// Durability & HA. walGate orders arrival appends against snapshot
+	// offset capture: submits append+enqueue under RLock, Snapshot
+	// takes the write lock (after s.mu) so the offset it records covers
+	// exactly the arrivals its queue scan saw. Tick's record rides
+	// s.mu instead, which snapshots already hold.
+	walGate sync.RWMutex
+	role    atomic.Int32  // roleLeader / roleStandby / roleFenced
+	token   atomic.Uint64 // fencing token minted by the HA layer
+
 	mu          sync.Mutex
 	led         *Ledger
 	deciding    []pending    // batch owned by an in-flight tick (still snapshot-visible)
 	pruneFrom   int64        // lowest decision id possibly still retained
 	epoch       int          // ticks processed
+	walFrom     wal.Offset   // replay starts here (recorded by Restore)
 	policyImage *PolicyState // policy cycle state as of the last committed tick
 
 	// Per-instance stats (the obs counters are process-global).
@@ -378,17 +398,40 @@ var ErrQueueFull = errors.New("serve: arrival queue full")
 // arrival lands in an intake shard, so concurrent clients contend only
 // per shard.
 func (s *Server) Submit(req demand.Request) (*Decision, error) {
-	return s.submitAt(req, time.Now())
+	d, off, err := s.submitAt(req, time.Now())
+	if err != nil {
+		return nil, err
+	}
+	// Ack only after the arrival record is fsynced (group commit: the
+	// wait batches with every other in-flight submit and tick).
+	if err := s.walWait(off); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
-func (s *Server) submitAt(req demand.Request, now time.Time) (*Decision, error) {
+// walWait blocks until off is durable (no-op without a WAL).
+func (s *Server) walWait(off wal.Offset) error {
+	if s.cfg.WAL == nil || off.IsZero() {
+		return nil
+	}
+	if err := s.cfg.WAL.WaitDurable(off); err != nil {
+		return fmt.Errorf("serve: wal fsync: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) submitAt(req demand.Request, now time.Time) (*Decision, wal.Offset, error) {
+	if r := s.role.Load(); r != roleLeader {
+		return nil, wal.Offset{}, roleErr(r)
+	}
 	if s.draining.Load() {
-		return nil, ErrDraining
+		return nil, wal.Offset{}, ErrDraining
 	}
 	req.ID = 0 // assigned below; validate with a neutral id
 	if err := req.Validate(s.cfg.Net, s.cfg.Slots); err != nil {
 		cInvalid.Inc()
-		return nil, err
+		return nil, wal.Offset{}, err
 	}
 	// Reserve a depth slot before the id so a shed never burns an id.
 	if s.queueDepth.Add(1) > int64(s.cfg.QueueLimit) {
@@ -398,10 +441,26 @@ func (s *Server) submitAt(req demand.Request, now time.Time) (*Decision, error) 
 		if s.tracer != nil {
 			obs.Event(s.tracer, "serve.arrival", obs.Fields{"outcome": "shed"})
 		}
-		return nil, ErrQueueFull
+		return nil, wal.Offset{}, ErrQueueFull
 	}
 	id := s.nextID.Add(1) - 1
 	req.ID = int(id)
+	// The WAL append and the enqueue happen under the same walGate read
+	// hold: a concurrent snapshot's offset barrier (write lock) then
+	// sees either both — arrival in the queue scan, record before the
+	// offset — or neither. The durability wait happens outside, so the
+	// gate is never held across an fsync.
+	var off wal.Offset
+	s.walGate.RLock()
+	if w := s.cfg.WAL; w != nil {
+		var err error
+		off, err = w.Append(walRecArrival, mustJSON(walArrival{ID: id, Req: req}))
+		if err != nil {
+			s.walGate.RUnlock()
+			s.queueDepth.Add(-1)
+			return nil, wal.Offset{}, fmt.Errorf("serve: wal append: %w", err)
+		}
+	}
 	d := &Decision{ID: id, Status: StatusQueued, Request: req}
 	ds := s.dshard(id)
 	ds.mu.Lock()
@@ -415,6 +474,7 @@ func (s *Server) submitAt(req demand.Request, now time.Time) (*Decision, error) 
 	sh.mu.Lock()
 	sh.queue = append(sh.queue, pending{id: id, req: req, at: now})
 	sh.mu.Unlock()
+	s.walGate.RUnlock()
 	s.nSubmitted.Add(1)
 	cSubmitted.Inc()
 	depth := s.queueDepth.Load()
@@ -424,7 +484,7 @@ func (s *Server) submitAt(req demand.Request, now time.Time) (*Decision, error) 
 			"id": id, "outcome": "queued", "queue_depth": depth,
 		})
 	}
-	return &cp, nil
+	return &cp, off, nil
 }
 
 // BatchResult is one entry of a batch-submit response: the assigned id
@@ -441,17 +501,30 @@ type BatchResult struct {
 func (s *Server) SubmitAll(reqs []demand.Request) []BatchResult {
 	now := time.Now()
 	out := make([]BatchResult, len(reqs))
+	var maxOff wal.Offset
 	for i, r := range reqs {
-		d, err := s.submitAt(r, now)
+		d, off, err := s.submitAt(r, now)
 		switch {
 		case err == nil:
 			out[i] = BatchResult{ID: d.ID, Status: StatusQueued}
+			if off.After(maxOff) {
+				maxOff = off
+			}
 		case errors.Is(err, ErrQueueFull):
 			out[i] = BatchResult{Status: "shed", Error: err.Error()}
-		case errors.Is(err, ErrDraining):
+		case errors.Is(err, ErrDraining) || errors.Is(err, ErrStandby) || errors.Is(err, ErrFenced):
 			out[i] = BatchResult{Status: "draining", Error: err.Error()}
 		default:
 			out[i] = BatchResult{Status: "invalid", Error: err.Error()}
+		}
+	}
+	// One durability wait covers the whole batch — the point of group
+	// commit: a 500-request batch costs one fsync, not 500.
+	if err := s.walWait(maxOff); err != nil {
+		for i := range out {
+			if out[i].Status == StatusQueued {
+				out[i] = BatchResult{ID: out[i].ID, Status: "error", Error: err.Error()}
+			}
 		}
 	}
 	return out
@@ -506,6 +579,8 @@ func (s *Server) Stats() Stats {
 	}
 	return Stats{
 		Policy:            s.cfg.Policy.Name(),
+		Role:              roleName(s.role.Load()),
+		FencingToken:      s.token.Load(),
 		Epoch:             s.epoch,
 		Cycle:             s.epoch / s.cfg.Slots,
 		Slot:              s.epoch % s.cfg.Slots,
@@ -537,12 +612,16 @@ const (
 	HealthShedding = "shedding" // queue-full sheds since the last tick
 	HealthBehind   = "behind"   // the tick loop has missed its cadence
 	HealthDraining = "draining"
+	HealthStandby  = "standby" // replicating, promotable, not serving
+	HealthFenced   = "fenced"  // stepped down; a newer leader owns the state
 )
 
 // Health is the /healthz payload. Status is ok or starting when the
 // daemon is keeping up; shedding, behind or draining map to HTTP 503.
 type Health struct {
 	Status          string `json:"status"`
+	Role            string `json:"role"`
+	FencingToken    uint64 `json:"fencingToken,omitempty"`
 	Epoch           int    `json:"epoch"`
 	QueueDepth      int    `json:"queueDepth"`
 	EpochLagMillis  int64  `json:"epochLagMillis"` // time since the last tick committed
@@ -550,9 +629,11 @@ type Health struct {
 	LastEpochStatus string `json:"lastEpochStatus,omitempty"`
 }
 
-// Healthy reports whether the status maps to HTTP 200.
+// Healthy reports whether the status maps to HTTP 200. A standby is
+// healthy (it is doing its one job: replicating); a fenced server is
+// not — traffic must move to the leader that fenced it.
 func (h Health) Healthy() bool {
-	return h.Status == HealthOK || h.Status == HealthStarting
+	return h.Status == HealthOK || h.Status == HealthStarting || h.Status == HealthStandby
 }
 
 // Health reports whether the daemon is keeping up: ticking on cadence
@@ -560,6 +641,8 @@ func (h Health) Healthy() bool {
 func (s *Server) Health() Health {
 	s.mu.Lock()
 	h := Health{
+		Role:          roleName(s.role.Load()),
+		FencingToken:  s.token.Load(),
 		Epoch:         s.epoch,
 		QueueDepth:    int(s.queueDepth.Load()) + len(s.deciding),
 		ShedLastEpoch: s.nShed.Load() - s.shedMark,
@@ -576,6 +659,10 @@ func (s *Server) Health() Health {
 		}
 	}
 	switch {
+	case h.Role == RoleFenced:
+		h.Status = HealthFenced
+	case h.Role == RoleStandby:
+		h.Status = HealthStandby
 	case draining:
 		h.Status = HealthDraining
 	case lastEnd.IsZero():
@@ -611,6 +698,10 @@ func (s *Server) Links() []LinkState {
 // decision. It is the unit the Run loop schedules; tests call it
 // directly for deterministic epochs.
 func (s *Server) Tick(ctx context.Context) {
+	if s.role.Load() != roleLeader {
+		// A standby has no authority to decide; a fenced server lost it.
+		return
+	}
 	start := time.Now()
 	budget := time.Duration(float64(s.cfg.Epoch) * s.cfg.TickBudget)
 	tickCtx, cancel := context.WithTimeout(contextOrBackground(ctx), budget)
@@ -733,6 +824,41 @@ func (s *Server) Tick(ctx context.Context) {
 		}
 	}
 
+	// Build the tick's WAL redo record — every outcome in batch (id)
+	// order with its clamped window — before taking the commit lock.
+	var tickRec []byte
+	if s.cfg.WAL != nil {
+		rec := walTick{Epoch: epoch, Slot: slot, Degraded: degraded}
+		if purchased != nil {
+			rec.Purchased = append([]int(nil), purchased...)
+		}
+		outcomes := make([]walOutcome, len(batch))
+		for _, k := range expiredIdx {
+			outcomes[k] = walOutcome{ID: batch[k].id, Kind: walKindExpired}
+		}
+		for _, rej := range rejected {
+			st := batch[rej.pos].req.Start
+			if st < slot {
+				st = slot
+			}
+			outcomes[rej.pos] = walOutcome{
+				ID: batch[rej.pos].id, Kind: walKindReject, Start: st,
+				Reason: rej.reason, Degraded: rej.degraded,
+			}
+		}
+		for _, acc := range accepted {
+			outcomes[acc.pos] = walOutcome{
+				ID: batch[acc.pos].id, Kind: walKindAccept,
+				Links: acc.links, Start: acc.req.Start, Degraded: degraded,
+			}
+		}
+		rec.Outcomes = outcomes
+		if rp, ok := s.cfg.Policy.(replayPolicy); ok {
+			rec.Policy = rp.replayDelta()
+		}
+		tickRec = mustJSON(rec)
+	}
+
 	// Commit phase: apply the decisions under the lock.
 	now := time.Now()
 	observe := func(p pending, wasDegraded bool, accepted bool) {
@@ -748,6 +874,40 @@ func (s *Server) Tick(ctx context.Context) {
 		s.lat.observeDecision(outcome, now.Sub(p.at).Seconds())
 	}
 	s.mu.Lock()
+	if tickRec != nil {
+		// The tick record must be durable before any of its decisions
+		// become visible. Appending under s.mu serializes with snapshot
+		// offset capture (snapshots hold s.mu): an image either predates
+		// this record or reflects the committed state. The fsync batches
+		// with concurrent submit acks (group commit); in-flight submit
+		// appends interleave freely before the record — their arrivals
+		// are not part of this batch.
+		err := func() error {
+			off, err := s.cfg.WAL.Append(walRecTick, tickRec)
+			if err != nil {
+				return err
+			}
+			return s.cfg.WAL.WaitDurable(off)
+		}()
+		if err != nil {
+			// Durability lost: fence instead of handing out undurable
+			// decisions. The claimed batch goes back to the queue so a
+			// final snapshot still carries it; the arrivals are on disk
+			// (or the client never got an ack), so a restart recovers.
+			s.Fence()
+			s.lastCheckErr = "wal failed, server fenced: " + err.Error()
+			for _, p := range batch {
+				sh := &s.shards[int(p.id)%intakeShards]
+				sh.mu.Lock()
+				sh.queue = append(sh.queue, p)
+				sh.mu.Unlock()
+			}
+			s.queueDepth.Add(int64(len(batch)))
+			s.deciding = nil
+			s.mu.Unlock()
+			return
+		}
+	}
 	cycle := epoch / s.cfg.Slots
 	for _, k := range expiredIdx {
 		s.decided(batch[k].id, func(d *Decision) {
@@ -843,6 +1003,7 @@ func (s *Server) Tick(ctx context.Context) {
 		Cycle:         epoch / s.cfg.Slots,
 		Slot:          slot,
 		Policy:        s.cfg.Policy.Name(),
+		Role:          roleName(s.role.Load()),
 		UnixMillis:    now.UnixMilli(),
 		Batch:         len(batch),
 		Accepted:      len(accepted),
@@ -1084,7 +1245,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			})
 		case errors.Is(err, ErrQueueFull):
 			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
-		case errors.Is(err, ErrDraining):
+		case errors.Is(err, ErrDraining), errors.Is(err, ErrStandby), errors.Is(err, ErrFenced):
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
 		default:
 			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})

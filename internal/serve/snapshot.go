@@ -5,16 +5,18 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"sort"
 
 	"metis/internal/demand"
+	"metis/internal/fsx"
+	"metis/internal/wal"
 )
 
 // SnapshotVersion is the wire version of the snapshot format. Version 2
-// added the metis policies' cycle state (PolicyState); Restore still
-// accepts version 1 images, which simply carry no policy state.
-const SnapshotVersion = 2
+// added the metis policies' cycle state (PolicyState); version 3 added
+// the HA fencing token and the WAL offset the image covers. Restore
+// still accepts versions 1 and 2, which simply carry no such state.
+const SnapshotVersion = 3
 
 // Snapshot is the JSON crash-recovery image of a Server: the committed
 // ledger plus every queued-but-undecided arrival, with enough daemon
@@ -36,6 +38,17 @@ type Snapshot struct {
 	// Policy is the admission policy's cycle state as of the last
 	// committed tick (nil for stateless policies and v1 images).
 	Policy *PolicyState `json:"policy,omitempty"`
+	// Token is the fencing token of the leader that wrote the image; a
+	// standby refuses images from a leader older than one it has
+	// already followed.
+	Token uint64 `json:"token,omitempty"`
+	// WAL is the log offset this image covers: every record at or
+	// before it is reflected in the image, every record after it is
+	// not. Recovery replays the log from here.
+	WAL *wal.Offset `json:"wal,omitempty"`
+	// Revenue is the cycle's accepted value so far; with a WAL it must
+	// survive restore so replay accumulates on top of the right base.
+	Revenue float64 `json:"revenue,omitempty"`
 }
 
 // QueuedRequest is one pending arrival in a snapshot.
@@ -60,6 +73,19 @@ func (s *Server) Snapshot(w io.Writer) error {
 		NextID:  s.nextID.Load(),
 		Ledger:  s.led.snap(),
 		Policy:  s.policyImage,
+		Token:   s.token.Load(),
+		Revenue: s.revenue,
+	}
+	// The WAL offset and the queue scan are captured under the walGate
+	// write barrier: a submit holds the read side across its append +
+	// enqueue, so the offset recorded here covers exactly the arrivals
+	// the scan sees — no acked arrival can fall between the image and
+	// its replay. Tick records serialize via s.mu, already held. Lock
+	// order: s.mu → walGate (submits never take s.mu).
+	if s.cfg.WAL != nil {
+		s.walGate.Lock()
+		off := s.cfg.WAL.AppendedEnd()
+		snap.WAL = &off
 	}
 	// An in-flight tick's batch is re-queued on restore: its decisions
 	// have not been committed, so replaying it is the consistent choice
@@ -75,6 +101,9 @@ func (s *Server) Snapshot(w io.Writer) error {
 		}
 		sh.mu.Unlock()
 	}
+	if s.cfg.WAL != nil {
+		s.walGate.Unlock()
+	}
 	sort.Slice(snap.Queue, func(a, b int) bool { return snap.Queue[a].ID < snap.Queue[b].ID })
 	s.mu.Unlock()
 
@@ -87,26 +116,13 @@ func (s *Server) Snapshot(w io.Writer) error {
 	return nil
 }
 
-// SnapshotFile atomically writes the snapshot to path (tmp + rename),
-// so a crash mid-write never corrupts the previous image.
+// SnapshotFile atomically writes the snapshot to path: temp file in
+// the same directory, fsync, rename, directory fsync — a crash at any
+// point leaves either the old image or the new one, never a mix.
 func (s *Server) SnapshotFile(path string) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".metisd-snap-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := s.Snapshot(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return fsx.WriteAtomic(path, 0o644, func(w io.Writer) error {
+		return s.Snapshot(w)
+	})
 }
 
 // Restore loads a snapshot into a freshly constructed server. It must
@@ -124,8 +140,8 @@ func (s *Server) Restore(r io.Reader) error {
 	if err := dec.Decode(&snap); err != nil {
 		return fmt.Errorf("serve: decode snapshot: %w", err)
 	}
-	if snap.Version != SnapshotVersion && snap.Version != 1 {
-		return fmt.Errorf("serve: snapshot version %d, want %d (or 1)", snap.Version, SnapshotVersion)
+	if snap.Version < 1 || snap.Version > SnapshotVersion {
+		return fmt.Errorf("serve: snapshot version %d, want 1..%d", snap.Version, SnapshotVersion)
 	}
 	if snap.Network != s.cfg.Net.Name() || snap.Links != s.cfg.Net.NumLinks() {
 		return fmt.Errorf("serve: snapshot is for network %q (%d links), server runs %q (%d links)",
@@ -146,6 +162,11 @@ func (s *Server) Restore(r io.Reader) error {
 	s.epoch = snap.Epoch
 	s.nextID.Store(snap.NextID)
 	s.pruneFrom = snap.NextID
+	s.revenue = snap.Revenue
+	s.token.Store(snap.Token)
+	if snap.WAL != nil {
+		s.walFrom = *snap.WAL
+	}
 	for _, q := range snap.Queue {
 		if err := q.Request.Validate(s.cfg.Net, s.cfg.Slots); err != nil {
 			return fmt.Errorf("serve: snapshot queue entry %d: %w", q.ID, err)

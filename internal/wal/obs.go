@@ -1,0 +1,11 @@
+package wal
+
+import "metis/internal/obs"
+
+// WAL instruments, in the process-wide obs registry so metisd's
+// /metrics endpoint exposes them next to the serve and solver counters.
+var (
+	cAppends = obs.NewCounter("wal.appends", "records appended to the write-ahead log")
+	cFsyncs  = obs.NewCounter("wal.fsyncs", "write-ahead log fsyncs (group commits)")
+	cBytes   = obs.NewCounter("wal.bytes", "bytes appended to the write-ahead log")
+)
